@@ -1,0 +1,81 @@
+// Package bmac is the public API of the Blockchain Machine reproduction: a
+// software implementation of the network-attached hardware accelerator for
+// Hyperledger Fabric described in "Blockchain Machine: A Network-Attached
+// Hardware Accelerator for Hyperledger Fabric" (ICDCS 2022).
+//
+// The package exposes three layers:
+//
+//   - Configuration (LoadConfig/DefaultConfig): the YAML configuration of
+//     paper §3.5 describing organizations, chaincode endorsement policies
+//     and the hardware architecture.
+//
+//   - Testbed: a complete in-process Fabric-like network — clients,
+//     endorser peers, a Raft ordering service, a software validator peer
+//     and a BMac peer — with every block cross-checked between the
+//     software and hardware validation paths.
+//
+//   - Experiments (RunExperiment/ExperimentNames): the harness that
+//     regenerates every table and figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable programs built on this API.
+package bmac
+
+import (
+	"fmt"
+
+	"bmac/internal/config"
+	"bmac/internal/experiments"
+	"bmac/internal/metrics"
+)
+
+// Config is the BMac network/architecture configuration (paper §3.5).
+type Config = config.Config
+
+// ArchSpec, OrgSpec and ChaincodeSpec are configuration components.
+type (
+	ArchSpec      = config.ArchSpec
+	OrgSpec       = config.OrgSpec
+	ChaincodeSpec = config.ChaincodeSpec
+)
+
+// LoadConfig reads a YAML configuration file.
+func LoadConfig(path string) (*Config, error) { return config.Load(path) }
+
+// ParseConfig parses YAML configuration bytes.
+func ParseConfig(raw []byte) (*Config, error) { return config.Parse(raw) }
+
+// DefaultConfig returns the paper's default experimental configuration
+// (two orgs, smallbank with a 2-outof-2 policy, an 8x2 architecture).
+func DefaultConfig() *Config { return config.Default() }
+
+// ExperimentNames lists the reproducible experiments (fig3..fig13, table1,
+// headline, ablations).
+func ExperimentNames() []string { return experiments.Names() }
+
+// ExperimentTitle returns the display title for an experiment id.
+func ExperimentTitle(name string) string { return experiments.Titles[name] }
+
+// ExperimentOptions tune experiment cost.
+type ExperimentOptions struct {
+	// Rounds is the number of measured validations per data point
+	// (default 3).
+	Rounds int
+	// Quick shrinks parameter sweeps for smoke testing.
+	Quick bool
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns the result as a printable table.
+func RunExperiment(name string, opts ExperimentOptions) (*metrics.Table, error) {
+	r, err := experiments.NewRunner(experiments.Options{
+		Rounds: opts.Rounds,
+		Quick:  opts.Quick,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment runner: %w", err)
+	}
+	return r.Run(name)
+}
+
+// Table is a printable experiment result.
+type Table = metrics.Table

@@ -1,0 +1,62 @@
+// Command bmacbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	bmacbench                 # run every experiment
+//	bmacbench -exp fig11      # run one experiment
+//	bmacbench -quick          # shrunk sweeps (smoke test)
+//	bmacbench -rounds 5       # more measurement rounds per point
+//	bmacbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bmac"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bmacbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "", "experiment id (default: all)")
+		rounds = flag.Int("rounds", 3, "measurement rounds per data point")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bmac.ExperimentNames() {
+			fmt.Printf("%-10s %s\n", name, bmac.ExperimentTitle(name))
+		}
+		return nil
+	}
+
+	names := bmac.ExperimentNames()
+	if *exp != "" {
+		names = strings.Split(*exp, ",")
+	}
+	opts := bmac.ExperimentOptions{Rounds: *rounds, Quick: *quick}
+	for _, name := range names {
+		start := time.Now()
+		tbl, err := bmac.RunExperiment(name, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("=== %s ===\n", bmac.ExperimentTitle(name))
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

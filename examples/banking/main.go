@@ -1,0 +1,105 @@
+// Banking: the smallbank scenario the paper's introduction motivates — a
+// payments network that needs Visa-scale validation throughput. A four-org
+// consortium runs smallbank under a 2-outof-3 policy; the example drives
+// live traffic through the testbed, then uses the calibrated simulator to
+// size the FPGA architecture that meets a 65,000 tps peak-load target
+// (the Visa number from §1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bmac"
+)
+
+const targetTPS = 65000 // Visa peak workload, paper §1
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "bmac-banking-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// A 3-org consortium; payments need 2 of 3 banks to endorse.
+	cfg := bmac.DefaultConfig()
+	cfg.Orgs = []bmac.OrgSpec{
+		{Name: "Org1", Peers: 1, Endorsers: 1, Clients: 1, Orderers: 1},
+		{Name: "Org2", Peers: 1, Endorsers: 1},
+		{Name: "Org3", Peers: 1, Endorsers: 1},
+	}
+	cfg.Chaincodes = []bmac.ChaincodeSpec{{Name: "smallbank", Policy: "2of3"}}
+	cfg.Arch.MaxBlockTxs = 50
+
+	tb, err := bmac.NewTestbed(cfg, dir)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	workload := bmac.SmallbankWorkload{Accounts: 200}
+	if err := tb.Bootstrap(workload); err != nil {
+		return err
+	}
+	driver, err := tb.NewClient(workload, 2026)
+	if err != nil {
+		return err
+	}
+
+	const txs = 150
+	fmt.Printf("driving %d smallbank payments through the 3-bank consortium...\n", txs)
+	if err := driver.Run(txs); err != nil {
+		return err
+	}
+	committed, valid := 0, 0
+	var endsVerified, endsSkipped int
+	for committed < txs {
+		outcomes, err := tb.AwaitBlocks(1, 30*time.Second)
+		if err != nil {
+			return err
+		}
+		o := outcomes[0]
+		if !o.Match {
+			return fmt.Errorf("block %d: sw/hw validation diverged", o.BlockNum)
+		}
+		committed += o.TxCount
+		for _, f := range o.HW.Flags {
+			if f == 0 {
+				valid++
+			}
+		}
+		endsVerified += o.HW.HWStats.EndsVerified
+		endsSkipped += o.HW.HWStats.EndsSkipped
+	}
+	fmt.Printf("committed %d txs (%d valid); short-circuit evaluation skipped %d of %d endorsements\n\n",
+		committed, valid, endsSkipped, endsVerified+endsSkipped)
+
+	// Size the hardware for the Visa target using the paper's simulator.
+	fmt.Printf("sizing an architecture for %d tps (2of3 policy, 250-tx blocks):\n", targetTPS)
+	w := bmac.SimWorkload{Policy: "2of3", BlockSize: 250, Reads: 2, Writes: 2}
+	for n := 8; n <= 64; n += 4 {
+		res, err := bmac.SimulateArchitecture(n, 2, w)
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if res.Throughput >= targetTPS {
+			marker = "  <-- meets Visa peak load"
+		}
+		fmt.Printf("  %-5s %9.0f tps  LUT %.1f%%  fits U250: %-5v%s\n",
+			res.Arch, res.Throughput, res.LUTPct, res.FitsU250, marker)
+		if res.Throughput >= targetTPS {
+			break
+		}
+	}
+	return nil
+}

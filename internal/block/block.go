@@ -1,0 +1,984 @@
+// Package block defines the Fabric-like block and transaction structures and
+// their wire encodings.
+//
+// A marshaled block is a deep stack of nested protobuf messages, mirroring
+// Hyperledger Fabric v1.4:
+//
+//	Block
+//	 ├─ BlockHeader{number, previous_hash, data_hash}
+//	 ├─ BlockData[ Envelope... ]
+//	 │    Envelope{payload, signature}
+//	 │     └─ Payload{header{channel_header, signature_header}, data}
+//	 │         └─ Transaction{actions}
+//	 │             └─ TransactionAction{header, payload}
+//	 │                 └─ ChaincodeActionPayload{proposal_payload, action}
+//	 │                     └─ ChaincodeEndorsedAction{prp, endorsements}
+//	 │                         ├─ ProposalResponsePayload{hash, extension}
+//	 │                         │   └─ ChaincodeAction{results, response, cc}
+//	 │                         │       └─ TxReadWriteSet{reads, writes}
+//	 │                         └─ Endorsement{endorser_cert, signature}...
+//	 └─ BlockMetadata{signatures, validation_flags, commit_hash}
+//
+// Retrieving any inner value requires decoding every outer layer first —
+// the unmarshaling bottleneck the paper measures at ~10% of validation time.
+package block
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"bmac/internal/fabcrypto"
+	"bmac/internal/wire"
+)
+
+// ErrMalformed reports a block or transaction that fails to decode.
+var ErrMalformed = errors.New("block: malformed message")
+
+// ValidationCode classifies the outcome of validating one transaction,
+// following Fabric's TxValidationCode values (subset).
+type ValidationCode uint8
+
+// Validation codes. Valid must be zero so a fresh flags array means
+// "not yet invalidated".
+const (
+	Valid ValidationCode = iota
+	BadSignature
+	BadCreator
+	EndorsementPolicyFailure
+	MVCCReadConflict
+	BadPayload
+	InvalidOther
+)
+
+// String implements fmt.Stringer.
+func (c ValidationCode) String() string {
+	switch c {
+	case Valid:
+		return "VALID"
+	case BadSignature:
+		return "BAD_SIGNATURE"
+	case BadCreator:
+		return "BAD_CREATOR"
+	case EndorsementPolicyFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case MVCCReadConflict:
+		return "MVCC_READ_CONFLICT"
+	case BadPayload:
+		return "BAD_PAYLOAD"
+	case InvalidOther:
+		return "INVALID_OTHER"
+	default:
+		return fmt.Sprintf("CODE(%d)", uint8(c))
+	}
+}
+
+// Version identifies the block/transaction that last wrote a key, the unit
+// of the mvcc check.
+type Version struct {
+	BlockNum uint64
+	TxNum    uint64
+}
+
+// Less orders versions lexicographically.
+func (v Version) Less(o Version) bool {
+	if v.BlockNum != o.BlockNum {
+		return v.BlockNum < o.BlockNum
+	}
+	return v.TxNum < o.TxNum
+}
+
+// KVRead is one entry of a transaction read set: the key read during
+// endorsement and the version observed.
+type KVRead struct {
+	Key     string
+	Version Version
+}
+
+// KVWrite is one entry of a transaction write set.
+type KVWrite struct {
+	Key   string
+	Value []byte
+}
+
+// RWSet is a transaction's read-write set computed at endorsement time.
+type RWSet struct {
+	Reads  []KVRead
+	Writes []KVWrite
+}
+
+// Endorsement is one peer's endorsement: its identity certificate and its
+// signature over (ProposalResponsePayload bytes || endorser certificate),
+// matching Fabric's endorsement signing contract.
+type Endorsement struct {
+	Endorser  []byte // DER X.509 certificate
+	Signature []byte // DER ECDSA signature
+}
+
+// ChaincodeAction carries the results of chaincode simulation.
+type ChaincodeAction struct {
+	Results       RWSet
+	ResponseCode  uint64
+	ResponseData  []byte
+	ChaincodeName string
+}
+
+// ProposalResponsePayload wraps the chaincode action with the proposal hash.
+type ProposalResponsePayload struct {
+	ProposalHash []byte
+	Extension    ChaincodeAction
+}
+
+// EndorsedAction couples the (marshaled) proposal response payload with the
+// endorsements over it.
+type EndorsedAction struct {
+	// ProposalResponseBytes is the exact marshaled ProposalResponsePayload
+	// the endorsers signed; kept verbatim so signatures stay verifiable.
+	ProposalResponseBytes []byte
+	Endorsements          []Endorsement
+}
+
+// ChaincodeActionPayload is the body of a transaction action.
+type ChaincodeActionPayload struct {
+	ProposalPayload []byte // chaincode input args (opaque here)
+	Action          EndorsedAction
+}
+
+// SignatureHeader identifies a message creator.
+type SignatureHeader struct {
+	Creator []byte // DER X.509 certificate
+	Nonce   []byte
+}
+
+// ChannelHeader carries transaction routing metadata.
+type ChannelHeader struct {
+	Type          uint64
+	TxID          string
+	ChannelID     string
+	ChaincodeName string
+	Epoch         uint64
+}
+
+// Header types for ChannelHeader.Type.
+const (
+	HeaderTypeEndorserTransaction = 3
+	HeaderTypeConfig              = 1
+)
+
+// Transaction is the ordered list of actions (Fabric always uses one).
+type Transaction struct {
+	ChannelHeader   ChannelHeader
+	SignatureHeader SignatureHeader
+	Payload         ChaincodeActionPayload
+}
+
+// Envelope is a signed transaction: the marshaled payload plus the client
+// creator's signature over it.
+type Envelope struct {
+	PayloadBytes []byte // marshaled Payload (header + transaction)
+	Signature    []byte // creator's DER signature over PayloadBytes
+}
+
+// MetadataSignature is the orderer's signature over the block header.
+type MetadataSignature struct {
+	Creator   []byte // orderer certificate
+	Nonce     []byte
+	Signature []byte // over marshaled BlockHeader || nonce || creator
+}
+
+// Metadata carries block-level trailer data.
+type Metadata struct {
+	Signature       MetadataSignature
+	ValidationFlags []byte // one ValidationCode per transaction (set by validator)
+	CommitHash      []byte // set by validator at commit time
+}
+
+// Header is the block header; its hash chains blocks together.
+type Header struct {
+	Number       uint64
+	PreviousHash []byte
+	DataHash     []byte
+}
+
+// Block is a complete block.
+type Block struct {
+	Header    Header
+	Envelopes []Envelope
+	Metadata  Metadata
+}
+
+// --- field numbers (stable wire contract) ---
+
+const (
+	fBlockHeader = 1
+	fBlockData   = 2
+	fBlockMeta   = 3
+
+	fHdrNumber   = 1
+	fHdrPrevHash = 2
+	fHdrDataHash = 3
+
+	fEnvelopePayload = 1
+	fEnvelopeSig     = 2
+
+	fPayloadChannelHdr = 1
+	fPayloadSigHdr     = 2
+	fPayloadData       = 3
+
+	fChHdrType    = 1
+	fChHdrTxID    = 2
+	fChHdrChannel = 3
+	fChHdrCC      = 4
+	fChHdrEpoch   = 5
+
+	fSigHdrCreator = 1
+	fSigHdrNonce   = 2
+
+	fTxActionHeader  = 1
+	fTxActionPayload = 2
+
+	fCAPProposal = 1
+	fCAPAction   = 2
+
+	fEAProposalResponse = 1
+	fEAEndorsement      = 2
+
+	fPRPHash      = 1
+	fPRPExtension = 2
+
+	fCCAResults  = 1
+	fCCARespCode = 2
+	fCCARespData = 3
+	fCCAName     = 4
+
+	fRWSetRead  = 1
+	fRWSetWrite = 2
+
+	fReadKey      = 1
+	fReadBlockNum = 2
+	fReadTxNum    = 3
+
+	fWriteKey   = 1
+	fWriteValue = 2
+
+	fEndorserCert = 1
+	fEndorserSig  = 2
+
+	fMetaSig        = 1
+	fMetaFlags      = 2
+	fMetaCommit     = 3
+	fMetaSigCreator = 1
+	fMetaSigNonce   = 2
+	fMetaSigValue   = 3
+)
+
+// --- marshal ---
+
+// MarshalRWSet encodes a read-write set.
+func MarshalRWSet(rw *RWSet) []byte {
+	var b []byte
+	for _, r := range rw.Reads {
+		var rb []byte
+		rb = wire.AppendString(rb, fReadKey, r.Key)
+		rb = wire.AppendUint(rb, fReadBlockNum, r.Version.BlockNum)
+		rb = wire.AppendUint(rb, fReadTxNum, r.Version.TxNum)
+		b = wire.AppendBytesAlways(b, fRWSetRead, rb)
+	}
+	for _, w := range rw.Writes {
+		var wb []byte
+		wb = wire.AppendString(wb, fWriteKey, w.Key)
+		wb = wire.AppendBytes(wb, fWriteValue, w.Value)
+		b = wire.AppendBytesAlways(b, fRWSetWrite, wb)
+	}
+	return b
+}
+
+// UnmarshalRWSet decodes a read-write set.
+func UnmarshalRWSet(data []byte) (*RWSet, error) {
+	rw := &RWSet{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fRWSetRead:
+			var kr KVRead
+			if err := unmarshalKVRead(r.Bytes(), &kr); err != nil {
+				return nil, err
+			}
+			rw.Reads = append(rw.Reads, kr)
+		case fRWSetWrite:
+			var kw KVWrite
+			if err := unmarshalKVWrite(r.Bytes(), &kw); err != nil {
+				return nil, err
+			}
+			rw.Writes = append(rw.Writes, kw)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: rwset: %v", ErrMalformed, err)
+	}
+	return rw, nil
+}
+
+func unmarshalKVRead(data []byte, kr *KVRead) error {
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fReadKey:
+			kr.Key = r.String()
+		case fReadBlockNum:
+			kr.Version.BlockNum = r.Uint()
+		case fReadTxNum:
+			kr.Version.TxNum = r.Uint()
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: kvread: %v", ErrMalformed, err)
+	}
+	return nil
+}
+
+func unmarshalKVWrite(data []byte, kw *KVWrite) error {
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fWriteKey:
+			kw.Key = r.String()
+		case fWriteValue:
+			kw.Value = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%w: kvwrite: %v", ErrMalformed, err)
+	}
+	return nil
+}
+
+// MarshalChaincodeAction encodes a chaincode action.
+func MarshalChaincodeAction(a *ChaincodeAction) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fCCAResults, MarshalRWSet(&a.Results))
+	b = wire.AppendUint(b, fCCARespCode, a.ResponseCode)
+	b = wire.AppendBytes(b, fCCARespData, a.ResponseData)
+	b = wire.AppendString(b, fCCAName, a.ChaincodeName)
+	return b
+}
+
+// UnmarshalChaincodeAction decodes a chaincode action.
+func UnmarshalChaincodeAction(data []byte) (*ChaincodeAction, error) {
+	a := &ChaincodeAction{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fCCAResults:
+			rw, err := UnmarshalRWSet(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			a.Results = *rw
+		case fCCARespCode:
+			a.ResponseCode = r.Uint()
+		case fCCARespData:
+			a.ResponseData = append([]byte(nil), r.Bytes()...)
+		case fCCAName:
+			a.ChaincodeName = r.String()
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: chaincode action: %v", ErrMalformed, err)
+	}
+	return a, nil
+}
+
+// MarshalProposalResponsePayload encodes a proposal response payload. The
+// returned bytes are what endorsers sign.
+func MarshalProposalResponsePayload(p *ProposalResponsePayload) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fPRPHash, p.ProposalHash)
+	b = wire.AppendBytes(b, fPRPExtension, MarshalChaincodeAction(&p.Extension))
+	return b
+}
+
+// UnmarshalProposalResponsePayload decodes a proposal response payload.
+func UnmarshalProposalResponsePayload(data []byte) (*ProposalResponsePayload, error) {
+	p := &ProposalResponsePayload{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fPRPHash:
+			p.ProposalHash = append([]byte(nil), r.Bytes()...)
+		case fPRPExtension:
+			ext, err := UnmarshalChaincodeAction(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			p.Extension = *ext
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: proposal response: %v", ErrMalformed, err)
+	}
+	return p, nil
+}
+
+func marshalEndorsement(e *Endorsement) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fEndorserCert, e.Endorser)
+	b = wire.AppendBytes(b, fEndorserSig, e.Signature)
+	return b
+}
+
+func unmarshalEndorsement(data []byte) (Endorsement, error) {
+	var e Endorsement
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fEndorserCert:
+			e.Endorser = append([]byte(nil), r.Bytes()...)
+		case fEndorserSig:
+			e.Signature = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return e, fmt.Errorf("%w: endorsement: %v", ErrMalformed, err)
+	}
+	return e, nil
+}
+
+func marshalEndorsedAction(a *EndorsedAction) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fEAProposalResponse, a.ProposalResponseBytes)
+	for i := range a.Endorsements {
+		b = wire.AppendBytesAlways(b, fEAEndorsement, marshalEndorsement(&a.Endorsements[i]))
+	}
+	return b
+}
+
+func unmarshalEndorsedAction(data []byte) (*EndorsedAction, error) {
+	a := &EndorsedAction{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fEAProposalResponse:
+			a.ProposalResponseBytes = append([]byte(nil), r.Bytes()...)
+		case fEAEndorsement:
+			e, err := unmarshalEndorsement(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			a.Endorsements = append(a.Endorsements, e)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: endorsed action: %v", ErrMalformed, err)
+	}
+	return a, nil
+}
+
+func marshalChaincodeActionPayload(p *ChaincodeActionPayload) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fCAPProposal, p.ProposalPayload)
+	b = wire.AppendBytes(b, fCAPAction, marshalEndorsedAction(&p.Action))
+	return b
+}
+
+func unmarshalChaincodeActionPayload(data []byte) (*ChaincodeActionPayload, error) {
+	p := &ChaincodeActionPayload{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fCAPProposal:
+			p.ProposalPayload = append([]byte(nil), r.Bytes()...)
+		case fCAPAction:
+			a, err := unmarshalEndorsedAction(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			p.Action = *a
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: chaincode action payload: %v", ErrMalformed, err)
+	}
+	return p, nil
+}
+
+// MarshalChannelHeader encodes a channel header.
+func MarshalChannelHeader(h *ChannelHeader) []byte {
+	var b []byte
+	b = wire.AppendUint(b, fChHdrType, h.Type)
+	b = wire.AppendString(b, fChHdrTxID, h.TxID)
+	b = wire.AppendString(b, fChHdrChannel, h.ChannelID)
+	b = wire.AppendString(b, fChHdrCC, h.ChaincodeName)
+	b = wire.AppendUint(b, fChHdrEpoch, h.Epoch)
+	return b
+}
+
+// UnmarshalChannelHeader decodes a channel header.
+func UnmarshalChannelHeader(data []byte) (*ChannelHeader, error) {
+	h := &ChannelHeader{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fChHdrType:
+			h.Type = r.Uint()
+		case fChHdrTxID:
+			h.TxID = r.String()
+		case fChHdrChannel:
+			h.ChannelID = r.String()
+		case fChHdrCC:
+			h.ChaincodeName = r.String()
+		case fChHdrEpoch:
+			h.Epoch = r.Uint()
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: channel header: %v", ErrMalformed, err)
+	}
+	return h, nil
+}
+
+// MarshalSignatureHeader encodes a signature header.
+func MarshalSignatureHeader(h *SignatureHeader) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fSigHdrCreator, h.Creator)
+	b = wire.AppendBytes(b, fSigHdrNonce, h.Nonce)
+	return b
+}
+
+// UnmarshalSignatureHeader decodes a signature header.
+func UnmarshalSignatureHeader(data []byte) (*SignatureHeader, error) {
+	h := &SignatureHeader{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fSigHdrCreator:
+			h.Creator = append([]byte(nil), r.Bytes()...)
+		case fSigHdrNonce:
+			h.Nonce = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: signature header: %v", ErrMalformed, err)
+	}
+	return h, nil
+}
+
+// MarshalTransactionPayload produces the Envelope payload bytes: the
+// three-part Payload{channel header, signature header, transaction data}
+// where transaction data itself nests actions.
+func MarshalTransactionPayload(tx *Transaction) []byte {
+	// TransactionAction: header (sig header again, per Fabric) + payload.
+	var action []byte
+	action = wire.AppendBytes(action, fTxActionHeader, MarshalSignatureHeader(&tx.SignatureHeader))
+	action = wire.AppendBytes(action, fTxActionPayload, marshalChaincodeActionPayload(&tx.Payload))
+
+	// Transaction: repeated actions (we always emit one, like Fabric).
+	txData := wire.AppendBytesAlways(nil, 1, action)
+
+	var b []byte
+	b = wire.AppendBytes(b, fPayloadChannelHdr, MarshalChannelHeader(&tx.ChannelHeader))
+	b = wire.AppendBytes(b, fPayloadSigHdr, MarshalSignatureHeader(&tx.SignatureHeader))
+	b = wire.AppendBytes(b, fPayloadData, txData)
+	return b
+}
+
+// UnmarshalTransactionPayload decodes Envelope payload bytes into a
+// Transaction, walking all nesting layers.
+func UnmarshalTransactionPayload(data []byte) (*Transaction, error) {
+	tx := &Transaction{}
+	r := wire.NewReader(data)
+	var txData []byte
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fPayloadChannelHdr:
+			ch, err := UnmarshalChannelHeader(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			tx.ChannelHeader = *ch
+		case fPayloadSigHdr:
+			sh, err := UnmarshalSignatureHeader(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			tx.SignatureHeader = *sh
+		case fPayloadData:
+			txData = r.Bytes()
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrMalformed, err)
+	}
+	if txData == nil {
+		return nil, fmt.Errorf("%w: payload missing transaction data", ErrMalformed)
+	}
+
+	// Transaction -> first action.
+	tr := wire.NewReader(txData)
+	var actionBytes []byte
+	for {
+		num, wt, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if num == 1 && wt == wire.TypeBytes {
+			actionBytes = tr.Bytes()
+			break
+		}
+		tr.Skip(wt)
+	}
+	if err := tr.Err(); err != nil || actionBytes == nil {
+		return nil, fmt.Errorf("%w: transaction has no action", ErrMalformed)
+	}
+
+	ar := wire.NewReader(actionBytes)
+	for {
+		num, wt, ok := ar.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fTxActionHeader:
+			ar.Skip(wt) // duplicate of payload signature header
+		case fTxActionPayload:
+			cap2, err := unmarshalChaincodeActionPayload(ar.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			tx.Payload = *cap2
+		default:
+			ar.Skip(wt)
+		}
+	}
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("%w: transaction action: %v", ErrMalformed, err)
+	}
+	return tx, nil
+}
+
+// MarshalEnvelope encodes a signed envelope.
+func MarshalEnvelope(e *Envelope) []byte {
+	var b []byte
+	b = wire.AppendBytes(b, fEnvelopePayload, e.PayloadBytes)
+	b = wire.AppendBytes(b, fEnvelopeSig, e.Signature)
+	return b
+}
+
+// UnmarshalEnvelope decodes a signed envelope.
+func UnmarshalEnvelope(data []byte) (*Envelope, error) {
+	e := &Envelope{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fEnvelopePayload:
+			e.PayloadBytes = append([]byte(nil), r.Bytes()...)
+		case fEnvelopeSig:
+			e.Signature = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: envelope: %v", ErrMalformed, err)
+	}
+	return e, nil
+}
+
+// MarshalHeader encodes a block header; its digest is the block hash.
+func MarshalHeader(h *Header) []byte {
+	var b []byte
+	b = wire.AppendUint(b, fHdrNumber, h.Number)
+	b = wire.AppendBytes(b, fHdrPrevHash, h.PreviousHash)
+	b = wire.AppendBytes(b, fHdrDataHash, h.DataHash)
+	return b
+}
+
+// UnmarshalHeader decodes a block header.
+func UnmarshalHeader(data []byte) (*Header, error) {
+	h := &Header{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fHdrNumber:
+			h.Number = r.Uint()
+		case fHdrPrevHash:
+			h.PreviousHash = append([]byte(nil), r.Bytes()...)
+		case fHdrDataHash:
+			h.DataHash = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: block header: %v", ErrMalformed, err)
+	}
+	return h, nil
+}
+
+func marshalMetadata(m *Metadata) []byte {
+	var sig []byte
+	sig = wire.AppendBytes(sig, fMetaSigCreator, m.Signature.Creator)
+	sig = wire.AppendBytes(sig, fMetaSigNonce, m.Signature.Nonce)
+	sig = wire.AppendBytes(sig, fMetaSigValue, m.Signature.Signature)
+	var b []byte
+	b = wire.AppendBytes(b, fMetaSig, sig)
+	b = wire.AppendBytes(b, fMetaFlags, m.ValidationFlags)
+	b = wire.AppendBytes(b, fMetaCommit, m.CommitHash)
+	return b
+}
+
+func unmarshalMetadata(data []byte) (*Metadata, error) {
+	m := &Metadata{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fMetaSig:
+			sr := wire.NewReader(r.Bytes())
+			for {
+				sn, swt, sok := sr.Next()
+				if !sok {
+					break
+				}
+				switch sn {
+				case fMetaSigCreator:
+					m.Signature.Creator = append([]byte(nil), sr.Bytes()...)
+				case fMetaSigNonce:
+					m.Signature.Nonce = append([]byte(nil), sr.Bytes()...)
+				case fMetaSigValue:
+					m.Signature.Signature = append([]byte(nil), sr.Bytes()...)
+				default:
+					sr.Skip(swt)
+				}
+			}
+			if err := sr.Err(); err != nil {
+				return nil, fmt.Errorf("%w: metadata signature: %v", ErrMalformed, err)
+			}
+		case fMetaFlags:
+			m.ValidationFlags = append([]byte(nil), r.Bytes()...)
+		case fMetaCommit:
+			m.CommitHash = append([]byte(nil), r.Bytes()...)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: metadata: %v", ErrMalformed, err)
+	}
+	return m, nil
+}
+
+// Marshal encodes a complete block.
+func Marshal(b *Block) []byte {
+	var out []byte
+	out = wire.AppendBytes(out, fBlockHeader, MarshalHeader(&b.Header))
+	var data []byte
+	for i := range b.Envelopes {
+		data = wire.AppendBytesAlways(data, 1, MarshalEnvelope(&b.Envelopes[i]))
+	}
+	out = wire.AppendBytes(out, fBlockData, data)
+	out = wire.AppendBytes(out, fBlockMeta, marshalMetadata(&b.Metadata))
+	return out
+}
+
+// Unmarshal decodes a complete block.
+func Unmarshal(data []byte) (*Block, error) {
+	b := &Block{}
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case fBlockHeader:
+			h, err := UnmarshalHeader(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			b.Header = *h
+		case fBlockData:
+			dr := wire.NewReader(r.Bytes())
+			for {
+				dn, dwt, dok := dr.Next()
+				if !dok {
+					break
+				}
+				if dn != 1 {
+					dr.Skip(dwt)
+					continue
+				}
+				env, err := UnmarshalEnvelope(dr.Bytes())
+				if err != nil {
+					return nil, err
+				}
+				b.Envelopes = append(b.Envelopes, *env)
+			}
+			if err := dr.Err(); err != nil {
+				return nil, fmt.Errorf("%w: block data: %v", ErrMalformed, err)
+			}
+		case fBlockMeta:
+			m, err := unmarshalMetadata(r.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			b.Metadata = *m
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: block: %v", ErrMalformed, err)
+	}
+	return b, nil
+}
+
+// --- hashing and signing contracts ---
+
+// DataHash computes the block data hash: SHA-256 over the concatenation of
+// the marshaled envelopes, as Fabric hashes BlockData.
+func DataHash(envelopes []Envelope) []byte {
+	var h fabcrypto.StreamHasher
+	for i := range envelopes {
+		h.Write(MarshalEnvelope(&envelopes[i]))
+	}
+	return h.Sum()
+}
+
+// HeaderHash computes the block hash (digest of the marshaled header).
+func HeaderHash(h *Header) []byte {
+	return fabcrypto.HashSlice(MarshalHeader(h))
+}
+
+// OrdererSigningBytes returns the bytes the orderer signs for a block:
+// marshaled header || nonce || creator cert.
+func OrdererSigningBytes(h *Header, nonce, creator []byte) []byte {
+	hdr := MarshalHeader(h)
+	out := make([]byte, 0, len(hdr)+len(nonce)+len(creator))
+	out = append(out, hdr...)
+	out = append(out, nonce...)
+	out = append(out, creator...)
+	return out
+}
+
+// EndorsementSigningBytes returns the bytes an endorser signs: the marshaled
+// proposal response payload concatenated with the endorser's certificate,
+// matching Fabric's contract.
+func EndorsementSigningBytes(proposalResponseBytes, endorserCert []byte) []byte {
+	out := make([]byte, 0, len(proposalResponseBytes)+len(endorserCert))
+	out = append(out, proposalResponseBytes...)
+	out = append(out, endorserCert...)
+	return out
+}
+
+// CommitHash chains the commit hash: SHA-256(prev commit hash || data hash
+// || validation flags). Both the software validator and the BMac pipeline
+// must produce identical values; the integration tests compare them.
+func CommitHash(prev []byte, dataHash []byte, flags []byte) []byte {
+	var h fabcrypto.StreamHasher
+	h.Write(prev)
+	h.Write(dataHash)
+	h.Write(flags)
+	return h.Sum()
+}
+
+// ComputeTxID derives a transaction ID from the creator nonce and
+// certificate, like Fabric: hex(SHA-256(nonce || creator)).
+func ComputeTxID(nonce, creator []byte) string {
+	var h fabcrypto.StreamHasher
+	h.Write(nonce)
+	h.Write(creator)
+	return hex.EncodeToString(h.Sum())
+}
+
+// FlagsEqual reports whether two validation flag arrays match exactly.
+func FlagsEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// CountValid returns the number of transactions flagged Valid.
+func CountValid(flags []byte) int {
+	n := 0
+	for _, f := range flags {
+		if ValidationCode(f) == Valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestBlockCodecProperty round-trips randomly structured blocks through
+// Marshal/Unmarshal: header fields, arbitrary envelope payloads/signatures,
+// metadata and validation flags must all survive byte-identically.
+func TestBlockCodecProperty(t *testing.T) {
+	type rawEnv struct {
+		Payload []byte
+		Sig     []byte
+	}
+	f := func(num uint64, prev, dataHash []byte, envs []rawEnv,
+		creator, nonce, sig, flags, commit []byte) bool {
+		b := &Block{
+			Header: Header{Number: num, PreviousHash: prev, DataHash: dataHash},
+			Metadata: Metadata{
+				Signature:       MetadataSignature{Creator: creator, Nonce: nonce, Signature: sig},
+				ValidationFlags: flags,
+				CommitHash:      commit,
+			},
+		}
+		for _, e := range envs {
+			b.Envelopes = append(b.Envelopes, Envelope{PayloadBytes: e.Payload, Signature: e.Sig})
+		}
+		got, err := Unmarshal(Marshal(b))
+		if err != nil {
+			return false
+		}
+		if got.Header.Number != num ||
+			!bytes.Equal(got.Header.PreviousHash, prev) ||
+			!bytes.Equal(got.Header.DataHash, dataHash) {
+			return false
+		}
+		if len(got.Envelopes) != len(b.Envelopes) {
+			return false
+		}
+		for i := range b.Envelopes {
+			if !bytes.Equal(got.Envelopes[i].PayloadBytes, b.Envelopes[i].PayloadBytes) ||
+				!bytes.Equal(got.Envelopes[i].Signature, b.Envelopes[i].Signature) {
+				return false
+			}
+		}
+		return bytes.Equal(got.Metadata.ValidationFlags, flags) &&
+			bytes.Equal(got.Metadata.CommitHash, commit) &&
+			bytes.Equal(got.Metadata.Signature.Creator, creator) &&
+			bytes.Equal(got.Metadata.Signature.Nonce, nonce) &&
+			bytes.Equal(got.Metadata.Signature.Signature, sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRWSetCodecProperty round-trips random read/write sets.
+func TestRWSetCodecProperty(t *testing.T) {
+	f := func(keys []string, blockNums []uint64, values [][]byte) bool {
+		rw := &RWSet{}
+		for i, k := range keys {
+			var v Version
+			if i < len(blockNums) {
+				v.BlockNum = blockNums[i]
+				v.TxNum = blockNums[i] / 3
+			}
+			rw.Reads = append(rw.Reads, KVRead{Key: k, Version: v})
+		}
+		for i, val := range values {
+			rw.Writes = append(rw.Writes, KVWrite{Key: "k" + string(rune('a'+i%26)), Value: val})
+		}
+		got, err := UnmarshalRWSet(MarshalRWSet(rw))
+		if err != nil {
+			return false
+		}
+		if len(got.Reads) != len(rw.Reads) || len(got.Writes) != len(rw.Writes) {
+			return false
+		}
+		for i := range rw.Reads {
+			if got.Reads[i] != rw.Reads[i] {
+				return false
+			}
+		}
+		for i := range rw.Writes {
+			if got.Writes[i].Key != rw.Writes[i].Key ||
+				!bytes.Equal(got.Writes[i].Value, rw.Writes[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+package bmacproto
+
+import (
+	"fmt"
+
+	"bmac/internal/block"
+	"bmac/internal/wire"
+)
+
+// This file is the DataExtractor/DataProcessor pair of the
+// protocol_processor (paper Figure 5b): given reconstructed section bytes
+// and the packet's pointer annotations, it pulls out exactly the fields the
+// block processor needs — signatures, creator, endorsements, read and write
+// sets — using targeted scans instead of a full recursive unmarshal.
+
+// txExtract is everything the hardware needs from one transaction section.
+type txExtract struct {
+	PayloadBytes []byte // the exact bytes the client signed
+	Signature    []byte // client DER signature
+	CreatorCert  []byte
+	CCName       string
+	PRPBytes     []byte // proposal response payload (endorsement signing base)
+	Endorsements []block.Endorsement
+	Reads        []block.KVRead
+	Writes       []block.KVWrite
+}
+
+// field numbers duplicated from the block package wire contract; the
+// hardware is generated against the same schema.
+const (
+	xEnvPayload = 1
+	xEnvSig     = 2
+
+	xPayloadChHdr  = 1
+	xPayloadSigHdr = 2
+	xPayloadData   = 3
+
+	xChHdrCC = 4
+
+	xSigHdrCreator = 1
+
+	xTxAction        = 1
+	xTxActionPayload = 2
+
+	xCAPAction = 2
+
+	xEAPRP = 1
+	xEAEnd = 2
+
+	xEndCert = 1
+	xEndSig  = 2
+
+	xPRPExt = 2
+
+	xCCAResults = 1
+
+	xRWRead  = 1
+	xRWWrite = 2
+
+	xReadKey      = 1
+	xReadBlockNum = 2
+	xReadTxNum    = 3
+
+	xWriteKey = 1
+	xWriteVal = 2
+)
+
+// subField returns the payload of the first length-delimited field num in
+// msg, or nil.
+func subField(msg []byte, num int) []byte {
+	off, l, ok := wire.FieldOffset(msg, num)
+	if !ok {
+		return nil
+	}
+	return msg[off : off+l]
+}
+
+// extractTx pulls the validation-relevant fields from reconstructed
+// envelope bytes, using pointer annotations for the top-level fields when
+// available.
+func extractTx(envBytes []byte, pkt *Packet) (*txExtract, error) {
+	x := &txExtract{}
+
+	// Top level: pointer annotations let the hardware skip the scan.
+	if ptr, ok := pkt.FindPointer(PtrPayload); ok && int(ptr.Offset+ptr.Length) <= len(envBytes) {
+		x.PayloadBytes = envBytes[ptr.Offset : ptr.Offset+ptr.Length]
+	} else {
+		x.PayloadBytes = subField(envBytes, xEnvPayload)
+	}
+	if ptr, ok := pkt.FindPointer(PtrEnvelopeSignature); ok && int(ptr.Offset+ptr.Length) <= len(envBytes) {
+		x.Signature = envBytes[ptr.Offset : ptr.Offset+ptr.Length]
+	} else {
+		x.Signature = subField(envBytes, xEnvSig)
+	}
+	if x.PayloadBytes == nil || x.Signature == nil {
+		return nil, fmt.Errorf("bmacproto: tx section missing payload or signature")
+	}
+
+	// payload -> channel header -> chaincode name
+	if ch := subField(x.PayloadBytes, xPayloadChHdr); ch != nil {
+		if cc := subField(ch, xChHdrCC); cc != nil {
+			x.CCName = string(cc)
+		}
+	}
+	// payload -> signature header -> creator certificate
+	if sh := subField(x.PayloadBytes, xPayloadSigHdr); sh != nil {
+		x.CreatorCert = subField(sh, xSigHdrCreator)
+	}
+	if x.CreatorCert == nil {
+		return nil, fmt.Errorf("bmacproto: tx section missing creator")
+	}
+
+	// payload -> tx data -> action -> chaincode action payload -> endorsed action
+	txData := subField(x.PayloadBytes, xPayloadData)
+	if txData == nil {
+		return nil, fmt.Errorf("bmacproto: tx section missing transaction data")
+	}
+	action := subField(txData, xTxAction)
+	if action == nil {
+		return nil, fmt.Errorf("bmacproto: transaction has no action")
+	}
+	cap2 := subField(action, xTxActionPayload)
+	if cap2 == nil {
+		return nil, fmt.Errorf("bmacproto: action has no payload")
+	}
+	ea := subField(cap2, xCAPAction)
+	if ea == nil {
+		return nil, fmt.Errorf("bmacproto: missing endorsed action")
+	}
+	x.PRPBytes = subField(ea, xEAPRP)
+	if x.PRPBytes == nil {
+		return nil, fmt.Errorf("bmacproto: missing proposal response payload")
+	}
+
+	// Endorsements: iterate the repeated field.
+	r := wire.NewReader(ea)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		if num != xEAEnd {
+			r.Skip(wt)
+			continue
+		}
+		eBytes := r.Bytes()
+		e := block.Endorsement{
+			Endorser:  subField(eBytes, xEndCert),
+			Signature: subField(eBytes, xEndSig),
+		}
+		if e.Endorser == nil || e.Signature == nil {
+			return nil, fmt.Errorf("bmacproto: malformed endorsement")
+		}
+		x.Endorsements = append(x.Endorsements, e)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("bmacproto: endorsed action scan: %w", err)
+	}
+
+	// prp -> extension (chaincode action) -> results (rwset)
+	ext := subField(x.PRPBytes, xPRPExt)
+	if ext != nil {
+		if rw := subField(ext, xCCAResults); rw != nil {
+			if err := extractRWSet(rw, x); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return x, nil
+}
+
+func extractRWSet(rw []byte, x *txExtract) error {
+	r := wire.NewReader(rw)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		switch num {
+		case xRWRead:
+			entry := r.Bytes()
+			var kr block.KVRead
+			er := wire.NewReader(entry)
+			for {
+				en, ewt, eok := er.Next()
+				if !eok {
+					break
+				}
+				switch en {
+				case xReadKey:
+					kr.Key = er.String()
+				case xReadBlockNum:
+					kr.Version.BlockNum = er.Uint()
+				case xReadTxNum:
+					kr.Version.TxNum = er.Uint()
+				default:
+					er.Skip(ewt)
+				}
+			}
+			if err := er.Err(); err != nil {
+				return fmt.Errorf("bmacproto: rwset read entry: %w", err)
+			}
+			x.Reads = append(x.Reads, kr)
+		case xRWWrite:
+			entry := r.Bytes()
+			var kw block.KVWrite
+			er := wire.NewReader(entry)
+			for {
+				en, ewt, eok := er.Next()
+				if !eok {
+					break
+				}
+				switch en {
+				case xWriteKey:
+					kw.Key = er.String()
+				case xWriteVal:
+					kw.Value = er.Bytes()
+				default:
+					er.Skip(ewt)
+				}
+			}
+			if err := er.Err(); err != nil {
+				return fmt.Errorf("bmacproto: rwset write entry: %w", err)
+			}
+			x.Writes = append(x.Writes, kw)
+		default:
+			r.Skip(wt)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("bmacproto: rwset scan: %w", err)
+	}
+	return nil
+}

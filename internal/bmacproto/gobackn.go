@@ -1,0 +1,237 @@
+package bmacproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Go-Back-N retransmission (paper §5): "existing schemes such as
+// Go-Back-N can be used as it has been used in RDMA over Ethernet". The
+// base protocol has no retransmission because datacenter links rarely
+// drop; this optional layer adds it for lossy paths.
+//
+// Every data packet is wrapped in a GBN header carrying a stream-wide
+// sequence number. The receiver delivers in order, drops out-of-window
+// packets, and returns cumulative ACKs on a side channel; the sender keeps
+// a window of unacknowledged packets and retransmits from the first
+// unacked sequence after a timeout.
+
+// gbn header: magic(2) kind(1) seq(8)
+const (
+	gbnHeaderLen = 2 + 1 + 8
+
+	gbnKindData = 1
+	gbnKindAck  = 2
+)
+
+// ErrWindowFull reports a send that would exceed the GBN window while the
+// receiver is unreachable.
+var ErrWindowFull = errors.New("bmacproto: go-back-n window full")
+
+// AckSink carries cumulative ACKs back to the sender (the reverse path).
+type AckSink interface {
+	SendAck(cumulative uint64) error
+}
+
+// AckFunc adapts a function to AckSink.
+type AckFunc func(uint64) error
+
+// SendAck implements AckSink.
+func (f AckFunc) SendAck(c uint64) error { return f(c) }
+
+// GBNSender wraps a PacketSink with Go-Back-N reliability.
+type GBNSender struct {
+	mu      sync.Mutex
+	sink    PacketSink
+	window  int
+	timeout time.Duration
+
+	nextSeq  uint64
+	baseSeq  uint64   // first unacked
+	inflight [][]byte // inflight[i] = encoded packet baseSeq+i
+
+	retransmissions int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewGBNSender creates a reliable sender over sink with the given window
+// size and retransmission timeout.
+func NewGBNSender(sink PacketSink, window int, timeout time.Duration) *GBNSender {
+	if window < 1 {
+		window = 1
+	}
+	s := &GBNSender{
+		sink:    sink,
+		window:  window,
+		timeout: timeout,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.retransmitLoop()
+	return s
+}
+
+var _ PacketSink = (*GBNSender)(nil)
+
+// SendPacket implements PacketSink: wraps p with a sequence number and
+// transmits; blocks while the window is full.
+func (s *GBNSender) SendPacket(p []byte) error {
+	framed := encodeGBN(gbnKindData, 0, p) // seq patched under the lock
+	for {
+		s.mu.Lock()
+		if s.nextSeq-s.baseSeq < uint64(s.window) {
+			seq := s.nextSeq
+			s.nextSeq++
+			binary.BigEndian.PutUint64(framed[3:], seq)
+			buf := make([]byte, len(framed))
+			copy(buf, framed)
+			s.inflight = append(s.inflight, buf)
+			s.mu.Unlock()
+			return s.sink.SendPacket(buf)
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.stop:
+			return ErrWindowFull
+		case <-time.After(s.timeout / 4):
+		}
+	}
+}
+
+// HandleAck processes a cumulative ACK (all sequences < cum received).
+func (s *GBNSender) HandleAck(cum uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cum <= s.baseSeq {
+		return
+	}
+	advance := cum - s.baseSeq
+	if advance > uint64(len(s.inflight)) {
+		advance = uint64(len(s.inflight))
+	}
+	s.inflight = s.inflight[advance:]
+	s.baseSeq += advance
+}
+
+// Retransmissions reports how many packets were resent.
+func (s *GBNSender) Retransmissions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retransmissions
+}
+
+// Outstanding reports unacknowledged packets.
+func (s *GBNSender) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+func (s *GBNSender) retransmitLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.timeout)
+	defer ticker.Stop()
+	var lastBase uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			resend := [][]byte(nil)
+			if len(s.inflight) > 0 && s.baseSeq == lastBase {
+				// No progress since the last tick: go back to baseSeq.
+				resend = append(resend, s.inflight...)
+				s.retransmissions += len(s.inflight)
+			}
+			lastBase = s.baseSeq
+			s.mu.Unlock()
+			for _, p := range resend {
+				if err := s.sink.SendPacket(p); err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops the retransmission loop.
+func (s *GBNSender) Close() {
+	close(s.stop)
+	<-s.done
+}
+
+// GBNReceiver unwraps GBN framing, delivers data packets to the inner
+// receiver strictly in sequence order, and emits cumulative ACKs.
+type GBNReceiver struct {
+	mu      sync.Mutex
+	inner   *Receiver
+	acks    AckSink
+	nextSeq uint64
+
+	duplicates int
+}
+
+// NewGBNReceiver wraps recv with Go-Back-N reassembly; ACKs flow to acks.
+func NewGBNReceiver(recv *Receiver, acks AckSink) *GBNReceiver {
+	return &GBNReceiver{inner: recv, acks: acks}
+}
+
+// ProcessPacket handles one framed datagram.
+func (r *GBNReceiver) ProcessPacket(data []byte) error {
+	kind, seq, payload, err := decodeGBN(data)
+	if err != nil {
+		return err
+	}
+	if kind != gbnKindData {
+		return errors.New("bmacproto: unexpected GBN kind at receiver")
+	}
+	r.mu.Lock()
+	if seq != r.nextSeq {
+		// Go-Back-N: drop anything out of order; re-ACK current position.
+		if seq < r.nextSeq {
+			r.duplicates++
+		}
+		next := r.nextSeq
+		r.mu.Unlock()
+		return r.acks.SendAck(next)
+	}
+	r.nextSeq++
+	next := r.nextSeq
+	r.mu.Unlock()
+
+	if err := r.inner.ProcessPacket(payload); err != nil && !errors.Is(err, ErrNotBMac) {
+		return err
+	}
+	return r.acks.SendAck(next)
+}
+
+// Duplicates reports received already-delivered packets.
+func (r *GBNReceiver) Duplicates() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.duplicates
+}
+
+func encodeGBN(kind byte, seq uint64, payload []byte) []byte {
+	out := make([]byte, gbnHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out, gbnFrameMagic)
+	out[2] = kind
+	binary.BigEndian.PutUint64(out[3:], seq)
+	copy(out[gbnHeaderLen:], payload)
+	return out
+}
+
+func decodeGBN(data []byte) (kind byte, seq uint64, payload []byte, err error) {
+	if len(data) < gbnHeaderLen || binary.BigEndian.Uint16(data) != gbnFrameMagic {
+		return 0, 0, nil, errors.New("bmacproto: not a GBN frame")
+	}
+	return data[2], binary.BigEndian.Uint64(data[3:]), data[gbnHeaderLen:], nil
+}
+
+// gbnFrameMagic distinguishes GBN frames from raw BMac packets.
+const gbnFrameMagic = 0x6B4E

@@ -1,0 +1,220 @@
+package bmacproto
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bmac/internal/identity"
+)
+
+// lossySink drops every Nth packet before handing the rest to a
+// GBNReceiver. Surviving packets are delivered asynchronously but IN ORDER
+// (a single consumer goroutine), like a lossy-but-FIFO switch hop.
+type lossySink struct {
+	mu        sync.Mutex
+	dropEvery int
+	sent      int
+	dropped   int
+	queue     chan []byte
+}
+
+func newLossySink(recv *GBNReceiver, dropEvery int) *lossySink {
+	l := &lossySink{dropEvery: dropEvery, queue: make(chan []byte, 4096)}
+	go func() {
+		for p := range l.queue {
+			recv.ProcessPacket(p)
+		}
+	}()
+	return l
+}
+
+func (l *lossySink) SendPacket(p []byte) error {
+	l.mu.Lock()
+	l.sent++
+	drop := l.dropEvery > 0 && l.sent%l.dropEvery == 0
+	if drop {
+		l.dropped++
+	}
+	l.mu.Unlock()
+	if drop {
+		return nil
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	l.queue <- buf
+	return nil
+}
+
+func TestGBNDeliversOverLossyLink(t *testing.T) {
+	f := newFixture(t) // from bmacproto_test.go
+
+	// Fresh receiver chain with GBN framing and 1-in-7 loss.
+	bufs := NewBuffers()
+	recv := NewReceiver(f.recvCache, bufs)
+	go func() {
+		for range recv.Blocks() {
+		}
+	}()
+	drainBufs(bufs)
+
+	var gbnSender *GBNSender
+	gbnRecv := NewGBNReceiver(recv, AckFunc(func(cum uint64) error {
+		gbnSender.HandleAck(cum)
+		return nil
+	}))
+	loss := newLossySink(gbnRecv, 7)
+	gbnSender = NewGBNSender(loss, 16, 20*time.Millisecond)
+	defer gbnSender.Close()
+
+	sender := NewSender(identity.NewCache(), gbnSender)
+	if err := sender.RegisterNetwork(f.net); err != nil {
+		t.Fatal(err)
+	}
+	blk := f.makeBlock(t, 0, 10)
+	if _, err := sender.SendBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+
+	// Despite drops, the block must complete via retransmission.
+	deadline := time.Now().Add(10 * time.Second)
+	for recv.Stats().Transactions < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("block never completed: %d/10 txs, %d dropped, %d retransmitted",
+				recv.Stats().Transactions, loss.dropped, gbnSender.Retransmissions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if loss.dropped == 0 {
+		t.Error("loss injection did not fire")
+	}
+	if gbnSender.Retransmissions() == 0 {
+		t.Error("no retransmissions despite loss")
+	}
+	// Eventually everything is acknowledged.
+	deadline = time.Now().Add(5 * time.Second)
+	for gbnSender.Outstanding() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("outstanding = %d after completion", gbnSender.Outstanding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGBNInOrderNoRetransmissions(t *testing.T) {
+	f := newFixture(t)
+	bufs := NewBuffers()
+	recv := NewReceiver(f.recvCache, bufs)
+	go func() {
+		for range recv.Blocks() {
+		}
+	}()
+	drainBufs(bufs)
+
+	var gbnSender *GBNSender
+	gbnRecv := NewGBNReceiver(recv, AckFunc(func(cum uint64) error {
+		gbnSender.HandleAck(cum)
+		return nil
+	}))
+	direct := SinkFunc(func(p []byte) error { return gbnRecv.ProcessPacket(p) })
+	gbnSender = NewGBNSender(direct, 32, time.Second)
+	defer gbnSender.Close()
+
+	sender := NewSender(identity.NewCache(), gbnSender)
+	if err := sender.RegisterNetwork(f.net); err != nil {
+		t.Fatal(err)
+	}
+	blk := f.makeBlock(t, 0, 5)
+	if _, err := sender.SendBlock(blk); err != nil {
+		t.Fatal(err)
+	}
+	if recv.Stats().Transactions != 5 {
+		t.Errorf("txs = %d", recv.Stats().Transactions)
+	}
+	if gbnSender.Retransmissions() != 0 {
+		t.Errorf("retransmissions = %d on a clean link", gbnSender.Retransmissions())
+	}
+	if gbnSender.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", gbnSender.Outstanding())
+	}
+	if gbnRecv.Duplicates() != 0 {
+		t.Errorf("duplicates = %d", gbnRecv.Duplicates())
+	}
+}
+
+func TestGBNFrameCodec(t *testing.T) {
+	payload := []byte("section data")
+	frame := encodeGBN(gbnKindData, 42, payload)
+	kind, seq, got, err := decodeGBN(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != gbnKindData || seq != 42 || string(got) != string(payload) {
+		t.Errorf("decoded %d/%d/%q", kind, seq, got)
+	}
+	if _, _, _, err := decodeGBN([]byte{1, 2}); err == nil {
+		t.Error("short frame accepted")
+	}
+	if _, _, _, err := decodeGBN(make([]byte, 32)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestGBNDuplicateDropped(t *testing.T) {
+	f := newFixture(t)
+	bufs := NewBuffers()
+	recv := NewReceiver(f.recvCache, bufs)
+	drainBufs(bufs)
+	gbnRecv := NewGBNReceiver(recv, AckFunc(func(uint64) error { return nil }))
+
+	pkt := Packet{Type: SectionCacheSync, Seq: uint16(f.e1.ID), Payload: f.e1.Cert}
+	frame := encodeGBN(gbnKindData, 0, pkt.Encode())
+	if err := gbnRecv.ProcessPacket(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := gbnRecv.ProcessPacket(frame); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	if gbnRecv.Duplicates() != 1 {
+		t.Errorf("duplicates = %d, want 1", gbnRecv.Duplicates())
+	}
+}
+
+// drainBufs consumes all block-processor FIFOs in the background.
+func drainBufs(bufs *Buffers) {
+	go func() {
+		for {
+			if _, ok := bufs.Block.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, ok := bufs.Tx.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, ok := bufs.Ends.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, ok := bufs.Rdset.Pop(); !ok {
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if _, ok := bufs.Wrset.Pop(); !ok {
+				return
+			}
+		}
+	}()
+}

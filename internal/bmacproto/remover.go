@@ -1,0 +1,99 @@
+package bmacproto
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"bmac/internal/identity"
+)
+
+// DataRemover strips identity certificates out of section bytes, replacing
+// each with a locator annotation, and DataInserter reverses the transform.
+// Together they implement the sender/receiver halves of the protocol's
+// identity compression (paper §3.2, Figure 5).
+
+// stripIdentities scans data for every certificate known to the cache and
+// removes all occurrences, returning the stripped bytes and the locators
+// (offsets into the ORIGINAL data, ascending). Certificates are long,
+// high-entropy DER blobs, so substring matching is unambiguous in practice;
+// overlapping matches are rejected defensively.
+func stripIdentities(data []byte, certs []cachedCert) (stripped []byte, locs []Locator) {
+	type match struct {
+		off int
+		len int
+		id  identity.EncodedID
+	}
+	var matches []match
+	for _, c := range certs {
+		start := 0
+		for {
+			i := bytes.Index(data[start:], c.cert)
+			if i < 0 {
+				break
+			}
+			matches = append(matches, match{off: start + i, len: len(c.cert), id: c.id})
+			start += i + len(c.cert)
+		}
+	}
+	if len(matches) == 0 {
+		return data, nil
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].off < matches[j].off })
+
+	stripped = make([]byte, 0, len(data))
+	locs = make([]Locator, 0, len(matches))
+	prev := 0
+	for _, m := range matches {
+		if m.off < prev {
+			continue // overlap: keep the earlier match, skip this one
+		}
+		stripped = append(stripped, data[prev:m.off]...)
+		locs = append(locs, Locator{Offset: uint32(m.off), ID: m.id})
+		prev = m.off + m.len
+	}
+	stripped = append(stripped, data[prev:]...)
+	return stripped, locs
+}
+
+// cachedCert pairs a certificate with its encoded id for the sweep in
+// stripIdentities.
+type cachedCert struct {
+	id   identity.EncodedID
+	cert []byte
+}
+
+// insertIdentities reconstructs the original section bytes from stripped
+// data and locators, looking certificates up in the cache. This is the
+// DataInserter module of the protocol_processor.
+func insertIdentities(stripped []byte, locs []Locator, cache *identity.Cache) ([]byte, error) {
+	if len(locs) == 0 {
+		return stripped, nil
+	}
+	total := len(stripped)
+	certs := make([][]byte, len(locs))
+	for i, l := range locs {
+		cert, ok := cache.CertForID(l.ID)
+		if !ok {
+			return nil, fmt.Errorf("bmacproto: identity cache miss for %s", l.ID)
+		}
+		certs[i] = cert
+		total += len(cert)
+	}
+	out := make([]byte, 0, total)
+	srcPos := 0 // position in stripped
+	origPos := 0
+	for i, l := range locs {
+		gap := int(l.Offset) - origPos
+		if gap < 0 || srcPos+gap > len(stripped) {
+			return nil, fmt.Errorf("bmacproto: locator %d offset %d out of range", i, l.Offset)
+		}
+		out = append(out, stripped[srcPos:srcPos+gap]...)
+		srcPos += gap
+		origPos += gap
+		out = append(out, certs[i]...)
+		origPos += len(certs[i])
+	}
+	out = append(out, stripped[srcPos:]...)
+	return out, nil
+}

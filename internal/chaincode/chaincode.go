@@ -1,0 +1,390 @@
+// Package chaincode implements the smart-contract layer: the chaincode
+// interface, the simulation stub that records read/write sets, and the
+// three benchmark applications used in the paper's evaluation — smallbank
+// and drm from the Caliper benchmarks, plus the split-payment variant of
+// smallbank used in the database-requests experiment (Figure 12c).
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bmac/internal/block"
+	"bmac/internal/statedb"
+)
+
+var (
+	// ErrUnknownFunction reports an invocation of an undefined function.
+	ErrUnknownFunction = errors.New("chaincode: unknown function")
+	// ErrBadArgs reports malformed invocation arguments.
+	ErrBadArgs = errors.New("chaincode: bad arguments")
+)
+
+// Chaincode is a smart contract: business logic executed against the state
+// database during endorsement.
+type Chaincode interface {
+	// Name returns the chaincode name used in transaction headers.
+	Name() string
+	// Invoke executes one function against the stub, reading and writing
+	// state; the stub records the read/write set.
+	Invoke(stub *Stub, fn string, args []string) error
+}
+
+// Stub is the chaincode's view of the state database during simulation. It
+// records every access to build the transaction's read/write set; writes
+// are buffered (read-your-own-writes within a transaction), not applied.
+type Stub struct {
+	store  *statedb.Store
+	reads  []block.KVRead
+	writes []block.KVWrite
+	dirty  map[string][]byte
+}
+
+// NewStub creates a simulation stub over store.
+func NewStub(store *statedb.Store) *Stub {
+	return &Stub{store: store, dirty: make(map[string][]byte)}
+}
+
+// GetState reads a key, recording it (and the version observed) in the
+// read set. Reads of keys written earlier in the same simulation return the
+// buffered value without extending the read set, like Fabric's tx simulator.
+func (s *Stub) GetState(key string) ([]byte, bool) {
+	if v, ok := s.dirty[key]; ok {
+		return v, true
+	}
+	ver, exists := s.store.Version(key)
+	s.reads = append(s.reads, block.KVRead{Key: key, Version: ver})
+	if !exists {
+		return nil, false
+	}
+	vv, err := s.store.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return vv.Value, true
+}
+
+// PutState buffers a write, recording it in the write set.
+func (s *Stub) PutState(key string, value []byte) {
+	val := make([]byte, len(value))
+	copy(val, value)
+	s.dirty[key] = val
+	// Later writes to the same key supersede earlier ones.
+	for i := range s.writes {
+		if s.writes[i].Key == key {
+			s.writes[i].Value = val
+			return
+		}
+	}
+	s.writes = append(s.writes, block.KVWrite{Key: key, Value: val})
+}
+
+// RWSet returns the recorded read/write set.
+func (s *Stub) RWSet() block.RWSet {
+	return block.RWSet{Reads: s.reads, Writes: s.writes}
+}
+
+// --- smallbank ---
+
+// Smallbank implements the Caliper smallbank benchmark: bank accounts with
+// checking and savings balances and the six classic H-Store operations.
+type Smallbank struct{}
+
+var _ Chaincode = Smallbank{}
+
+// Name implements Chaincode.
+func (Smallbank) Name() string { return "smallbank" }
+
+type account struct {
+	Checking int64
+	Savings  int64
+}
+
+func accountKey(id string) string { return "acc" + id }
+
+func parseAccount(v []byte) (account, error) {
+	parts := strings.SplitN(string(v), "|", 2)
+	if len(parts) != 2 {
+		return account{}, fmt.Errorf("%w: account value %q", ErrBadArgs, v)
+	}
+	c, err1 := strconv.ParseInt(parts[0], 10, 64)
+	s, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return account{}, fmt.Errorf("%w: account value %q", ErrBadArgs, v)
+	}
+	return account{Checking: c, Savings: s}, nil
+}
+
+func (a account) encode() []byte {
+	return []byte(strconv.FormatInt(a.Checking, 10) + "|" + strconv.FormatInt(a.Savings, 10))
+}
+
+func getAccount(stub *Stub, id string) (account, error) {
+	v, ok := stub.GetState(accountKey(id))
+	if !ok {
+		return account{}, fmt.Errorf("%w: account %q not found", ErrBadArgs, id)
+	}
+	return parseAccount(v)
+}
+
+// Invoke implements Chaincode. Functions (mirroring Caliper smallbank):
+//
+//	create_account id checking savings
+//	transact_savings id amount
+//	deposit_checking id amount
+//	send_payment from to amount
+//	write_check id amount
+//	amalgamate from to
+//	query id
+func (Smallbank) Invoke(stub *Stub, fn string, args []string) error {
+	switch fn {
+	case "create_account":
+		if len(args) != 3 {
+			return fmt.Errorf("%w: create_account wants 3 args", ErrBadArgs)
+		}
+		c, err1 := strconv.ParseInt(args[1], 10, 64)
+		s, err2 := strconv.ParseInt(args[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%w: create_account amounts", ErrBadArgs)
+		}
+		stub.PutState(accountKey(args[0]), account{Checking: c, Savings: s}.encode())
+		return nil
+	case "transact_savings":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: transact_savings wants 2 args", ErrBadArgs)
+		}
+		amt, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, args[1])
+		}
+		acc, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		acc.Savings += amt
+		stub.PutState(accountKey(args[0]), acc.encode())
+		return nil
+	case "deposit_checking":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: deposit_checking wants 2 args", ErrBadArgs)
+		}
+		amt, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, args[1])
+		}
+		acc, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		acc.Checking += amt
+		stub.PutState(accountKey(args[0]), acc.encode())
+		return nil
+	case "send_payment":
+		if len(args) != 3 {
+			return fmt.Errorf("%w: send_payment wants 3 args", ErrBadArgs)
+		}
+		amt, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, args[2])
+		}
+		from, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		to, err := getAccount(stub, args[1])
+		if err != nil {
+			return err
+		}
+		from.Checking -= amt
+		to.Checking += amt
+		stub.PutState(accountKey(args[0]), from.encode())
+		stub.PutState(accountKey(args[1]), to.encode())
+		return nil
+	case "write_check":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: write_check wants 2 args", ErrBadArgs)
+		}
+		amt, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, args[1])
+		}
+		acc, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		acc.Checking -= amt
+		stub.PutState(accountKey(args[0]), acc.encode())
+		return nil
+	case "amalgamate":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: amalgamate wants 2 args", ErrBadArgs)
+		}
+		from, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		to, err := getAccount(stub, args[1])
+		if err != nil {
+			return err
+		}
+		to.Checking += from.Savings + from.Checking
+		from.Savings = 0
+		from.Checking = 0
+		stub.PutState(accountKey(args[0]), from.encode())
+		stub.PutState(accountKey(args[1]), to.encode())
+		return nil
+	case "query":
+		if len(args) != 1 {
+			return fmt.Errorf("%w: query wants 1 arg", ErrBadArgs)
+		}
+		if _, err := getAccount(stub, args[0]); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: smallbank.%s", ErrUnknownFunction, fn)
+	}
+}
+
+// --- split-payment smallbank (Figure 12c) ---
+
+// SplitPay is the modified smallbank with a split_payment function that
+// pays from one account to N others, producing 1+N reads and 1+N writes —
+// the variable database workload of Figure 12c.
+type SplitPay struct{}
+
+var _ Chaincode = SplitPay{}
+
+// Name implements Chaincode.
+func (SplitPay) Name() string { return "splitpay" }
+
+// Invoke implements Chaincode. Functions:
+//
+//	create_account id checking savings        (same as smallbank)
+//	split_payment from amount to1 to2 ... toN
+func (SplitPay) Invoke(stub *Stub, fn string, args []string) error {
+	switch fn {
+	case "create_account":
+		return Smallbank{}.Invoke(stub, fn, args)
+	case "split_payment":
+		if len(args) < 3 {
+			return fmt.Errorf("%w: split_payment wants >= 3 args", ErrBadArgs)
+		}
+		amt, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, args[1])
+		}
+		recipients := args[2:]
+		share := amt / int64(len(recipients))
+		from, err := getAccount(stub, args[0])
+		if err != nil {
+			return err
+		}
+		from.Checking -= amt
+		stub.PutState(accountKey(args[0]), from.encode())
+		for _, rid := range recipients {
+			to, err := getAccount(stub, rid)
+			if err != nil {
+				return err
+			}
+			to.Checking += share
+			stub.PutState(accountKey(rid), to.encode())
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: splitpay.%s", ErrUnknownFunction, fn)
+	}
+}
+
+// --- drm ---
+
+// DRM implements the Caliper digital-rights-management benchmark: digital
+// assets with an owner and license state. It touches the database less than
+// smallbank (the property Figure 13 relies on).
+type DRM struct{}
+
+var _ Chaincode = DRM{}
+
+// Name implements Chaincode.
+func (DRM) Name() string { return "drm" }
+
+func assetKey(id string) string { return "asset" + id }
+
+// Invoke implements Chaincode. Functions:
+//
+//	register id owner        (1 write)
+//	transfer id newOwner     (1 read, 1 write)
+//	license id licensee      (1 read, 1 write)
+//	query id                 (1 read)
+func (DRM) Invoke(stub *Stub, fn string, args []string) error {
+	switch fn {
+	case "register":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: register wants 2 args", ErrBadArgs)
+		}
+		stub.PutState(assetKey(args[0]), []byte("owner="+args[1]))
+		return nil
+	case "transfer":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: transfer wants 2 args", ErrBadArgs)
+		}
+		if _, ok := stub.GetState(assetKey(args[0])); !ok {
+			return fmt.Errorf("%w: asset %q", ErrBadArgs, args[0])
+		}
+		stub.PutState(assetKey(args[0]), []byte("owner="+args[1]))
+		return nil
+	case "license":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: license wants 2 args", ErrBadArgs)
+		}
+		cur, ok := stub.GetState(assetKey(args[0]))
+		if !ok {
+			return fmt.Errorf("%w: asset %q", ErrBadArgs, args[0])
+		}
+		stub.PutState(assetKey(args[0]), append(append([]byte{}, cur...), []byte(";lic="+args[1])...))
+		return nil
+	case "query":
+		if len(args) != 1 {
+			return fmt.Errorf("%w: query wants 1 arg", ErrBadArgs)
+		}
+		stub.GetState(assetKey(args[0]))
+		return nil
+	default:
+		return fmt.Errorf("%w: drm.%s", ErrUnknownFunction, fn)
+	}
+}
+
+// Registry maps chaincode names to implementations; the endorser and the
+// BMac configuration both consult it.
+type Registry struct {
+	ccs map[string]Chaincode
+}
+
+// NewRegistry creates a registry with the given chaincodes installed.
+func NewRegistry(ccs ...Chaincode) *Registry {
+	r := &Registry{ccs: make(map[string]Chaincode, len(ccs))}
+	for _, cc := range ccs {
+		r.ccs[cc.Name()] = cc
+	}
+	return r
+}
+
+// Get returns the chaincode by name.
+func (r *Registry) Get(name string) (Chaincode, error) {
+	cc, ok := r.ccs[name]
+	if !ok {
+		return nil, fmt.Errorf("chaincode: %q not installed", name)
+	}
+	return cc, nil
+}
+
+// Names returns the installed chaincode names (unordered).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.ccs))
+	for name := range r.ccs {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package chaincode
+
+import (
+	"errors"
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/statedb"
+)
+
+func setupBank(t *testing.T) *statedb.Store {
+	t.Helper()
+	store := statedb.NewStore()
+	sb := Smallbank{}
+	for _, id := range []string{"1", "2", "3"} {
+		stub := NewStub(store)
+		if err := sb.Invoke(stub, "create_account", []string{id, "1000", "500"}); err != nil {
+			t.Fatal(err)
+		}
+		rw := stub.RWSet()
+		store.WriteBatch(rw.Writes, block.Version{BlockNum: 0})
+	}
+	return store
+}
+
+func TestSmallbankSendPayment(t *testing.T) {
+	store := setupBank(t)
+	stub := NewStub(store)
+	if err := (Smallbank{}).Invoke(stub, "send_payment", []string{"1", "2", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	rw := stub.RWSet()
+	if len(rw.Reads) != 2 || len(rw.Writes) != 2 {
+		t.Errorf("rwset = %d reads / %d writes, want 2/2", len(rw.Reads), len(rw.Writes))
+	}
+	// Apply and check balances.
+	store.WriteBatch(rw.Writes, block.Version{BlockNum: 1})
+	v1, _ := store.Get("acc1")
+	v2, _ := store.Get("acc2")
+	a1, _ := parseAccount(v1.Value)
+	a2, _ := parseAccount(v2.Value)
+	if a1.Checking != 900 || a2.Checking != 1100 {
+		t.Errorf("balances = %d/%d, want 900/1100", a1.Checking, a2.Checking)
+	}
+}
+
+func TestSmallbankAllFunctions(t *testing.T) {
+	store := setupBank(t)
+	sb := Smallbank{}
+	tests := []struct {
+		fn     string
+		args   []string
+		reads  int
+		writes int
+	}{
+		{"transact_savings", []string{"1", "50"}, 1, 1},
+		{"deposit_checking", []string{"2", "25"}, 1, 1},
+		{"write_check", []string{"3", "10"}, 1, 1},
+		{"amalgamate", []string{"1", "2"}, 2, 2},
+		{"query", []string{"3"}, 1, 0},
+	}
+	for _, tt := range tests {
+		stub := NewStub(store)
+		if err := sb.Invoke(stub, tt.fn, tt.args); err != nil {
+			t.Errorf("%s: %v", tt.fn, err)
+			continue
+		}
+		rw := stub.RWSet()
+		if len(rw.Reads) != tt.reads || len(rw.Writes) != tt.writes {
+			t.Errorf("%s: rwset %d/%d, want %d/%d", tt.fn, len(rw.Reads), len(rw.Writes), tt.reads, tt.writes)
+		}
+	}
+}
+
+func TestSmallbankErrors(t *testing.T) {
+	store := setupBank(t)
+	sb := Smallbank{}
+	stub := NewStub(store)
+	if err := sb.Invoke(stub, "no_such_fn", nil); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("err = %v, want ErrUnknownFunction", err)
+	}
+	if err := sb.Invoke(stub, "send_payment", []string{"1"}); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("err = %v, want ErrBadArgs", err)
+	}
+	if err := sb.Invoke(stub, "deposit_checking", []string{"999", "5"}); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("missing account err = %v, want ErrBadArgs", err)
+	}
+	if err := sb.Invoke(stub, "deposit_checking", []string{"1", "xx"}); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("bad amount err = %v, want ErrBadArgs", err)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	store := setupBank(t)
+	stub := NewStub(store)
+	sb := Smallbank{}
+	// Two ops on the same account in one simulation: the second read must
+	// see the buffered write and not extend the read set.
+	if err := sb.Invoke(stub, "deposit_checking", []string{"1", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Invoke(stub, "deposit_checking", []string{"1", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	rw := stub.RWSet()
+	if len(rw.Reads) != 1 {
+		t.Errorf("reads = %d, want 1 (read-your-own-writes)", len(rw.Reads))
+	}
+	if len(rw.Writes) != 1 {
+		t.Errorf("writes = %d, want 1 (write superseded)", len(rw.Writes))
+	}
+	a, _ := parseAccount(rw.Writes[0].Value)
+	if a.Checking != 1020 {
+		t.Errorf("checking = %d, want 1020", a.Checking)
+	}
+}
+
+func TestSplitPaymentRWScaling(t *testing.T) {
+	store := statedb.NewStore()
+	sp := SplitPay{}
+	for _, id := range []string{"0", "1", "2", "3", "4"} {
+		stub := NewStub(store)
+		if err := sp.Invoke(stub, "create_account", []string{id, "1000", "0"}); err != nil {
+			t.Fatal(err)
+		}
+		store.WriteBatch(stub.RWSet().Writes, block.Version{})
+	}
+	for _, n := range []int{1, 2, 4} {
+		stub := NewStub(store)
+		args := []string{"0", "100"}
+		for i := 1; i <= n; i++ {
+			args = append(args, []string{"1", "2", "3", "4"}[i-1])
+		}
+		if err := sp.Invoke(stub, "split_payment", args); err != nil {
+			t.Fatal(err)
+		}
+		rw := stub.RWSet()
+		if len(rw.Reads) != 1+n || len(rw.Writes) != 1+n {
+			t.Errorf("split to %d: rwset %d/%d, want %d/%d",
+				n, len(rw.Reads), len(rw.Writes), 1+n, 1+n)
+		}
+	}
+}
+
+func TestDRMFunctions(t *testing.T) {
+	store := statedb.NewStore()
+	drm := DRM{}
+
+	stub := NewStub(store)
+	if err := drm.Invoke(stub, "register", []string{"42", "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	rw := stub.RWSet()
+	if len(rw.Reads) != 0 || len(rw.Writes) != 1 {
+		t.Errorf("register rwset = %d/%d, want 0/1", len(rw.Reads), len(rw.Writes))
+	}
+	store.WriteBatch(rw.Writes, block.Version{})
+
+	stub = NewStub(store)
+	if err := drm.Invoke(stub, "transfer", []string{"42", "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	rw = stub.RWSet()
+	if len(rw.Reads) != 1 || len(rw.Writes) != 1 {
+		t.Errorf("transfer rwset = %d/%d, want 1/1", len(rw.Reads), len(rw.Writes))
+	}
+	store.WriteBatch(rw.Writes, block.Version{BlockNum: 1})
+	v, _ := store.Get("asset42")
+	if string(v.Value) != "owner=bob" {
+		t.Errorf("asset = %q", v.Value)
+	}
+
+	stub = NewStub(store)
+	if err := drm.Invoke(stub, "license", []string{"42", "carol"}); err != nil {
+		t.Fatal(err)
+	}
+	store.WriteBatch(stub.RWSet().Writes, block.Version{BlockNum: 2})
+	v, _ = store.Get("asset42")
+	if string(v.Value) != "owner=bob;lic=carol" {
+		t.Errorf("licensed asset = %q", v.Value)
+	}
+
+	stub = NewStub(store)
+	if err := drm.Invoke(stub, "query", []string{"42"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := drm.Invoke(NewStub(store), "transfer", []string{"404", "x"}); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("missing asset err = %v", err)
+	}
+}
+
+func TestDRMTouchesLessState(t *testing.T) {
+	// Figure 13 premise: drm has fewer db accesses than smallbank.
+	bankStore := setupBank(t)
+	bankStub := NewStub(bankStore)
+	if err := (Smallbank{}).Invoke(bankStub, "send_payment", []string{"1", "2", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	drmStore := statedb.NewStore()
+	reg := NewStub(drmStore)
+	if err := (DRM{}).Invoke(reg, "register", []string{"1", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	drmStore.WriteBatch(reg.RWSet().Writes, block.Version{})
+	drmStub := NewStub(drmStore)
+	if err := (DRM{}).Invoke(drmStub, "transfer", []string{"1", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	bankRW := bankStub.RWSet()
+	drmRW := drmStub.RWSet()
+	if len(drmRW.Reads)+len(drmRW.Writes) >= len(bankRW.Reads)+len(bankRW.Writes) {
+		t.Errorf("drm accesses (%d) should be < smallbank (%d)",
+			len(drmRW.Reads)+len(drmRW.Writes), len(bankRW.Reads)+len(bankRW.Writes))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry(Smallbank{}, DRM{}, SplitPay{})
+	cc, err := r.Get("smallbank")
+	if err != nil || cc.Name() != "smallbank" {
+		t.Errorf("Get(smallbank): %v", err)
+	}
+	if _, err := r.Get("missing"); err == nil {
+		t.Error("expected error for missing chaincode")
+	}
+	if len(r.Names()) != 3 {
+		t.Errorf("names = %v", r.Names())
+	}
+}

@@ -1,0 +1,269 @@
+// Package config loads the BMac YAML configuration file (paper §3.5): the
+// network's organizations and node identities, the chaincode endorsement
+// policies, and the hardware architecture parameters. From it, the package
+// plays the role of the paper's generator script: it materializes the
+// identity network, preloads identity caches, and compiles the endorsement
+// policies into the circuits of the ends_policy_evaluator.
+package config
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"bmac/internal/core"
+	"bmac/internal/hwsim"
+	"bmac/internal/identity"
+	"bmac/internal/policy"
+	"bmac/internal/validator"
+	"bmac/internal/yamllite"
+)
+
+// ErrInvalid reports a semantically invalid configuration.
+var ErrInvalid = errors.New("config: invalid configuration")
+
+// OrgSpec declares one organization and its node counts.
+type OrgSpec struct {
+	Name      string
+	Peers     int
+	Endorsers int
+	Clients   int
+	Orderers  int
+}
+
+// ChaincodeSpec declares one installed chaincode and its endorsement policy.
+type ChaincodeSpec struct {
+	Name   string
+	Policy string
+}
+
+// ArchSpec declares the hardware architecture parameters.
+type ArchSpec struct {
+	TxValidators int
+	VSCCEngines  int
+	DBCapacity   int
+	MaxBlockTxs  int
+}
+
+// Config is the parsed BMac configuration.
+type Config struct {
+	Channel    string
+	Orgs       []OrgSpec
+	Chaincodes []ChaincodeSpec
+	Arch       ArchSpec
+}
+
+// Default returns the paper's default experimental configuration: two orgs
+// each with an endorser and a validator peer, smallbank with a 2-outof-2
+// policy, and an 8x2 architecture supporting 256-transaction blocks and an
+// 8192-entry database (§4.1).
+func Default() *Config {
+	return &Config{
+		Channel: "ch1",
+		Orgs: []OrgSpec{
+			{Name: "Org1", Peers: 1, Endorsers: 1, Clients: 1, Orderers: 1},
+			{Name: "Org2", Peers: 1, Endorsers: 1},
+		},
+		Chaincodes: []ChaincodeSpec{{Name: "smallbank", Policy: "2of2"}},
+		Arch: ArchSpec{
+			TxValidators: 8,
+			VSCCEngines:  2,
+			DBCapacity:   8192,
+			MaxBlockTxs:  256,
+		},
+	}
+}
+
+// Load reads and parses a configuration file.
+func Load(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read config: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Parse parses YAML configuration bytes.
+func Parse(raw []byte) (*Config, error) {
+	root, err := yamllite.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	if s, ok := yamllite.GetString(root, "channel"); ok {
+		cfg.Channel = s
+	} else {
+		cfg.Channel = "ch1"
+	}
+
+	orgs, ok := yamllite.GetSeq(root, "orgs")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing orgs", ErrInvalid)
+	}
+	for i, o := range orgs {
+		name, ok := yamllite.GetString(o, "name")
+		if !ok {
+			return nil, fmt.Errorf("%w: org %d missing name", ErrInvalid, i)
+		}
+		spec := OrgSpec{Name: name, Peers: 1}
+		if v, ok := yamllite.GetInt(o, "peers"); ok {
+			spec.Peers = int(v)
+		}
+		if v, ok := yamllite.GetInt(o, "endorsers"); ok {
+			spec.Endorsers = int(v)
+		}
+		if v, ok := yamllite.GetInt(o, "clients"); ok {
+			spec.Clients = int(v)
+		}
+		if v, ok := yamllite.GetInt(o, "orderers"); ok {
+			spec.Orderers = int(v)
+		}
+		cfg.Orgs = append(cfg.Orgs, spec)
+	}
+
+	ccs, ok := yamllite.GetSeq(root, "chaincodes")
+	if !ok {
+		return nil, fmt.Errorf("%w: missing chaincodes", ErrInvalid)
+	}
+	for i, c := range ccs {
+		name, ok := yamllite.GetString(c, "name")
+		if !ok {
+			return nil, fmt.Errorf("%w: chaincode %d missing name", ErrInvalid, i)
+		}
+		pol, ok := yamllite.GetString(c, "policy")
+		if !ok {
+			return nil, fmt.Errorf("%w: chaincode %q missing policy", ErrInvalid, name)
+		}
+		if _, err := policy.Parse(pol); err != nil {
+			return nil, fmt.Errorf("%w: chaincode %q policy: %v", ErrInvalid, name, err)
+		}
+		cfg.Chaincodes = append(cfg.Chaincodes, ChaincodeSpec{Name: name, Policy: pol})
+	}
+
+	arch, ok := yamllite.GetMap(root, "architecture")
+	if !ok {
+		cfg.Arch = Default().Arch
+	} else {
+		cfg.Arch = ArchSpec{TxValidators: 8, VSCCEngines: 2, DBCapacity: 8192, MaxBlockTxs: 256}
+		if v, ok := yamllite.GetInt(arch, "tx_validators"); ok {
+			cfg.Arch.TxValidators = int(v)
+		}
+		if v, ok := yamllite.GetInt(arch, "vscc_engines"); ok {
+			cfg.Arch.VSCCEngines = int(v)
+		}
+		if v, ok := yamllite.GetInt(arch, "db_capacity"); ok {
+			cfg.Arch.DBCapacity = int(v)
+		}
+		if v, ok := yamllite.GetInt(arch, "max_block_txs"); ok {
+			cfg.Arch.MaxBlockTxs = int(v)
+		}
+	}
+	return cfg, cfg.Validate()
+}
+
+// Validate performs semantic checks.
+func (c *Config) Validate() error {
+	if len(c.Orgs) == 0 {
+		return fmt.Errorf("%w: no organizations", ErrInvalid)
+	}
+	if len(c.Orgs) > 255 {
+		return fmt.Errorf("%w: %d orgs exceed the 8-bit org id space", ErrInvalid, len(c.Orgs))
+	}
+	if len(c.Chaincodes) == 0 {
+		return fmt.Errorf("%w: no chaincodes", ErrInvalid)
+	}
+	if c.Arch.TxValidators < 1 || c.Arch.VSCCEngines < 1 {
+		return fmt.Errorf("%w: architecture %dx%d", ErrInvalid, c.Arch.TxValidators, c.Arch.VSCCEngines)
+	}
+	if !hwsim.Resources(c.Arch.TxValidators, c.Arch.VSCCEngines).FitsU250() {
+		return fmt.Errorf("%w: architecture %dx%d does not fit the U250",
+			ErrInvalid, c.Arch.TxValidators, c.Arch.VSCCEngines)
+	}
+	return nil
+}
+
+// Policies compiles the sequential (software) policy table.
+func (c *Config) Policies() (map[string]*policy.Policy, error) {
+	out := make(map[string]*policy.Policy, len(c.Chaincodes))
+	for _, cc := range c.Chaincodes {
+		p, err := policy.Parse(cc.Policy)
+		if err != nil {
+			return nil, err
+		}
+		out[cc.Name] = p
+	}
+	return out, nil
+}
+
+// Circuits compiles the hardware policy circuits — the generated
+// ends_policy_evaluator modules, one per chaincode.
+func (c *Config) Circuits() (map[string]*policy.Circuit, error) {
+	pols, err := c.Policies()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*policy.Circuit, len(pols))
+	for name, p := range pols {
+		out[name] = policy.Compile(p)
+	}
+	return out, nil
+}
+
+// CoreConfig materializes the functional block processor configuration.
+func (c *Config) CoreConfig() (core.Config, error) {
+	circuits, err := c.Circuits()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		TxValidators: c.Arch.TxValidators,
+		VSCCEngines:  c.Arch.VSCCEngines,
+		Policies:     circuits,
+	}, nil
+}
+
+// ValidatorConfig materializes the software validator configuration with
+// the given worker (vCPU) count.
+func (c *Config) ValidatorConfig(workers int) (validator.Config, error) {
+	pols, err := c.Policies()
+	if err != nil {
+		return validator.Config{}, err
+	}
+	return validator.Config{Workers: workers, Policies: pols}, nil
+}
+
+// HWSimConfig materializes the timing simulator configuration.
+func (c *Config) HWSimConfig() hwsim.Config {
+	return hwsim.Config{
+		TxValidators: c.Arch.TxValidators,
+		VSCCEngines:  c.Arch.VSCCEngines,
+	}
+}
+
+// BuildNetwork creates the identity network declared by the configuration:
+// organizations in declared order, then per org its orderers, endorser
+// peers, validator peers and clients.
+func (c *Config) BuildNetwork() (*identity.Network, error) {
+	n := identity.NewNetwork()
+	for _, org := range c.Orgs {
+		if _, err := n.AddOrg(org.Name); err != nil {
+			return nil, err
+		}
+		for i := 0; i < org.Orderers; i++ {
+			if _, err := n.NewIdentity(org.Name, identity.RoleOrderer); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < org.Endorsers+org.Peers; i++ {
+			if _, err := n.NewIdentity(org.Name, identity.RolePeer); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < org.Clients; i++ {
+			if _, err := n.NewIdentity(org.Name, identity.RoleClient); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,152 @@
+package config
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleYAML = `
+channel: mychannel
+orgs:
+  - name: Org1
+    peers: 1
+    endorsers: 1
+    clients: 1
+    orderers: 1
+  - name: Org2
+    peers: 1
+    endorsers: 1
+chaincodes:
+  - name: smallbank
+    policy: "2of2"
+  - name: drm
+    policy: "Org1 & Org2"
+architecture:
+  tx_validators: 8
+  vscc_engines: 2
+  db_capacity: 8192
+  max_block_txs: 256
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channel != "mychannel" {
+		t.Errorf("channel = %q", cfg.Channel)
+	}
+	if len(cfg.Orgs) != 2 || cfg.Orgs[0].Name != "Org1" || cfg.Orgs[0].Clients != 1 {
+		t.Errorf("orgs = %+v", cfg.Orgs)
+	}
+	if len(cfg.Chaincodes) != 2 || cfg.Chaincodes[1].Policy != "Org1 & Org2" {
+		t.Errorf("chaincodes = %+v", cfg.Chaincodes)
+	}
+	if cfg.Arch.TxValidators != 8 || cfg.Arch.DBCapacity != 8192 {
+		t.Errorf("arch = %+v", cfg.Arch)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bmac.yaml")
+	if err := os.WriteFile(path, []byte(sampleYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channel != "mychannel" {
+		t.Error("file load mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDefaultIsValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.CoreConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.ValidatorConfig(4); err != nil {
+		t.Fatal(err)
+	}
+	hw := cfg.HWSimConfig()
+	if hw.TxValidators != 8 {
+		t.Errorf("hwsim validators = %d", hw.TxValidators)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	cases := []string{
+		// no orgs
+		"chaincodes:\n  - name: cc\n    policy: 1of1\n",
+		// no chaincodes
+		"orgs:\n  - name: Org1\n",
+		// bad policy
+		"orgs:\n  - name: Org1\nchaincodes:\n  - name: cc\n    policy: bogus\n",
+		// chaincode without policy
+		"orgs:\n  - name: Org1\nchaincodes:\n  - name: cc\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse([]byte(src)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+}
+
+func TestOversizedArchitectureRejected(t *testing.T) {
+	cfg := Default()
+	cfg.Arch.TxValidators = 100
+	cfg.Arch.VSCCEngines = 4
+	if err := cfg.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("err = %v, want ErrInvalid (does not fit U250)", err)
+	}
+}
+
+func TestBuildNetwork(t *testing.T) {
+	cfg, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := cfg.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Org1: 1 orderer + 2 peers (endorser+validator) + 1 client = 4.
+	// Org2: 2 peers = 2.
+	if got := len(n.Identities()); got != 6 {
+		t.Errorf("identities = %d, want 6", got)
+	}
+	if _, err := n.LookupByName("peer0.Org1"); err != nil {
+		t.Errorf("peer0.Org1 missing: %v", err)
+	}
+	if _, err := n.LookupByName("orderer0.Org1"); err != nil {
+		t.Errorf("orderer0.Org1 missing: %v", err)
+	}
+}
+
+func TestCircuitsCompiled(t *testing.T) {
+	cfg, err := Parse([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits, err := cfg.Circuits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circuits) != 2 {
+		t.Fatalf("circuits = %d", len(circuits))
+	}
+	// The generated 2of2 evaluator: one 2-input AND.
+	g := circuits["smallbank"].Gates()
+	if g.AndGates != 1 || g.AndInputs != 2 {
+		t.Errorf("smallbank gates = %+v", g)
+	}
+}

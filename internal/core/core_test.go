@@ -1,0 +1,424 @@
+package core
+
+import (
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/bmacproto"
+	"bmac/internal/identity"
+	"bmac/internal/ledger"
+	"bmac/internal/policy"
+	"bmac/internal/statedb"
+	"bmac/internal/validator"
+)
+
+// rig wires the full hardware path: sender -> memlink -> receiver ->
+// processor, plus a software validator over the same policy for
+// equivalence checks.
+type rig struct {
+	net     *identity.Network
+	client  *identity.Identity
+	orderer *identity.Identity
+	peers   []*identity.Identity
+
+	bufs   *bmacproto.Buffers
+	recv   *bmacproto.Receiver
+	sender *bmacproto.Sender
+	proc   *Processor
+}
+
+func newRig(t testing.TB, orgs int, pol string, cfg Config) *rig {
+	t.Helper()
+	n := identity.NewNetwork()
+	r := &rig{net: n}
+	for i := 1; i <= orgs; i++ {
+		org := "Org" + string(rune('0'+i))
+		if _, err := n.AddOrg(org); err != nil {
+			t.Fatal(err)
+		}
+		p, err := n.NewIdentity(org, identity.RolePeer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.peers = append(r.peers, p)
+	}
+	var err error
+	r.client, err = n.NewIdentity("Org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.orderer, err = n.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recvCache := identity.NewCache()
+	r.bufs = bmacproto.NewBuffers()
+	r.recv = bmacproto.NewReceiver(recvCache, r.bufs)
+	link := bmacproto.NewMemLink(r.recv)
+	r.sender = bmacproto.NewSender(identity.NewCache(), link)
+	if err := r.sender.RegisterNetwork(n); err != nil {
+		t.Fatal(err)
+	}
+
+	if cfg.Policies == nil {
+		cfg.Policies = map[string]*policy.Circuit{
+			"smallbank": policy.Compile(policy.MustParse(pol)),
+		}
+	}
+	r.proc = New(cfg, r.bufs, statedb.NewHardwareKVS(8192))
+	r.proc.Start()
+	t.Cleanup(func() {
+		r.bufs.Close()
+		r.proc.Wait()
+	})
+	// Drain assembled blocks so the receiver never blocks.
+	go func() {
+		for range r.recv.Blocks() {
+		}
+	}()
+	return r
+}
+
+func (r *rig) block(t testing.TB, num uint64, specs []block.TxSpec) *block.Block {
+	t.Helper()
+	envs := make([]block.Envelope, 0, len(specs))
+	for i := range specs {
+		env, err := block.NewEndorsedEnvelope(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, *env)
+	}
+	b, err := block.NewBlock(num, nil, envs, r.orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func (r *rig) spec(endorsers []*identity.Identity, rw block.RWSet) block.TxSpec {
+	return block.TxSpec{
+		Creator:   r.client,
+		Chaincode: "smallbank",
+		Channel:   "ch1",
+		RWSet:     rw,
+		Endorsers: endorsers,
+	}
+}
+
+func TestAllValidBlock(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 4, VSCCEngines: 2})
+	specs := make([]block.TxSpec, 6)
+	for i := range specs {
+		specs[i] = r.spec([]*identity.Identity{r.peers[0], r.peers[1]},
+			block.RWSet{Writes: []block.KVWrite{{Key: "k" + string(rune('a'+i)), Value: []byte{1}}}})
+	}
+	b := r.block(t, 0, specs)
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := r.proc.GetBlockData()
+	if !ok {
+		t.Fatal("no result")
+	}
+	if !res.BlockValid {
+		t.Error("block invalid")
+	}
+	for i, fl := range res.Flags {
+		if block.ValidationCode(fl) != block.Valid {
+			t.Errorf("tx %d = %v", i, block.ValidationCode(fl))
+		}
+	}
+	if r.proc.DB().Len() != 6 {
+		t.Errorf("hw db keys = %d, want 6", r.proc.DB().Len())
+	}
+	if res.Stats.TxCount != 6 {
+		t.Errorf("stats tx count = %d", res.Stats.TxCount)
+	}
+}
+
+func TestShortCircuitSkipsEndorsements(t *testing.T) {
+	// 2of3 policy with 3 endorsements and 2 engines: the first batch of 2
+	// valid endorsements satisfies the policy; the third must be skipped.
+	r := newRig(t, 3, "2of3", Config{TxValidators: 1, VSCCEngines: 2})
+	specs := []block.TxSpec{
+		r.spec([]*identity.Identity{r.peers[0], r.peers[1], r.peers[2]}, block.RWSet{}),
+	}
+	b := r.block(t, 0, specs)
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := r.proc.GetBlockData()
+	if !ok {
+		t.Fatal("no result")
+	}
+	if block.ValidationCode(res.Flags[0]) != block.Valid {
+		t.Fatalf("flag = %v", block.ValidationCode(res.Flags[0]))
+	}
+	if res.Stats.EndsVerified != 2 {
+		t.Errorf("ends verified = %d, want 2 (short-circuit)", res.Stats.EndsVerified)
+	}
+	if res.Stats.EndsSkipped != 1 {
+		t.Errorf("ends skipped = %d, want 1", res.Stats.EndsSkipped)
+	}
+}
+
+func TestShortCircuitDisabledVerifiesAll(t *testing.T) {
+	r := newRig(t, 3, "2of3", Config{TxValidators: 1, VSCCEngines: 2, DisableShortCircuit: true})
+	specs := []block.TxSpec{
+		r.spec([]*identity.Identity{r.peers[0], r.peers[1], r.peers[2]}, block.RWSet{}),
+	}
+	b := r.block(t, 0, specs)
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if res.Stats.EndsVerified != 3 {
+		t.Errorf("ends verified = %d, want 3 (ablation)", res.Stats.EndsVerified)
+	}
+}
+
+func TestInvalidityShortCircuit(t *testing.T) {
+	// 3of3 with the first endorsement corrupt: after batch 1 (engines=1),
+	// the policy can never be satisfied; endorsements 2,3 are skipped.
+	r := newRig(t, 3, "3of3", Config{TxValidators: 1, VSCCEngines: 1})
+	spec := r.spec([]*identity.Identity{r.peers[0], r.peers[1], r.peers[2]}, block.RWSet{})
+	spec.CorruptEndorsementIdx = 1
+	b := r.block(t, 0, []block.TxSpec{spec})
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if block.ValidationCode(res.Flags[0]) != block.EndorsementPolicyFailure {
+		t.Errorf("flag = %v", block.ValidationCode(res.Flags[0]))
+	}
+	if res.Stats.EndsVerified != 1 {
+		t.Errorf("ends verified = %d, want 1 (invalidity short-circuit)", res.Stats.EndsVerified)
+	}
+}
+
+func TestEarlyAbortOnBadClientSig(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 2, VSCCEngines: 2})
+	spec := r.spec([]*identity.Identity{r.peers[0], r.peers[1]}, block.RWSet{})
+	spec.CorruptClientSig = true
+	b := r.block(t, 0, []block.TxSpec{spec})
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if block.ValidationCode(res.Flags[0]) != block.BadSignature {
+		t.Errorf("flag = %v", block.ValidationCode(res.Flags[0]))
+	}
+	if res.Stats.EndsVerified != 0 || res.Stats.EndsSkipped != 2 {
+		t.Errorf("ends = %d verified / %d skipped, want 0/2 (early abort)",
+			res.Stats.EndsVerified, res.Stats.EndsSkipped)
+	}
+}
+
+func TestBadOrdererSignatureInvalidatesAll(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 2, VSCCEngines: 2})
+	b := r.block(t, 0, []block.TxSpec{
+		r.spec([]*identity.Identity{r.peers[0], r.peers[1]}, block.RWSet{}),
+		r.spec([]*identity.Identity{r.peers[0], r.peers[1]}, block.RWSet{}),
+	})
+	b.Metadata.Signature.Signature[8] ^= 0xff
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if res.BlockValid {
+		t.Error("block reported valid")
+	}
+	for i, fl := range res.Flags {
+		if block.ValidationCode(fl) == block.Valid {
+			t.Errorf("tx %d valid under invalid block", i)
+		}
+	}
+	if res.Stats.EndsVerified != 0 {
+		t.Errorf("ends verified = %d under invalid block (early abort)", res.Stats.EndsVerified)
+	}
+	if r.proc.DB().Len() != 0 {
+		t.Error("invalid block committed to hw db")
+	}
+}
+
+func TestMVCCConflictInHardware(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 4, VSCCEngines: 2})
+	ends := []*identity.Identity{r.peers[0], r.peers[1]}
+	b := r.block(t, 0, []block.TxSpec{
+		r.spec(ends, block.RWSet{Writes: []block.KVWrite{{Key: "hot", Value: []byte("1")}}}),
+		r.spec(ends, block.RWSet{
+			Reads:  []block.KVRead{{Key: "hot", Version: block.Version{}}},
+			Writes: []block.KVWrite{{Key: "x", Value: []byte("2")}},
+		}),
+	})
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if block.ValidationCode(res.Flags[0]) != block.Valid {
+		t.Errorf("tx0 = %v", block.ValidationCode(res.Flags[0]))
+	}
+	if block.ValidationCode(res.Flags[1]) != block.MVCCReadConflict {
+		t.Errorf("tx1 = %v, want mvcc conflict", block.ValidationCode(res.Flags[1]))
+	}
+	if _, ok := r.proc.DB().Read("x"); ok {
+		t.Error("conflicted write committed")
+	}
+}
+
+func TestPipelinedBlocks(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 2, VSCCEngines: 2})
+	ends := []*identity.Identity{r.peers[0], r.peers[1]}
+	for num := uint64(0); num < 4; num++ {
+		b := r.block(t, num, []block.TxSpec{
+			r.spec(ends, block.RWSet{Writes: []block.KVWrite{{Key: "k", Value: []byte{byte(num)}}}}),
+		})
+		if _, err := r.sender.SendBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for num := uint64(0); num < 4; num++ {
+		res, ok := r.proc.GetBlockData()
+		if !ok {
+			t.Fatalf("no result for block %d", num)
+		}
+		if res.BlockNum != num {
+			t.Errorf("result order: got block %d, want %d", res.BlockNum, num)
+		}
+	}
+	// Final state: k has the last block's version.
+	v, ok := r.proc.DB().Read("k")
+	if !ok || v.Version.BlockNum != 3 {
+		t.Errorf("final version = %+v", v.Version)
+	}
+}
+
+// TestSoftwareHardwareEquivalence is the paper's §4.1 cross-check: the same
+// blocks flow through the software validator and the BMac pipeline, and the
+// transaction flags and resulting state must match exactly.
+func TestSoftwareHardwareEquivalence(t *testing.T) {
+	r := newRig(t, 3, "2of3", Config{TxValidators: 4, VSCCEngines: 2})
+	swLed, err := ledger.Open(t.TempDir(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer swLed.Close()
+	sw := validator.New(validator.Config{
+		Workers:  4,
+		Policies: map[string]*policy.Policy{"smallbank": policy.MustParse("2of3")},
+	}, statedb.NewStore(), swLed)
+
+	ends3 := []*identity.Identity{r.peers[0], r.peers[1], r.peers[2]}
+	mk := func(i int, corruptClient bool, corruptEnd int, rw block.RWSet) block.TxSpec {
+		s := r.spec(ends3, rw)
+		s.CorruptClientSig = corruptClient
+		s.CorruptEndorsementIdx = corruptEnd
+		return s
+	}
+	specs := []block.TxSpec{
+		mk(0, false, 0, block.RWSet{Writes: []block.KVWrite{{Key: "a", Value: []byte("1")}}}),
+		mk(1, true, 0, block.RWSet{Writes: []block.KVWrite{{Key: "b", Value: []byte("2")}}}),
+		mk(2, false, 1, block.RWSet{Writes: []block.KVWrite{{Key: "c", Value: []byte("3")}}}), // 1 bad end, 2of3 still OK
+		mk(3, false, 0, block.RWSet{
+			Reads:  []block.KVRead{{Key: "a", Version: block.Version{}}},
+			Writes: []block.KVWrite{{Key: "d", Value: []byte("4")}},
+		}), // mvcc conflict with tx0
+		mk(4, false, 0, block.RWSet{Writes: []block.KVWrite{{Key: "e", Value: []byte("5")}}}),
+	}
+	b := r.block(t, 0, specs)
+	raw := block.Marshal(b)
+
+	swRes, err := sw.ValidateAndCommit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.sender.SendBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	hwRes, ok := r.proc.GetBlockData()
+	if !ok {
+		t.Fatal("no hw result")
+	}
+
+	if !block.FlagsEqual(swRes.Flags, hwRes.Flags) {
+		t.Errorf("flags diverge:\n  sw: %v\n  hw: %v", swRes.Flags, hwRes.Flags)
+	}
+	if !statedb.SnapshotsEqual(sw.Store().Snapshot(), r.proc.DB().Snapshot()) {
+		t.Error("state databases diverge")
+	}
+	// Same flags + same data hash => same commit hash chain value.
+	swCH := block.CommitHash(nil, b.Header.DataHash, swRes.Flags)
+	hwCH := block.CommitHash(nil, b.Header.DataHash, hwRes.Flags)
+	if string(swCH) != string(hwCH) {
+		t.Error("commit hashes diverge")
+	}
+}
+
+func TestArchitectureString(t *testing.T) {
+	c := Config{TxValidators: 8, VSCCEngines: 2}
+	if c.String() != "8x2" {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestRegMapBackpressure(t *testing.T) {
+	rm := NewRegMap()
+	done := make(chan struct{})
+	go func() {
+		rm.write(Result{BlockNum: 1})
+		rm.write(Result{BlockNum: 2}) // blocks until first read
+		close(done)
+	}()
+	res, ok := rm.Read()
+	if !ok || res.BlockNum != 1 {
+		t.Fatalf("first read = %+v, %v", res, ok)
+	}
+	res, ok = rm.Read()
+	if !ok || res.BlockNum != 2 {
+		t.Fatalf("second read = %+v, %v", res, ok)
+	}
+	<-done
+	rm.Close()
+	if _, ok := rm.Read(); ok {
+		t.Error("read after close")
+	}
+}
+
+// TestUpdatePoliciesAtBlockBoundary exercises the §5 partial
+// reconfiguration path: a chaincode without an installed policy is
+// invalid; after UpdatePolicies, the next block validates.
+func TestUpdatePoliciesAtBlockBoundary(t *testing.T) {
+	r := newRig(t, 2, "2of2", Config{TxValidators: 2, VSCCEngines: 2})
+	ends := []*identity.Identity{r.peers[0], r.peers[1]}
+
+	newCC := func(num uint64) *block.Block {
+		spec := r.spec(ends, block.RWSet{})
+		spec.Chaincode = "newcc"
+		return r.block(t, num, []block.TxSpec{spec})
+	}
+
+	if _, err := r.sender.SendBlock(newCC(0)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := r.proc.GetBlockData()
+	if block.ValidationCode(res.Flags[0]) != block.InvalidOther {
+		t.Fatalf("before reconfiguration: flag = %v, want InvalidOther",
+			block.ValidationCode(res.Flags[0]))
+	}
+
+	// Regenerate the ends_policy_evaluator with the new chaincode.
+	r.proc.UpdatePolicies(map[string]*policy.Circuit{
+		"smallbank": policy.Compile(policy.MustParse("2of2")),
+		"newcc":     policy.Compile(policy.MustParse("2of2")),
+	})
+	if _, err := r.sender.SendBlock(newCC(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = r.proc.GetBlockData()
+	if block.ValidationCode(res.Flags[0]) != block.Valid {
+		t.Errorf("after reconfiguration: flag = %v, want Valid",
+			block.ValidationCode(res.Flags[0]))
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickRunner(t *testing.T) *Runner {
+	t.Helper()
+	r, err := NewRunner(Options{Rounds: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	r := quickRunner(t)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tbl, err := r.Run(name)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s produced no rows", name)
+			}
+			if _, ok := Titles[name]; !ok {
+				t.Errorf("%s has no title", name)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.Run("fig99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestFigure9aShape(t *testing.T) {
+	r := quickRunner(t)
+	tbl, err := r.Run("fig9a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression ratio must grow with the endorsement count and stay in
+	// the paper's 2x-6x band.
+	var prev float64
+	for i, row := range tbl.Rows {
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %d ratio %q: %v", i, row[3], err)
+		}
+		if ratio < 2 || ratio > 7 {
+			t.Errorf("ends=%s ratio %.2f outside [2,7] (paper 3.4-5.3)", row[0], ratio)
+		}
+		if ratio < prev {
+			t.Errorf("ratio should grow with endorsements: %.2f after %.2f", ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestFigure12bShape(t *testing.T) {
+	r, err := NewRunner(Options{Rounds: 1}) // full policy list, sim only (fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := r.Run("fig12b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	winners := map[string]string{}
+	for _, row := range tbl.Rows {
+		winners[row[0]] = row[3]
+	}
+	if winners["2of3"] != "8x2" {
+		t.Errorf("2of3 winner = %s, want 8x2", winners["2of3"])
+	}
+	if winners["3of3"] != "5x3" {
+		t.Errorf("3of3 winner = %s, want 5x3", winners["3of3"])
+	}
+	if winners["3of4"] != "5x3" {
+		t.Errorf("3of4 winner = %s, want 5x3", winners["3of4"])
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl := Table1()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Spot-check the headline cells against Table 1.
+	lut := tbl.Rows[0]
+	if lut[1] != "20.9%" {
+		t.Errorf("4x2 LUT = %s, want 20.9%%", lut[1])
+	}
+	if lut[5] != "43.3%" {
+		t.Errorf("16x2 LUT = %s, want 43.3%%", lut[5])
+	}
+	bram := tbl.Rows[2]
+	for i := 1; i < len(bram); i++ {
+		if bram[i] != "13.1%" {
+			t.Errorf("BRAM col %d = %s", i, bram[i])
+		}
+	}
+}
+
+func TestMakeBlockCached(t *testing.T) {
+	env, err := NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := BlockSpec{Txs: 5, Endorsements: 2, Reads: 1, Writes: 1}
+	b1, err := env.MakeBlock(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.MakeBlock(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Error("block cache miss for identical spec")
+	}
+	b3, err := env.MakeBlock(BlockSpec{Txs: 5, Endorsements: 1, Reads: 1, Writes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == b3 {
+		t.Error("different specs shared a cache entry")
+	}
+}
+
+func TestMeasureSWValidatesClean(t *testing.T) {
+	env, err := NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := env.MeasureSW(BlockSpec{Txs: 10, Endorsements: 2, Reads: 1, Writes: 1}, "2of2", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total <= 0 || bd.ECDSACount == 0 {
+		t.Errorf("breakdown = %+v", bd)
+	}
+}

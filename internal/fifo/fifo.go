@@ -1,0 +1,136 @@
+// Package fifo provides the bounded FIFO buffers that connect the BMac
+// hardware modules: the protocol_processor writes block_fifo, tx_fifo,
+// ends_fifo, rdset_fifo and wrset_fifo; the block_processor drains them and
+// writes res_fifo (paper §3.1, Figure 7).
+//
+// A FIFO models a hardware queue: fixed depth, blocking push when full and
+// blocking pop when empty, with a Close for end-of-stream. Occupancy
+// statistics feed the block_monitor.
+package fifo
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed reports a push to a closed FIFO.
+var ErrClosed = errors.New("fifo: closed")
+
+// FIFO is a bounded blocking queue of T.
+type FIFO[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []T
+	head   int
+	count  int
+	closed bool
+
+	pushes   uint64
+	pops     uint64
+	maxDepth int
+}
+
+// New creates a FIFO with the given depth (must be >= 1).
+func New[T any](depth int) *FIFO[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	f := &FIFO[T]{buf: make([]T, depth)}
+	f.notFull = sync.NewCond(&f.mu)
+	f.notEmpty = sync.NewCond(&f.mu)
+	return f
+}
+
+// Push appends v, blocking while the FIFO is full. It returns ErrClosed if
+// the FIFO was closed.
+func (f *FIFO[T]) Push(v T) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.count == len(f.buf) && !f.closed {
+		f.notFull.Wait()
+	}
+	if f.closed {
+		return ErrClosed
+	}
+	f.buf[(f.head+f.count)%len(f.buf)] = v
+	f.count++
+	f.pushes++
+	if f.count > f.maxDepth {
+		f.maxDepth = f.count
+	}
+	f.notEmpty.Signal()
+	return nil
+}
+
+// Pop removes the oldest element, blocking while empty. ok=false means the
+// FIFO is closed and drained.
+func (f *FIFO[T]) Pop() (v T, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.count == 0 && !f.closed {
+		f.notEmpty.Wait()
+	}
+	if f.count == 0 {
+		var zero T
+		return zero, false
+	}
+	v = f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	f.pops++
+	f.notFull.Signal()
+	return v, true
+}
+
+// TryPop removes the oldest element without blocking; ok=false when empty.
+func (f *FIFO[T]) TryPop() (v T, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count == 0 {
+		var zero T
+		return zero, false
+	}
+	v = f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.count--
+	f.pops++
+	f.notFull.Signal()
+	return v, true
+}
+
+// Close marks end-of-stream: pending and future pushes fail, Pop drains the
+// remaining elements then reports ok=false.
+func (f *FIFO[T]) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.notFull.Broadcast()
+	f.notEmpty.Broadcast()
+}
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Cap returns the configured depth.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Stats reports cumulative pushes, pops and the high-water mark; collected
+// by the block_monitor module.
+func (f *FIFO[T]) Stats() (pushes, pops uint64, maxDepth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pushes, f.pops, f.maxDepth
+}

@@ -1,0 +1,200 @@
+package fifo
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	f := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if err := f.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestBlockingPushUnblocksOnPop(t *testing.T) {
+	f := New[int](1)
+	if err := f.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Push(2) }()
+	select {
+	case <-done:
+		t.Fatal("push to full FIFO returned immediately")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d, %v", v, ok)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked push: %v", err)
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Fatalf("second pop = %d, %v", v, ok)
+	}
+}
+
+func TestBlockingPopUnblocksOnPush(t *testing.T) {
+	f := New[string](2)
+	got := make(chan string, 1)
+	go func() {
+		v, _ := f.Pop()
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := f.Push("x"); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != "x" {
+		t.Fatalf("pop = %q", v)
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	f := New[int](4)
+	f.Push(1)
+	f.Push(2)
+	f.Close()
+	if err := f.Push(3); !errors.Is(err, ErrClosed) {
+		t.Errorf("push after close: %v", err)
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Error("drain 1 failed")
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Error("drain 2 failed")
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("pop after drain should report closed")
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	f := New[int](1)
+	popDone := make(chan bool, 1)
+	go func() {
+		_, ok := f.Pop()
+		popDone <- ok
+	}()
+	f.Push(0)
+	<-popDone // consumed the element
+	go func() {
+		_, ok := f.Pop()
+		popDone <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	if ok := <-popDone; ok {
+		t.Error("pop blocked at close must report not-ok")
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	f := New[int](2)
+	if _, ok := f.TryPop(); ok {
+		t.Error("TryPop on empty succeeded")
+	}
+	f.Push(7)
+	if v, ok := f.TryPop(); !ok || v != 7 {
+		t.Errorf("TryPop = %d, %v", v, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New[int](8)
+	for i := 0; i < 5; i++ {
+		f.Push(i)
+	}
+	f.Pop()
+	pushes, pops, maxDepth := f.Stats()
+	if pushes != 5 || pops != 1 || maxDepth != 5 {
+		t.Errorf("stats = %d/%d/%d", pushes, pops, maxDepth)
+	}
+	if f.Len() != 4 || f.Cap() != 8 {
+		t.Errorf("len/cap = %d/%d", f.Len(), f.Cap())
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 500
+	)
+	f := New[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := f.Push(p*perProd + i); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed sync.WaitGroup
+	seen := make([]map[int]bool, consumers)
+	for c := 0; c < consumers; c++ {
+		seen[c] = make(map[int]bool)
+		consumed.Add(1)
+		go func(c int) {
+			defer consumed.Done()
+			for {
+				v, ok := f.Pop()
+				if !ok {
+					return
+				}
+				seen[c][v] = true
+			}
+		}(c)
+	}
+	wg.Wait()
+	f.Close()
+	consumed.Wait()
+
+	total := 0
+	union := make(map[int]bool)
+	for c := range seen {
+		total += len(seen[c])
+		for v := range seen[c] {
+			if union[v] {
+				t.Fatalf("value %d consumed twice", v)
+			}
+			union[v] = true
+		}
+	}
+	if total != producers*perProd {
+		t.Errorf("consumed %d, want %d", total, producers*perProd)
+	}
+}
+
+func TestMinimumDepth(t *testing.T) {
+	f := New[int](0)
+	if f.Cap() != 1 {
+		t.Errorf("cap = %d, want 1", f.Cap())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	f := New[int](1024)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f.Push(1)
+			f.Pop()
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package gossip implements the baseline block dissemination path: the
+// whole marshaled block sent as one length-prefixed message over a TCP
+// stream, standing in for Fabric's Gossip protocol (marshaled protobuf over
+// gRPC/HTTP2/TCP, paper Figure 2b).
+//
+// Unlike the BMac protocol, the receiver must buffer and reassemble the
+// entire block before any processing can start, and blocks carry their full
+// identity certificates — the two properties the paper's protocol removes.
+package gossip
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"bmac/internal/block"
+)
+
+// MaxBlockSize bounds a single gossip message (Fabric blocks can reach
+// 100 MB; we allow 128 MB).
+const MaxBlockSize = 128 << 20
+
+// ErrTooLarge reports a block exceeding MaxBlockSize.
+var ErrTooLarge = errors.New("gossip: block exceeds maximum size")
+
+// WriteBlock frames and writes a marshaled block to w.
+func WriteBlock(w io.Writer, b *block.Block) (int, error) {
+	data := block.Marshal(b)
+	return WriteRaw(w, data)
+}
+
+// WriteRaw frames and writes pre-marshaled block bytes.
+func WriteRaw(w io.Writer, data []byte) (int, error) {
+	if len(data) > MaxBlockSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return 0, fmt.Errorf("gossip write length: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return 0, fmt.Errorf("gossip write block: %w", err)
+	}
+	return 4 + len(data), nil
+}
+
+// ReadBlock reads one framed block from r. The entire message must be
+// received and buffered before Unmarshal can begin — the TCP reassembly
+// cost inherent to the Gossip path.
+func ReadBlock(r io.Reader) (*block.Block, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, 0, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxBlockSize {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, 0, fmt.Errorf("gossip read block: %w", err)
+	}
+	b, err := block.Unmarshal(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, 4 + int(n), nil
+}
+
+// Broadcaster fans blocks out to every connected peer, as the orderer (or
+// org lead peer) does with Gossip.
+type Broadcaster struct {
+	mu    sync.Mutex
+	conns []net.Conn
+	sent  int64 // cumulative bytes
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{}
+}
+
+// AddPeer dials addr and adds the connection to the broadcast set.
+func (g *Broadcaster) AddPeer(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("gossip dial %q: %w", addr, err)
+	}
+	g.mu.Lock()
+	g.conns = append(g.conns, conn)
+	g.mu.Unlock()
+	return nil
+}
+
+// Broadcast sends the block to every peer. The block is marshaled once.
+func (g *Broadcaster) Broadcast(b *block.Block) error {
+	data := block.Marshal(b)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.conns {
+		n, err := WriteRaw(c, data)
+		if err != nil {
+			return fmt.Errorf("broadcast to %s: %w", c.RemoteAddr(), err)
+		}
+		g.sent += int64(n)
+	}
+	return nil
+}
+
+// BytesSent reports cumulative bytes broadcast.
+func (g *Broadcaster) BytesSent() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sent
+}
+
+// Close closes all peer connections.
+func (g *Broadcaster) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var firstErr error
+	for _, c := range g.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	g.conns = nil
+	return firstErr
+}
+
+// Listener accepts gossip connections and delivers received blocks on a
+// channel; this is the software peer's block intake.
+type Listener struct {
+	ln     net.Listener
+	blocks chan *block.Block
+
+	mu       sync.Mutex
+	received int64
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// Listen binds addr ("127.0.0.1:0" for ephemeral) and starts accepting.
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gossip listen %q: %w", addr, err)
+	}
+	l := &Listener{
+		ln:     ln,
+		blocks: make(chan *block.Block, 16),
+		stop:   make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Blocks returns the received-block channel; closed on Close.
+func (l *Listener) Blocks() <-chan *block.Block { return l.blocks }
+
+// BytesReceived reports cumulative bytes received.
+func (l *Listener) BytesReceived() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.received
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.wg.Add(1)
+		go l.serve(conn)
+	}
+}
+
+func (l *Listener) serve(conn net.Conn) {
+	defer l.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	for {
+		b, n, err := ReadBlock(r)
+		if err != nil {
+			return // connection closed or corrupt stream
+		}
+		l.mu.Lock()
+		l.received += int64(n)
+		l.mu.Unlock()
+		select {
+		case l.blocks <- b:
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes connections and the block channel.
+func (l *Listener) Close() error {
+	close(l.stop)
+	err := l.ln.Close()
+	l.wg.Wait()
+	close(l.blocks)
+	return err
+}

@@ -1,0 +1,155 @@
+package gossip
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/identity"
+)
+
+func makeBlock(t testing.TB, num uint64, txs int) *block.Block {
+	t.Helper()
+	n := identity.NewNetwork()
+	if _, err := n.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	client, err := n.NewIdentity("Org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderer, err := n.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envs := make([]block.Envelope, 0, txs)
+	for i := 0; i < txs; i++ {
+		env, err := block.NewEndorsedEnvelope(block.TxSpec{
+			Creator: client, Chaincode: "cc", Channel: "ch",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, *env)
+	}
+	b, err := block.NewBlock(num, nil, envs, orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := makeBlock(t, 3, 2)
+	var buf bytes.Buffer
+	wn, err := WriteBlock(&buf, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rn, err := ReadBlock(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wn != rn {
+		t.Errorf("wrote %d, read %d", wn, rn)
+	}
+	if got.Header.Number != 3 || len(got.Envelopes) != 2 {
+		t.Errorf("block = %d/%d envs", got.Header.Number, len(got.Envelopes))
+	}
+}
+
+func TestWriteRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteRaw(&buf, make([]byte, MaxBlockSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB claim
+	if _, _, err := ReadBlock(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBroadcastToMultiplePeers(t *testing.T) {
+	l1, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Close()
+	l2, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	g := NewBroadcaster()
+	defer g.Close()
+	if err := g.AddPeer(l1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPeer(l2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	b := makeBlock(t, 0, 3)
+	if err := g.Broadcast(b); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, l := range []*Listener{l1, l2} {
+		got := <-l.Blocks()
+		if got.Header.Number != 0 || len(got.Envelopes) != 3 {
+			t.Errorf("peer %d: block %d/%d envs", i, got.Header.Number, len(got.Envelopes))
+		}
+	}
+	if g.BytesSent() == 0 || l1.BytesReceived() == 0 {
+		t.Error("byte counters not updated")
+	}
+	if g.BytesSent() != l1.BytesReceived()+l2.BytesReceived() {
+		t.Errorf("sent %d != received %d+%d", g.BytesSent(), l1.BytesReceived(), l2.BytesReceived())
+	}
+}
+
+func TestSequentialBlocks(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	g := NewBroadcaster()
+	defer g.Close()
+	if err := g.AddPeer(l.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if err := g.Broadcast(makeBlock(t, i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		got := <-l.Blocks()
+		if got.Header.Number != i {
+			t.Errorf("block %d arrived out of order as %d", i, got.Header.Number)
+		}
+	}
+}
+
+func BenchmarkGossipRoundTrip(b *testing.B) {
+	blk := makeBlock(b, 0, 100)
+	data := block.Marshal(blk)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteRaw(&buf, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadBlock(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

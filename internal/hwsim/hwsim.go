@@ -1,0 +1,266 @@
+// Package hwsim is the high-level timing simulator of the BMac
+// architecture. The paper itself ships such a simulator ("the performance
+// reported by our simulator is always within 1% of actual measurements from
+// the hardware", §4.1) and uses it for architectures beyond 16
+// tx_validators; this package reproduces it.
+//
+// The model is a discrete-event simulation of the block_processor pipeline
+// of Figure 6: a dedicated block_verify engine, N tx_validator instances
+// (each a tx_verify engine feeding a tx_vscc stage with E ecdsa_engines and
+// short-circuit endorsement scheduling), an in-order tx_collector, and a
+// sequential tx_mvcc_commit stage over the in-hardware KVS.
+//
+// Timing constants come from the paper: a 250 MHz clock, ~360 us per ECDSA
+// verification (the Mercury Systems IP), and "tens of us" for the non-
+// cryptographic operations.
+package hwsim
+
+import (
+	"time"
+
+	"bmac/internal/identity"
+	"bmac/internal/policy"
+)
+
+// Config describes one simulated BMac architecture plus its timing
+// constants. The zero value of a latency field selects the paper-calibrated
+// default.
+type Config struct {
+	TxValidators int
+	VSCCEngines  int
+
+	// EngineLatency is one ECDSA verification (default 360 us, §4.3).
+	EngineLatency time.Duration
+	// DispatchLatency is scheduler/FIFO handling per transaction
+	// (default 10 us — "tens of us" per §4.3).
+	DispatchLatency time.Duration
+	// MVCCFixedLatency is the fixed cost of the mvcc_commit stage per
+	// transaction (default 2 us).
+	MVCCFixedLatency time.Duration
+	// DBAccessLatency is one in-hardware KVS read or write
+	// (default 0.5 us; BRAM access plus interlock at 250 MHz).
+	DBAccessLatency time.Duration
+	// BlockFixedLatency is the per-block fill/drain overhead of the
+	// pipeline (default 50 us).
+	BlockFixedLatency time.Duration
+
+	// DisableShortCircuit models the ablation where the ends_scheduler
+	// verifies every endorsement like Fabric does.
+	DisableShortCircuit bool
+	// DisableOverlap models the ablation where ledger commit on the CPU is
+	// NOT overlapped with hardware validation of the next block; used by
+	// the peer-level simulation.
+	DisableOverlap bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxValidators < 1 {
+		c.TxValidators = 1
+	}
+	if c.VSCCEngines < 1 {
+		c.VSCCEngines = 1
+	}
+	if c.EngineLatency == 0 {
+		c.EngineLatency = 360 * time.Microsecond
+	}
+	if c.DispatchLatency == 0 {
+		c.DispatchLatency = 10 * time.Microsecond
+	}
+	if c.MVCCFixedLatency == 0 {
+		c.MVCCFixedLatency = 2 * time.Microsecond
+	}
+	if c.DBAccessLatency == 0 {
+		c.DBAccessLatency = 500 * time.Nanosecond
+	}
+	if c.BlockFixedLatency == 0 {
+		c.BlockFixedLatency = 50 * time.Microsecond
+	}
+	return c
+}
+
+// TxProfile describes one transaction's workload for the simulator.
+type TxProfile struct {
+	// Endorsers lists the endorsement identities in arrival order; the
+	// ends_scheduler issues them in this order.
+	Endorsers []identity.EncodedID
+	// EndorsementValid marks which endorsement signatures verify (all
+	// true in the common case).
+	EndorsementValid []bool
+	// TxSigValid is the client signature verdict.
+	TxSigValid bool
+	// Reads and Writes are the rdset/wrset sizes.
+	Reads  int
+	Writes int
+}
+
+// UniformTxProfile builds n identical all-valid transactions endorsed by
+// the peers of orgs 1..endorsements, the workload shape of the paper's
+// experiments.
+func UniformTxProfile(n, endorsements, reads, writes int) []TxProfile {
+	ends := make([]identity.EncodedID, endorsements)
+	valid := make([]bool, endorsements)
+	for i := range ends {
+		ends[i] = identity.Encode(uint8(i+1), identity.RolePeer, 0)
+		valid[i] = true
+	}
+	txs := make([]TxProfile, n)
+	for i := range txs {
+		txs[i] = TxProfile{
+			Endorsers:        ends,
+			EndorsementValid: valid,
+			TxSigValid:       true,
+			Reads:            reads,
+			Writes:           writes,
+		}
+	}
+	return txs
+}
+
+// BlockTiming is the simulated timing of one block through the pipeline.
+type BlockTiming struct {
+	// BlockVerify is the block_verify stage latency (overlapped with the
+	// previous block's validate stage in steady state).
+	BlockVerify time.Duration
+	// Validate is the block_validate stage latency: from first tx issue to
+	// the last mvcc_commit completion.
+	Validate time.Duration
+	// TxLatency is the mean per-transaction latency (issue to commit).
+	TxLatency time.Duration
+	// VSCCBusy is the cumulative ecdsa_engine busy time in tx_vscc.
+	VSCCBusy time.Duration
+	// MVCCBusy is the cumulative mvcc_commit stage busy time.
+	MVCCBusy time.Duration
+	// EndsVerified and EndsSkipped count endorsement engine usage.
+	EndsVerified int
+	EndsSkipped  int
+}
+
+// BlockLatency is the steady-state per-block latency: the block-level
+// pipeline overlaps block_verify of block n+1 with validate of block n, so
+// the bottleneck stage dominates.
+func (t BlockTiming) BlockLatency() time.Duration {
+	if t.Validate > t.BlockVerify {
+		return t.Validate
+	}
+	return t.BlockVerify
+}
+
+// Throughput returns transactions per second at steady state for blocks of
+// txCount transactions.
+func (t BlockTiming) Throughput(txCount int) float64 {
+	lat := t.BlockLatency()
+	if lat <= 0 {
+		return 0
+	}
+	return float64(txCount) / lat.Seconds()
+}
+
+// EndsSchedule simulates the ends_scheduler for one transaction: how many
+// endorsements are verified (engine work) and how many engine-batch rounds
+// it takes, given the policy circuit and the verdict of each endorsement.
+func EndsSchedule(circuit *policy.Circuit, endorsers []identity.EncodedID,
+	valid []bool, engines int, disableShortCircuit bool) (verified, batches int, satisfied bool) {
+	var rf policy.RegisterFile
+	rf.Clear()
+	idx := 0
+	for idx < len(endorsers) {
+		if !disableShortCircuit {
+			if circuit.Evaluate(&rf) {
+				break
+			}
+			if !circuit.CanStillSatisfy(&rf, endorsers[idx:]) {
+				break
+			}
+		}
+		end := idx + engines
+		if end > len(endorsers) {
+			end = len(endorsers)
+		}
+		for i := idx; i < end; i++ {
+			verified++
+			if valid[i] {
+				rf.SetID(endorsers[i])
+			}
+		}
+		batches++
+		idx = end
+	}
+	return verified, batches, circuit.Evaluate(&rf)
+}
+
+// Simulate runs one block of transactions through the pipeline model and
+// returns its timing.
+func Simulate(cfg Config, circuit *policy.Circuit, txs []TxProfile) BlockTiming {
+	c := cfg.withDefaults()
+	var t BlockTiming
+	t.BlockVerify = c.EngineLatency
+
+	n := len(txs)
+	if n == 0 {
+		t.Validate = c.BlockFixedLatency
+		return t
+	}
+
+	// Per-validator pipeline state.
+	verifyFree := make([]time.Duration, c.TxValidators)
+	vsccFree := make([]time.Duration, c.TxValidators)
+
+	vsccEnd := make([]time.Duration, n)
+	var txStart = make([]time.Duration, n)
+
+	for i, tx := range txs {
+		// tx_scheduler: pick the validator whose tx_verify frees earliest.
+		best := 0
+		for v := 1; v < c.TxValidators; v++ {
+			if verifyFree[v] < verifyFree[best] {
+				best = v
+			}
+		}
+		start := verifyFree[best] + c.DispatchLatency
+		txStart[i] = start
+
+		// tx_verify: one dedicated engine per validator.
+		verifyEnd := start + c.EngineLatency
+		verifyFree[best] = verifyEnd
+
+		// tx_vscc: batches of up to E endorsement verifications.
+		var vsccLat time.Duration
+		if tx.TxSigValid {
+			verified, batches, _ := EndsSchedule(circuit, tx.Endorsers,
+				tx.EndorsementValid, c.VSCCEngines, c.DisableShortCircuit)
+			vsccLat = time.Duration(batches) * c.EngineLatency
+			t.VSCCBusy += time.Duration(verified) * c.EngineLatency
+			t.EndsVerified += verified
+			t.EndsSkipped += len(tx.Endorsers) - verified
+		} else {
+			// Early abort: endorsements discarded.
+			t.EndsSkipped += len(tx.Endorsers)
+		}
+		vsccStart := verifyEnd
+		if vsccFree[best] > vsccStart {
+			vsccStart = vsccFree[best]
+		}
+		vsccEnd[i] = vsccStart + vsccLat
+		vsccFree[best] = vsccEnd[i]
+	}
+
+	// tx_collector (in order) + sequential tx_mvcc_commit.
+	var mvccFree, release time.Duration
+	var totalTxLat time.Duration
+	for i, tx := range txs {
+		if vsccEnd[i] > release {
+			release = vsccEnd[i]
+		}
+		start := release
+		if mvccFree > start {
+			start = mvccFree
+		}
+		lat := c.MVCCFixedLatency + time.Duration(tx.Reads+tx.Writes)*c.DBAccessLatency
+		mvccFree = start + lat
+		t.MVCCBusy += lat
+		totalTxLat += mvccFree - txStart[i]
+	}
+	t.Validate = mvccFree + c.BlockFixedLatency
+	t.TxLatency = totalTxLat / time.Duration(n)
+	return t
+}

@@ -1,0 +1,84 @@
+package hwsim
+
+import "strconv"
+
+// FPGA resource model for the Xilinx Alveo U250 (Table 1 of the paper).
+//
+// The dominant variable cost is the number of ecdsa_engine instances: an
+// NxE architecture instantiates N*E engines in the tx_vscc stages, N in the
+// tx_verify stages and one for block_verify. Fitting a linear model
+// LUT% = base + perEngine * engines to the paper's published utilization
+// numbers reproduces every row of Table 1 within 0.5 percentage points:
+//
+//	arch  engines  paper LUT%  model LUT%
+//	4x2      13       20.9        20.9
+//	5x3      21       25.4        25.9
+//	8x2      25       28.5        28.4
+//	12x2     37       35.8        35.8
+//	16x2     49       43.3        43.3
+//
+// BRAM is flat at 13.1% across architectures because it is dominated by the
+// fixed-size in-hardware database and FIFO buffers.
+
+// Utilization is one row of Table 1.
+type Utilization struct {
+	Arch    string
+	Engines int
+	LUTPct  float64
+	FFPct   float64
+	BRAMPct float64
+	// Platform-level resources, constant across architectures (paper §4.3).
+	GTPct   float64
+	BUFGPct float64
+	MMCMPct float64
+	PCIePct float64
+}
+
+// resource model coefficients fit to Table 1.
+const (
+	lutBase      = 12.81
+	lutPerEngine = 0.6222
+	ffBase       = 5.67
+	ffPerEngine  = 0.0944
+	bramFlat     = 13.1
+
+	gtFlat   = 83.3
+	bufgFlat = 2.2
+	mmcmFlat = 6.3
+	pcieFlat = 25.0
+)
+
+// EngineCount returns the total ecdsa_engine instances of an NxE
+// architecture: N*E (vscc) + N (tx_verify) + 1 (block_verify).
+func EngineCount(txValidators, vsccEngines int) int {
+	return txValidators*vsccEngines + txValidators + 1
+}
+
+// Resources evaluates the utilization model for an NxE architecture.
+func Resources(txValidators, vsccEngines int) Utilization {
+	engines := EngineCount(txValidators, vsccEngines)
+	return Utilization{
+		Arch:    Config{TxValidators: txValidators, VSCCEngines: vsccEngines}.archName(),
+		Engines: engines,
+		LUTPct:  lutBase + lutPerEngine*float64(engines),
+		FFPct:   ffBase + ffPerEngine*float64(engines),
+		BRAMPct: bramFlat,
+		GTPct:   gtFlat,
+		BUFGPct: bufgFlat,
+		MMCMPct: mmcmFlat,
+		PCIePct: pcieFlat,
+	}
+}
+
+// FitsU250 reports whether the architecture fits the Alveo U250 (every
+// modeled resource under 100%).
+func (u Utilization) FitsU250() bool {
+	return u.LUTPct < 100 && u.FFPct < 100 && u.BRAMPct < 100
+}
+
+func (c Config) archName() string {
+	return strconv.Itoa(c.TxValidators) + "x" + strconv.Itoa(c.VSCCEngines)
+}
+
+// String renders the architecture name, e.g. "8x2".
+func (c Config) String() string { return c.archName() }

@@ -1,0 +1,241 @@
+// Package ledger implements the disk-based block ledger: an append-only
+// block file plus an in-memory block index used for duplicate checking,
+// mirroring Fabric's file ledger + index database.
+//
+// The paper identifies ledger commit as I/O-bound (bottleneck 4) and keeps
+// it on the CPU, overlapped with hardware validation of the next block;
+// internal/peer implements that overlap on top of this package.
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bmac/internal/block"
+)
+
+var (
+	// ErrDuplicateBlock reports a commit of an already-committed number.
+	ErrDuplicateBlock = errors.New("ledger: duplicate block")
+	// ErrOutOfOrder reports a commit that skips a block number.
+	ErrOutOfOrder = errors.New("ledger: out-of-order block")
+	// ErrNotFound reports a read of an uncommitted block.
+	ErrNotFound = errors.New("ledger: block not found")
+	// ErrBrokenChain reports a previous-hash mismatch.
+	ErrBrokenChain = errors.New("ledger: previous hash mismatch")
+)
+
+// Ledger is an append-only block store. Safe for concurrent use; commits
+// are strictly sequential by block number, as in Fabric.
+type Ledger struct {
+	mu sync.Mutex
+
+	file   *os.File
+	w      *bufio.Writer
+	offset int64
+
+	index      map[uint64]indexEntry // block number -> file location
+	height     uint64                // next expected block number
+	lastHash   []byte                // header hash of the last block
+	commitHash []byte                // running commit hash chain
+
+	bytesWritten int64
+	syncEach     bool
+}
+
+type indexEntry struct {
+	offset int64
+	length int64
+}
+
+// Options configure a Ledger.
+type Options struct {
+	// SyncEachBlock fsyncs after every block, modeling a durability-first
+	// deployment. Off by default (Fabric also relies on buffered writes).
+	SyncEachBlock bool
+}
+
+// Open creates or opens a ledger in dir. An existing block file is replayed
+// to rebuild the index.
+func Open(dir string, opts Options) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger dir: %w", err)
+	}
+	path := filepath.Join(dir, "blockfile_000000")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open block file: %w", err)
+	}
+	l := &Ledger{
+		file:     f,
+		index:    make(map[uint64]indexEntry),
+		syncEach: opts.SyncEachBlock,
+	}
+	if err := l.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Discard any torn tail write left by a crash; otherwise stale bytes
+	// beyond the logical end could corrupt a later replay.
+	if info, err := f.Stat(); err == nil && info.Size() > l.offset {
+		if err := f.Truncate(l.offset); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(l.offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("seek to tail: %w", err)
+	}
+	l.w = bufio.NewWriterSize(f, 1<<20)
+	return l, nil
+}
+
+// replay scans the block file to rebuild the index, height and hash chain.
+func (l *Ledger) replay() error {
+	r := bufio.NewReader(l.file)
+	var off int64
+	var lenBuf [8]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn tail write; truncate logically
+			}
+			return fmt.Errorf("replay length: %w", err)
+		}
+		n := int64(binary.BigEndian.Uint64(lenBuf[:]))
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			break // torn write at tail
+		}
+		b, err := block.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("replay block at offset %d: %w", off, err)
+		}
+		l.index[b.Header.Number] = indexEntry{offset: off, length: 8 + n}
+		l.height = b.Header.Number + 1
+		l.lastHash = block.HeaderHash(&b.Header)
+		l.commitHash = b.Metadata.CommitHash
+		off += 8 + n
+	}
+	l.offset = off
+	return nil
+}
+
+// Height returns the next expected block number (== committed block count
+// when starting from genesis 0).
+func (l *Ledger) Height() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.height
+}
+
+// LastCommitHash returns the commit hash of the most recent block.
+func (l *Ledger) LastCommitHash() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.commitHash...)
+}
+
+// Commit appends a validated block. The block's metadata must already carry
+// its validation flags; Commit computes and stores the commit hash chain
+// value and enforces sequential numbering, duplicate detection (via the
+// block index) and previous-hash chaining.
+func (l *Ledger) Commit(b *block.Block) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	num := b.Header.Number
+	if _, dup := l.index[num]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateBlock, num)
+	}
+	if num != l.height {
+		return nil, fmt.Errorf("%w: got %d, expected %d", ErrOutOfOrder, num, l.height)
+	}
+	if l.height > 0 && !bytesEqual(b.Header.PreviousHash, l.lastHash) {
+		return nil, fmt.Errorf("%w at block %d", ErrBrokenChain, num)
+	}
+
+	b.Metadata.CommitHash = block.CommitHash(l.commitHash, b.Header.DataHash, b.Metadata.ValidationFlags)
+
+	data := block.Marshal(b)
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(data)))
+	if _, err := l.w.Write(lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("write block length: %w", err)
+	}
+	if _, err := l.w.Write(data); err != nil {
+		return nil, fmt.Errorf("write block: %w", err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return nil, fmt.Errorf("flush block: %w", err)
+	}
+	if l.syncEach {
+		if err := l.file.Sync(); err != nil {
+			return nil, fmt.Errorf("sync block file: %w", err)
+		}
+	}
+
+	l.index[num] = indexEntry{offset: l.offset, length: int64(8 + len(data))}
+	l.offset += int64(8 + len(data))
+	l.bytesWritten += int64(8 + len(data))
+	l.height = num + 1
+	l.lastHash = block.HeaderHash(&b.Header)
+	l.commitHash = b.Metadata.CommitHash
+	return l.commitHash, nil
+}
+
+// Get reads a committed block by number.
+func (l *Ledger) Get(num uint64) (*block.Block, error) {
+	l.mu.Lock()
+	entry, ok := l.index[num]
+	l.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+	}
+	buf := make([]byte, entry.length)
+	if _, err := l.file.ReadAt(buf, entry.offset); err != nil {
+		return nil, fmt.Errorf("read block %d: %w", num, err)
+	}
+	return block.Unmarshal(buf[8:])
+}
+
+// BytesWritten reports the cumulative bytes appended this session.
+func (l *Ledger) BytesWritten() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesWritten
+}
+
+// Close flushes and closes the block file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("flush on close: %w", err)
+		}
+	}
+	return l.file.Close()
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

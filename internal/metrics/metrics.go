@@ -1,0 +1,181 @@
+// Package metrics provides the measurement utilities used by the
+// experiment harness: latency samples with percentiles/CDFs and throughput
+// computation, matching how the paper reports block-level statistics
+// through Caliper (§4.1).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Samples collects duration observations.
+type Samples struct {
+	values []time.Duration
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Samples) Add(d time.Duration) {
+	s.values = append(s.values, d)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Samples) Len() int { return len(s.values) }
+
+func (s *Samples) ensureSorted() {
+	if !s.sorted {
+		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100).
+func (s *Samples) Percentile(p float64) time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	idx := int(p / 100 * float64(len(s.values)))
+	if idx >= len(s.values) {
+		idx = len(s.values) - 1
+	}
+	return s.values[idx]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Samples) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / time.Duration(len(s.values))
+}
+
+// Min and Max return the extremes.
+func (s *Samples) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max returns the largest observation.
+func (s *Samples) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// CDF returns the empirical CDF sampled at n evenly spaced fractions.
+func (s *Samples) CDF(n int) []CDFPoint {
+	if len(s.values) == 0 || n < 2 {
+		return nil
+	}
+	s.ensureSorted()
+	out := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(frac*float64(len(s.values))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{Value: s.values[idx], Fraction: frac})
+	}
+	return out
+}
+
+// Throughput converts a transaction count over a total duration into tps.
+func Throughput(txs int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(txs) / elapsed.Seconds()
+}
+
+// Table is a simple fixed-width text table used by the bench harness to
+// print figure/table rows.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FormatTPS renders a throughput with thousands separators, e.g. "38,400".
+func FormatTPS(tps float64) string {
+	n := int64(tps + 0.5)
+	if n < 1000 {
+		return fmt.Sprintf("%d", n)
+	}
+	var parts []string
+	for n > 0 {
+		if n >= 1000 {
+			parts = append([]string{fmt.Sprintf("%03d", n%1000)}, parts...)
+		} else {
+			parts = append([]string{fmt.Sprintf("%d", n%1000)}, parts...)
+		}
+		n /= 1000
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	var s Samples
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Percentile(50); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(95); got < 94*time.Millisecond || got > 97*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if s.Min() != time.Millisecond || s.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Mean() != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestEmptySamples(t *testing.T) {
+	var s Samples
+	if s.Percentile(95) != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty samples should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	var s Samples
+	for i := 100; i >= 1; i-- { // insert unsorted
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	cdf := s.CDF(20)
+	if len(cdf) != 20 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("cdf not monotonic at %d", i)
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Errorf("last fraction = %f", cdf[len(cdf)-1].Fraction)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Errorf("tps = %f", got)
+	}
+	if got := Throughput(500, 250*time.Millisecond); got != 2000 {
+		t.Errorf("tps = %f", got)
+	}
+	if Throughput(5, 0) != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Header: []string{"block size", "sw tps", "bmac tps"}}
+	tbl.AddRow("100", "3,900", "10,700")
+	tbl.AddRow("250", "5,600", "38,400")
+	out := tbl.String()
+	if !strings.Contains(out, "block size") || !strings.Contains(out, "38,400") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Errorf("table lines = %d", len(lines))
+	}
+}
+
+func TestFormatTPS(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{38400, "38,400"},
+		{68900.4, "68,900"},
+		{1234567, "1,234,567"},
+	}
+	for _, tt := range tests {
+		if got := FormatTPS(tt.in); got != tt.want {
+			t.Errorf("FormatTPS(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package orderer implements the ordering service: it batches submitted
+// transaction envelopes into blocks (block cutting by size or timeout),
+// establishes a total order through Raft consensus, signs each block, and
+// delivers it — through Gossip to software-only peers and through the BMac
+// protocol to hardware peers, exactly the dual path of paper §3.5 ("the
+// same orderer can send blocks to both software-only and BMac peers").
+package orderer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/identity"
+	"bmac/internal/raft"
+	"bmac/internal/wire"
+)
+
+// DeliverFunc receives each newly created block, in order. Hooks are where
+// the Gossip broadcaster and the BMac protocol sender attach.
+type DeliverFunc func(*block.Block) error
+
+// Config parameterizes the ordering service.
+type Config struct {
+	// BatchSize is the maximum number of transactions per block.
+	BatchSize int
+	// BatchTimeout cuts a partial batch after this delay.
+	BatchTimeout time.Duration
+	// Channel is the channel ID stamped on blocks.
+	Channel string
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.BatchSize == 0 {
+		out.BatchSize = 100
+	}
+	if out.BatchTimeout == 0 {
+		out.BatchTimeout = 100 * time.Millisecond
+	}
+	return out
+}
+
+// ErrStopped reports submission to a stopped orderer.
+var ErrStopped = errors.New("orderer: stopped")
+
+// Orderer is one ordering-service node.
+type Orderer struct {
+	cfg      Config
+	id       *identity.Identity
+	raftNode *raft.Node
+
+	mu       sync.Mutex
+	pending  []block.Envelope
+	delivery []DeliverFunc
+	height   uint64
+	prevHash []byte
+	blocks   int
+	txs      int
+
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates an orderer bound to a raft node and starts its batching and
+// delivery loops. The raft node must be started by the caller (it may be a
+// single-node "solo-like" cluster, as in the paper's experiments).
+func New(cfg Config, id *identity.Identity, raftNode *raft.Node) *Orderer {
+	o := &Orderer{
+		cfg:      cfg.withDefaults(),
+		id:       id,
+		raftNode: raftNode,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	o.wg.Add(2)
+	go o.cutLoop()
+	go o.applyLoop()
+	go func() {
+		o.wg.Wait()
+		close(o.done)
+	}()
+	return o
+}
+
+// OnDeliver registers a delivery hook, invoked for every created block in
+// order. Register hooks before submitting transactions.
+func (o *Orderer) OnDeliver(fn DeliverFunc) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.delivery = append(o.delivery, fn)
+}
+
+// Submit queues a transaction envelope for ordering.
+func (o *Orderer) Submit(env *block.Envelope) error {
+	select {
+	case <-o.stop:
+		return ErrStopped
+	default:
+	}
+	o.mu.Lock()
+	o.pending = append(o.pending, *env)
+	full := len(o.pending) >= o.cfg.BatchSize
+	o.mu.Unlock()
+	if full {
+		return o.cut()
+	}
+	return nil
+}
+
+// cut proposes the current batch to raft.
+func (o *Orderer) cut() error {
+	o.mu.Lock()
+	if len(o.pending) == 0 {
+		o.mu.Unlock()
+		return nil
+	}
+	batch := o.pending
+	o.pending = nil
+	o.mu.Unlock()
+
+	data := marshalBatch(batch)
+	if err := o.raftNode.Propose(data); err != nil {
+		// Not the leader (or stopped): requeue so a retry can succeed.
+		o.mu.Lock()
+		o.pending = append(batch, o.pending...)
+		o.mu.Unlock()
+		return fmt.Errorf("order batch: %w", err)
+	}
+	return nil
+}
+
+func (o *Orderer) cutLoop() {
+	defer o.wg.Done()
+	ticker := time.NewTicker(o.cfg.BatchTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-ticker.C:
+			// Timeout-based cut; ErrNotLeader is expected on followers.
+			if err := o.cut(); err != nil && !errors.Is(err, raft.ErrNotLeader) {
+				return
+			}
+		}
+	}
+}
+
+func (o *Orderer) applyLoop() {
+	defer o.wg.Done()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case entry := <-o.raftNode.Apply():
+			if err := o.createBlock(entry.Data); err != nil {
+				return // delivery hook failure is fatal for this node
+			}
+		}
+	}
+}
+
+// createBlock turns one committed raft entry (a batch) into the next block.
+func (o *Orderer) createBlock(batchData []byte) error {
+	envs, err := unmarshalBatch(batchData)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	num := o.height
+	prev := o.prevHash
+	o.mu.Unlock()
+
+	b, err := block.NewBlock(num, prev, envs, o.id)
+	if err != nil {
+		return fmt.Errorf("create block %d: %w", num, err)
+	}
+
+	o.mu.Lock()
+	o.height = num + 1
+	o.prevHash = block.HeaderHash(&b.Header)
+	o.blocks++
+	o.txs += len(envs)
+	hooks := make([]DeliverFunc, len(o.delivery))
+	copy(hooks, o.delivery)
+	o.mu.Unlock()
+
+	for _, fn := range hooks {
+		if err := fn(b); err != nil {
+			return fmt.Errorf("deliver block %d: %w", num, err)
+		}
+	}
+	return nil
+}
+
+// Stats reports blocks and transactions ordered by this node.
+func (o *Orderer) Stats() (blocks, txs int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.blocks, o.txs
+}
+
+// Height returns the number of blocks created.
+func (o *Orderer) Height() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.height
+}
+
+// Stop shuts the orderer down (the raft node is stopped separately).
+func (o *Orderer) Stop() {
+	select {
+	case <-o.stop:
+		return
+	default:
+	}
+	close(o.stop)
+	<-o.done
+}
+
+// marshalBatch encodes envelopes as repeated length-delimited fields.
+func marshalBatch(envs []block.Envelope) []byte {
+	var out []byte
+	for i := range envs {
+		out = wire.AppendBytesAlways(out, 1, block.MarshalEnvelope(&envs[i]))
+	}
+	return out
+}
+
+func unmarshalBatch(data []byte) ([]block.Envelope, error) {
+	var envs []block.Envelope
+	r := wire.NewReader(data)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		if num != 1 {
+			r.Skip(wt)
+			continue
+		}
+		env, err := block.UnmarshalEnvelope(r.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, *env)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("orderer: batch decode: %w", err)
+	}
+	return envs, nil
+}

@@ -1,0 +1,266 @@
+package orderer
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/identity"
+	"bmac/internal/raft"
+)
+
+type fixture struct {
+	net     *identity.Network
+	client  *identity.Identity
+	ordID   *identity.Identity
+	cluster *raft.Cluster
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	n := identity.NewNetwork()
+	if _, err := n.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	client, err := n.NewIdentity("Org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordID, err := n.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := raft.NewCluster(1, 20*time.Millisecond)
+	if c.WaitForLeader(3*time.Second) == nil {
+		t.Fatal("raft leader never elected")
+	}
+	t.Cleanup(c.Stop)
+	return &fixture{net: n, client: client, ordID: ordID, cluster: c}
+}
+
+func (f *fixture) envelope(t *testing.T) *block.Envelope {
+	t.Helper()
+	env, err := block.NewEndorsedEnvelope(block.TxSpec{
+		Creator: f.client, Chaincode: "cc", Channel: "ch",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// collector gathers delivered blocks.
+type collector struct {
+	mu     sync.Mutex
+	blocks []*block.Block
+	ch     chan *block.Block
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan *block.Block, 64)}
+}
+
+func (c *collector) deliver(b *block.Block) error {
+	c.mu.Lock()
+	c.blocks = append(c.blocks, b)
+	c.mu.Unlock()
+	c.ch <- b
+	return nil
+}
+
+func (c *collector) wait(t *testing.T, n int, timeout time.Duration) []*block.Block {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		c.mu.Lock()
+		if len(c.blocks) >= n {
+			out := append([]*block.Block(nil), c.blocks...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.ch:
+		case <-deadline:
+			c.mu.Lock()
+			got := len(c.blocks)
+			c.mu.Unlock()
+			t.Fatalf("timed out with %d/%d blocks", got, n)
+		}
+	}
+}
+
+func TestBatchSizeCut(t *testing.T) {
+	f := newFixture(t)
+	col := newCollector()
+	o := New(Config{BatchSize: 3, BatchTimeout: time.Hour, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	defer o.Stop()
+	o.OnDeliver(col.deliver)
+
+	for i := 0; i < 6; i++ {
+		if err := o.Submit(f.envelope(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := col.wait(t, 2, 5*time.Second)
+	if len(blocks[0].Envelopes) != 3 || len(blocks[1].Envelopes) != 3 {
+		t.Errorf("block sizes = %d, %d; want 3, 3", len(blocks[0].Envelopes), len(blocks[1].Envelopes))
+	}
+}
+
+func TestBatchTimeoutCut(t *testing.T) {
+	f := newFixture(t)
+	col := newCollector()
+	o := New(Config{BatchSize: 100, BatchTimeout: 20 * time.Millisecond, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	defer o.Stop()
+	o.OnDeliver(col.deliver)
+
+	if err := o.Submit(f.envelope(t)); err != nil {
+		t.Fatal(err)
+	}
+	blocks := col.wait(t, 1, 5*time.Second)
+	if len(blocks[0].Envelopes) != 1 {
+		t.Errorf("partial batch size = %d, want 1", len(blocks[0].Envelopes))
+	}
+}
+
+func TestBlocksChainAndVerify(t *testing.T) {
+	f := newFixture(t)
+	col := newCollector()
+	o := New(Config{BatchSize: 2, BatchTimeout: time.Hour, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	defer o.Stop()
+	o.OnDeliver(col.deliver)
+
+	for i := 0; i < 6; i++ {
+		if err := o.Submit(f.envelope(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := col.wait(t, 3, 5*time.Second)
+	for i, b := range blocks {
+		if b.Header.Number != uint64(i) {
+			t.Errorf("block %d numbered %d", i, b.Header.Number)
+		}
+		if err := block.VerifyOrdererSignature(b); err != nil {
+			t.Errorf("block %d signature: %v", i, err)
+		}
+		if i > 0 {
+			prev := block.HeaderHash(&blocks[i-1].Header)
+			if string(b.Header.PreviousHash) != string(prev) {
+				t.Errorf("block %d previous hash broken", i)
+			}
+		}
+	}
+	nb, ntx := o.Stats()
+	if nb != 3 || ntx != 6 {
+		t.Errorf("stats = %d blocks / %d txs", nb, ntx)
+	}
+	if o.Height() != 3 {
+		t.Errorf("height = %d", o.Height())
+	}
+}
+
+func TestMultipleDeliveryHooks(t *testing.T) {
+	f := newFixture(t)
+	c1, c2 := newCollector(), newCollector()
+	o := New(Config{BatchSize: 1, BatchTimeout: time.Hour, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	defer o.Stop()
+	o.OnDeliver(c1.deliver)
+	o.OnDeliver(c2.deliver)
+	if err := o.Submit(f.envelope(t)); err != nil {
+		t.Fatal(err)
+	}
+	c1.wait(t, 1, 5*time.Second)
+	c2.wait(t, 1, 5*time.Second)
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	f := newFixture(t)
+	o := New(Config{BatchSize: 1}, f.ordID, f.cluster.Nodes[0])
+	o.Stop()
+	if err := o.Submit(f.envelope(t)); err == nil {
+		t.Error("expected error after stop")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	envs := []block.Envelope{*f.envelope(t), *f.envelope(t)}
+	got, err := unmarshalBatch(marshalBatch(envs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batch round trip = %d envelopes", len(got))
+	}
+	for i := range envs {
+		if string(got[i].PayloadBytes) != string(envs[i].PayloadBytes) {
+			t.Errorf("envelope %d payload mismatch", i)
+		}
+	}
+}
+
+func TestRaftOrderingAcrossThreeOrderers(t *testing.T) {
+	// Multi-node ordering service: blocks are created identically on every
+	// node because Raft totally orders the batches.
+	n := identity.NewNetwork()
+	if _, err := n.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	client, err := n.NewIdentity("Org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := raft.NewCluster(3, 25*time.Millisecond)
+	defer c.Stop()
+	leaderNode := c.WaitForLeader(3 * time.Second)
+	if leaderNode == nil {
+		t.Fatal("no leader")
+	}
+
+	var orderers []*Orderer
+	var cols []*collector
+	for i := 0; i < 3; i++ {
+		ordID, err := n.NewIdentity("Org1", identity.RoleOrderer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := newCollector()
+		o := New(Config{BatchSize: 2, BatchTimeout: time.Hour, Channel: "ch"}, ordID, c.Nodes[i])
+		o.OnDeliver(col.deliver)
+		orderers = append(orderers, o)
+		cols = append(cols, col)
+		defer o.Stop()
+	}
+	// Submit through the orderer bound to the raft leader.
+	var leaderOrd *Orderer
+	for i, node := range c.Nodes {
+		if node == leaderNode {
+			leaderOrd = orderers[i]
+		}
+	}
+	env, err := block.NewEndorsedEnvelope(block.TxSpec{Creator: client, Chaincode: "cc", Channel: "ch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := leaderOrd.Submit(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every orderer creates the same sequence of blocks (same data hash).
+	var ref []*block.Block
+	for i, col := range cols {
+		blocks := col.wait(t, 2, 5*time.Second)
+		if i == 0 {
+			ref = blocks
+			continue
+		}
+		for j := range ref {
+			if string(blocks[j].Header.DataHash) != string(ref[j].Header.DataHash) {
+				t.Errorf("orderer %d block %d data hash diverges", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package policy implements chaincode endorsement policies: the boolean
+// expressions over organizations that decide whether a transaction gathered
+// enough valid endorsements ("Org1 & Org2", "2-outof-3 orgs", or arbitrary
+// OR-of-AND forms).
+//
+// Two evaluation strategies are provided, mirroring the two systems the
+// paper compares:
+//
+//   - The software evaluator reproduces Fabric's behaviour: every
+//     endorsement of a transaction is signature-verified regardless of the
+//     policy, and sub-expressions are evaluated sequentially (Section 4.3:
+//     "Fabric always verifies all the endorsements of a transaction,
+//     irrespective of the policy", and complex policies "evaluate all
+//     sub-expressions sequentially").
+//
+//   - The Circuit evaluator reproduces the hardware
+//     ends_policy_evaluator: the policy is compiled into a combinational
+//     circuit over a register file (one register per organization, one bit
+//     per role), evaluated in parallel in a single step, enabling the
+//     ends_scheduler's short-circuit evaluation that skips unnecessary
+//     endorsement verifications.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bmac/internal/identity"
+)
+
+// Expr is a node of an endorsement policy expression tree.
+type Expr interface {
+	// String renders the canonical textual form of the expression.
+	String() string
+	// eval reports whether the expression is satisfied by the set of
+	// (org, role) endorsements marked valid in the register file.
+	eval(rf *RegisterFile) bool
+	// gates accumulates the AND/OR gate counts of the compiled circuit.
+	gates(g *GateCount)
+	// orgs accumulates the set of organizations referenced.
+	orgs(set map[uint8]bool)
+}
+
+// OrgRef is a leaf: an endorsement by a specific organization (peer role,
+// as in the paper's examples).
+type OrgRef struct {
+	Org  uint8
+	Role identity.Role
+}
+
+// String implements Expr.
+func (o OrgRef) String() string { return fmt.Sprintf("Org%d", o.Org) }
+
+func (o OrgRef) eval(rf *RegisterFile) bool { return rf.Get(o.Org, o.Role) }
+
+func (o OrgRef) gates(g *GateCount) { g.Inputs++ }
+
+func (o OrgRef) orgs(set map[uint8]bool) { set[o.Org] = true }
+
+// And requires all children to be satisfied.
+type And struct{ Children []Expr }
+
+// String implements Expr.
+func (a And) String() string { return joinExprs(a.Children, " & ") }
+
+func (a And) eval(rf *RegisterFile) bool {
+	// Deliberately no short-circuit: evaluate every child, then combine.
+	// The software path models Fabric's exhaustive evaluation; hardware
+	// combinational circuits also evaluate all inputs in parallel.
+	ok := true
+	for _, c := range a.Children {
+		if !c.eval(rf) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+func (a And) gates(g *GateCount) {
+	if len(a.Children) > 1 {
+		g.AndGates++
+		g.AndInputs += len(a.Children)
+	}
+	for _, c := range a.Children {
+		c.gates(g)
+	}
+}
+
+func (a And) orgs(set map[uint8]bool) {
+	for _, c := range a.Children {
+		c.orgs(set)
+	}
+}
+
+// Or requires at least one child to be satisfied.
+type Or struct{ Children []Expr }
+
+// String implements Expr.
+func (o Or) String() string { return joinExprs(o.Children, " | ") }
+
+func (o Or) eval(rf *RegisterFile) bool {
+	ok := false
+	for _, c := range o.Children {
+		if c.eval(rf) {
+			ok = true
+		}
+	}
+	return ok
+}
+
+func (o Or) gates(g *GateCount) {
+	if len(o.Children) > 1 {
+		g.OrGates++
+		g.OrInputs += len(o.Children)
+	}
+	for _, c := range o.Children {
+		c.gates(g)
+	}
+}
+
+func (o Or) orgs(set map[uint8]bool) {
+	for _, c := range o.Children {
+		c.orgs(set)
+	}
+}
+
+func joinExprs(children []Expr, sep string) string {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		s := c.String()
+		if strings.ContainsAny(s, "&|") {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, sep)
+}
+
+// GateCount tallies the combinational circuit footprint of a compiled
+// policy; feeds the FPGA resource model in internal/hwsim.
+type GateCount struct {
+	AndGates  int
+	AndInputs int
+	OrGates   int
+	OrInputs  int
+	Inputs    int
+}
+
+// RegisterFile is the hardware register file of the ends_policy_evaluator:
+// one register per organization, one bit per predefined role. It records
+// which endorsements have verified successfully so far for the transaction
+// currently in a tx_vscc instance.
+type RegisterFile struct {
+	regs [256]uint8 // index: org number; bit index: role
+}
+
+// Clear resets every register; called by tx_vscc when a new transaction starts.
+func (rf *RegisterFile) Clear() { rf.regs = [256]uint8{} }
+
+// Set records a valid endorsement from (org, role).
+func (rf *RegisterFile) Set(org uint8, role identity.Role) {
+	rf.regs[org] |= 1 << (uint8(role) - 1)
+}
+
+// SetID records a valid endorsement from an encoded identity.
+func (rf *RegisterFile) SetID(id identity.EncodedID) {
+	rf.Set(id.Org(), id.Role())
+}
+
+// Get reports whether a valid endorsement from (org, role) was recorded.
+func (rf *RegisterFile) Get(org uint8, role identity.Role) bool {
+	return rf.regs[org]&(1<<(uint8(role)-1)) != 0
+}
+
+// Policy is a parsed endorsement policy.
+type Policy struct {
+	Name string // textual source, e.g. "2of3"
+	Expr Expr
+}
+
+// ErrParse reports a syntactically invalid policy string.
+var ErrParse = errors.New("policy: parse error")
+
+// Parse parses a policy expression. Grammar:
+//
+//	expr   := term ('|' term)*
+//	term   := factor ('&' factor)*
+//	factor := '(' expr ')' | ORG | OUTOF
+//	ORG    := "Org" N [ "." ROLE ]
+//	OUTOF  := N ("-outof-" | "of") M ["orgs"]   e.g. "2-outof-3 orgs", "2of3"
+//
+// An OUTOF form expands to the OR of all M-choose-N AND combinations over
+// Org1..OrgM (peer role), exactly how the paper describes "2-outof-3 orgs"
+// compiling to "(Org1 & Org2) | (Org1 & Org3) | (Org2 & Org3)".
+func Parse(src string) (*Policy, error) {
+	p := &parser{src: src, toks: tokenize(src)}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: trailing input %q in %q", ErrParse, p.toks[p.pos], src)
+	}
+	return &Policy{Name: src, Expr: expr}, nil
+}
+
+// MustParse is Parse for statically known policies; panics on error.
+func MustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Orgs returns the sorted set of organization numbers referenced.
+func (p *Policy) Orgs() []uint8 {
+	set := make(map[uint8]bool)
+	p.Expr.orgs(set)
+	out := make([]uint8, 0, len(set))
+	for o := byte(1); o != 0; o++ { // 1..255 in order
+		if set[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// MaxEndorsements returns the number of distinct orgs referenced — the
+// number of endorsements a client gathers for a transaction under this
+// policy (one per referenced org, as in the paper's experiments).
+func (p *Policy) MaxEndorsements() int { return len(p.Orgs()) }
+
+// Gates returns the combinational circuit footprint.
+func (p *Policy) Gates() GateCount {
+	var g GateCount
+	p.Expr.gates(&g)
+	return g
+}
+
+// EvalSequential is the Fabric-style evaluation: walk the whole expression
+// tree with no short-circuit. validOrgs maps org number -> role bits of
+// valid endorsements.
+func (p *Policy) EvalSequential(rf *RegisterFile) bool {
+	return p.Expr.eval(rf)
+}
+
+// Circuit is the compiled hardware evaluator for one chaincode's policy.
+// Evaluate is a single-cycle combinational read of the register file.
+type Circuit struct {
+	policy *Policy
+	gates  GateCount
+}
+
+// Compile builds the combinational circuit for a policy; in hardware this
+// is the generated ends_policy_evaluator module for one cc_id.
+func Compile(p *Policy) *Circuit {
+	return &Circuit{policy: p, gates: p.Gates()}
+}
+
+// Evaluate reports whether the policy output is currently high given the
+// register file contents. Combinational: conceptually all sub-expressions
+// evaluate in parallel.
+func (c *Circuit) Evaluate(rf *RegisterFile) bool {
+	return c.policy.Expr.eval(rf)
+}
+
+// Gates returns the circuit's gate counts.
+func (c *Circuit) Gates() GateCount { return c.gates }
+
+// Policy returns the source policy.
+func (c *Circuit) Policy() *Policy { return c.policy }
+
+// CanStillSatisfy reports whether the policy could still become satisfied
+// if every org in `remaining` later produced a valid endorsement. The
+// ends_scheduler uses this for the invalidity short-circuit: once false,
+// the transaction is invalid and remaining endorsements are discarded.
+func (c *Circuit) CanStillSatisfy(rf *RegisterFile, remaining []identity.EncodedID) bool {
+	// Evaluate optimistically: copy the register file and set all
+	// remaining endorsers' bits.
+	opt := *rf
+	for _, id := range remaining {
+		opt.SetID(id)
+	}
+	return c.policy.Expr.eval(&opt)
+}
+
+// --- parser ---
+
+type parser struct {
+	src  string
+	toks []string
+	pos  int
+}
+
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '&' || c == '|':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n()&|", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	first, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{first}
+	for p.peek() == "|" {
+		p.next()
+		c, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, c)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return Or{Children: children}, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	first, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{first}
+	for p.peek() == "&" {
+		p.next()
+		c, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, c)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return And{Children: children}, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	tok := p.next()
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("%w: unexpected end of input in %q", ErrParse, p.src)
+	case tok == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("%w: missing ')' in %q", ErrParse, p.src)
+		}
+		return e, nil
+	case strings.HasPrefix(strings.ToLower(tok), "org"):
+		return parseOrgRef(tok)
+	default:
+		return p.parseOutOf(tok)
+	}
+}
+
+func parseOrgRef(tok string) (Expr, error) {
+	rest := tok[3:]
+	role := identity.RolePeer
+	if dot := strings.IndexByte(rest, '.'); dot >= 0 {
+		switch strings.ToLower(rest[dot+1:]) {
+		case "peer":
+			role = identity.RolePeer
+		case "admin":
+			role = identity.RoleAdmin
+		case "orderer":
+			role = identity.RoleOrderer
+		case "client":
+			role = identity.RoleClient
+		default:
+			return nil, fmt.Errorf("%w: unknown role in %q", ErrParse, tok)
+		}
+		rest = rest[:dot]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 || n > 255 {
+		return nil, fmt.Errorf("%w: bad org reference %q", ErrParse, tok)
+	}
+	return OrgRef{Org: uint8(n), Role: role}, nil
+}
+
+// parseOutOf handles "2-outof-3", "2of3", and "2-outof-3 orgs" (the "orgs"
+// suffix arrives as the following token and is consumed if present).
+func (p *parser) parseOutOf(tok string) (Expr, error) {
+	lower := strings.ToLower(tok)
+	var kStr, mStr string
+	switch {
+	case strings.Contains(lower, "-outof-"):
+		parts := strings.SplitN(lower, "-outof-", 2)
+		kStr, mStr = parts[0], parts[1]
+	case strings.Contains(lower, "of"):
+		parts := strings.SplitN(lower, "of", 2)
+		kStr, mStr = parts[0], parts[1]
+	default:
+		return nil, fmt.Errorf("%w: unrecognized token %q", ErrParse, tok)
+	}
+	k, err1 := strconv.Atoi(kStr)
+	m, err2 := strconv.Atoi(mStr)
+	if err1 != nil || err2 != nil || k < 1 || m < k || m > 16 {
+		return nil, fmt.Errorf("%w: bad out-of form %q", ErrParse, tok)
+	}
+	if strings.EqualFold(p.peek(), "orgs") {
+		p.next()
+	}
+	return expandOutOf(k, m), nil
+}
+
+// expandOutOf builds the OR of all C(m,k) AND terms over Org1..Orgm.
+func expandOutOf(k, m int) Expr {
+	var terms []Expr
+	combo := make([]uint8, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(combo) == k {
+			refs := make([]Expr, k)
+			for i, o := range combo {
+				refs[i] = OrgRef{Org: o, Role: identity.RolePeer}
+			}
+			if k == 1 {
+				terms = append(terms, refs[0])
+			} else {
+				terms = append(terms, And{Children: refs})
+			}
+			return
+		}
+		for o := start; o <= m; o++ {
+			combo = append(combo, uint8(o))
+			rec(o + 1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	rec(1)
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return Or{Children: terms}
+}

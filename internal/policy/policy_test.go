@@ -1,0 +1,251 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bmac/internal/identity"
+)
+
+func rfWith(orgs ...uint8) *RegisterFile {
+	var rf RegisterFile
+	for _, o := range orgs {
+		rf.Set(o, identity.RolePeer)
+	}
+	return &rf
+}
+
+func TestParseSimpleAnd(t *testing.T) {
+	p, err := Parse("Org1 & Org2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.EvalSequential(rfWith(1, 2)) {
+		t.Error("both orgs should satisfy")
+	}
+	if p.EvalSequential(rfWith(1)) {
+		t.Error("one org should not satisfy AND")
+	}
+	if got := p.MaxEndorsements(); got != 2 {
+		t.Errorf("MaxEndorsements = %d, want 2", got)
+	}
+}
+
+func TestParseOutOfForms(t *testing.T) {
+	for _, src := range []string{"2-outof-3", "2of3", "2-outof-3 orgs"} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if want := "(Org1 & Org2) | (Org1 & Org3) | (Org2 & Org3)"; p.Expr.String() != want {
+			t.Errorf("Parse(%q) = %q, want %q", src, p.Expr.String(), want)
+		}
+	}
+}
+
+func TestOutOfSemantics(t *testing.T) {
+	p := MustParse("2of3")
+	tests := []struct {
+		orgs []uint8
+		want bool
+	}{
+		{nil, false},
+		{[]uint8{1}, false},
+		{[]uint8{1, 2}, true},
+		{[]uint8{2, 3}, true},
+		{[]uint8{1, 3}, true},
+		{[]uint8{1, 2, 3}, true},
+		{[]uint8{4, 5}, false},
+	}
+	for _, tt := range tests {
+		if got := p.EvalSequential(rfWith(tt.orgs...)); got != tt.want {
+			t.Errorf("2of3 with orgs %v = %v, want %v", tt.orgs, got, tt.want)
+		}
+	}
+}
+
+func TestOneOfOne(t *testing.T) {
+	p := MustParse("1of1")
+	if !p.EvalSequential(rfWith(1)) || p.EvalSequential(rfWith(2)) {
+		t.Error("1of1 semantics wrong")
+	}
+	if p.MaxEndorsements() != 1 {
+		t.Errorf("MaxEndorsements = %d", p.MaxEndorsements())
+	}
+}
+
+func TestComplexPaperPolicy(t *testing.T) {
+	// The "almost but not exactly 2of4" policy from Section 4.3.
+	src := "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Org1 & Org3 is the one pair missing from the policy.
+	if p.EvalSequential(rfWith(1, 3)) {
+		t.Error("Org1&Org3 must NOT satisfy the complex policy")
+	}
+	for _, pair := range [][]uint8{{1, 2}, {1, 4}, {2, 3}, {2, 4}, {3, 4}} {
+		if !p.EvalSequential(rfWith(pair...)) {
+			t.Errorf("pair %v must satisfy", pair)
+		}
+	}
+	if p.MaxEndorsements() != 4 {
+		t.Errorf("MaxEndorsements = %d, want 4", p.MaxEndorsements())
+	}
+}
+
+func TestRoleQualifiedRefs(t *testing.T) {
+	p, err := Parse("Org1.Admin & Org2.Peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf RegisterFile
+	rf.Set(1, identity.RoleAdmin)
+	rf.Set(2, identity.RolePeer)
+	if !p.EvalSequential(&rf) {
+		t.Error("role-qualified refs should match")
+	}
+	rf.Clear()
+	rf.Set(1, identity.RolePeer) // wrong role
+	rf.Set(2, identity.RolePeer)
+	if p.EvalSequential(&rf) {
+		t.Error("peer endorsement must not satisfy an Admin requirement")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "Org1 &", "& Org1", "(Org1", "Org1)", "Orgx", "0of3", "3of2",
+		"Org1 Org2", "bogus", "Org1.king",
+	} {
+		if _, err := Parse(src); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) err = %v, want ErrParse", src, err)
+		}
+	}
+}
+
+func TestGateCounts(t *testing.T) {
+	// "2-outof-3 orgs" = three 2-input ANDs and one 3-input OR (paper §3.3).
+	p := MustParse("2of3")
+	g := p.Gates()
+	if g.AndGates != 3 || g.AndInputs != 6 {
+		t.Errorf("AND gates = %d/%d inputs, want 3/6", g.AndGates, g.AndInputs)
+	}
+	if g.OrGates != 1 || g.OrInputs != 3 {
+		t.Errorf("OR gates = %d/%d inputs, want 1/3", g.OrGates, g.OrInputs)
+	}
+	if g.Inputs != 6 {
+		t.Errorf("leaf inputs = %d, want 6", g.Inputs)
+	}
+}
+
+func TestCircuitMatchesSequential(t *testing.T) {
+	policies := []string{
+		"1of1", "2of2", "3of3", "2of3", "2of4", "3of4", "4of4",
+		"(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)",
+	}
+	for _, src := range policies {
+		p := MustParse(src)
+		c := Compile(p)
+		// Exhaustively compare on all subsets of orgs 1..4.
+		for mask := 0; mask < 16; mask++ {
+			var orgs []uint8
+			for b := 0; b < 4; b++ {
+				if mask&(1<<b) != 0 {
+					orgs = append(orgs, uint8(b+1))
+				}
+			}
+			rf := rfWith(orgs...)
+			if c.Evaluate(rf) != p.EvalSequential(rf) {
+				t.Errorf("policy %q mask %04b: circuit != sequential", src, mask)
+			}
+		}
+	}
+}
+
+func TestCanStillSatisfy(t *testing.T) {
+	c := Compile(MustParse("3of3"))
+	var rf RegisterFile
+	// Org1's endorsement failed (never set); Org2, Org3 remain.
+	remaining := []identity.EncodedID{
+		identity.Encode(2, identity.RolePeer, 0),
+		identity.Encode(3, identity.RolePeer, 0),
+	}
+	if c.CanStillSatisfy(&rf, remaining) {
+		t.Error("3of3 with Org1 failed can never satisfy")
+	}
+
+	c2 := Compile(MustParse("2of3"))
+	if !c2.CanStillSatisfy(&rf, remaining) {
+		t.Error("2of3 with Org2,Org3 remaining can still satisfy")
+	}
+}
+
+func TestCanStillSatisfyDoesNotMutate(t *testing.T) {
+	c := Compile(MustParse("2of2"))
+	var rf RegisterFile
+	rf.Set(1, identity.RolePeer)
+	c.CanStillSatisfy(&rf, []identity.EncodedID{identity.Encode(2, identity.RolePeer, 0)})
+	if rf.Get(2, identity.RolePeer) {
+		t.Error("CanStillSatisfy mutated the register file")
+	}
+	if c.Evaluate(&rf) {
+		t.Error("policy must not be satisfied with only Org1")
+	}
+}
+
+func TestRegisterFileClear(t *testing.T) {
+	var rf RegisterFile
+	rf.Set(3, identity.RolePeer)
+	rf.SetID(identity.Encode(4, identity.RoleAdmin, 2))
+	if !rf.Get(3, identity.RolePeer) || !rf.Get(4, identity.RoleAdmin) {
+		t.Fatal("set/get broken")
+	}
+	rf.Clear()
+	if rf.Get(3, identity.RolePeer) || rf.Get(4, identity.RoleAdmin) {
+		t.Error("clear did not reset registers")
+	}
+}
+
+// TestOutOfEquivalentToThreshold property-checks the expansion: k-of-m is
+// satisfied exactly when >= k of Org1..Orgm endorsed.
+func TestOutOfEquivalentToThreshold(t *testing.T) {
+	f := func(kRaw, mRaw, maskRaw uint8) bool {
+		m := int(mRaw%5) + 1 // 1..5
+		k := int(kRaw)%m + 1 // 1..m
+		mask := int(maskRaw) & (1<<m - 1)
+		p := expandOutOf(k, m)
+		var rf RegisterFile
+		count := 0
+		for b := 0; b < m; b++ {
+			if mask&(1<<b) != 0 {
+				rf.Set(uint8(b+1), identity.RolePeer)
+				count++
+			}
+		}
+		return p.eval(&rf) == (count >= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSequentialEval(b *testing.B) {
+	p := MustParse("(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)")
+	rf := rfWith(3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EvalSequential(rf)
+	}
+}
+
+func BenchmarkCircuitEval(b *testing.B) {
+	c := Compile(MustParse("2of4"))
+	rf := rfWith(2, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Evaluate(rf)
+	}
+}

@@ -1,0 +1,130 @@
+package statedb
+
+import (
+	"container/list"
+	"sync"
+
+	"bmac/internal/block"
+)
+
+// HybridKVS implements the paper's §5 database-scaling proposal: "use the
+// in-hardware database for a small amount of actively accessed data, while
+// keeping a persistent database on the host CPU". It is a fixed-capacity
+// LRU cache (the BRAM/URAM budget) in front of a software Store (the host
+// database reached over PCIe); reads miss to the host, writes go through
+// to both, evictions are clean (the host always has the latest value).
+//
+// The paper argues the added host-access latency in tx_mvcc_commit stays
+// hidden under the vscc stage; internal/hwsim models that latency and the
+// Figure 12c experiment demonstrates the hiding.
+type HybridKVS struct {
+	mu       sync.Mutex
+	capacity int
+	cache    map[string]*list.Element
+	order    *list.List // front = most recently used
+	host     *Store
+
+	hits       int
+	misses     int
+	evictions  int
+	hostReads  int
+	hostWrites int
+}
+
+type hybridEntry struct {
+	key string
+	val VersionedValue
+}
+
+// NewHybridKVS creates a hybrid database with the given in-hardware entry
+// capacity backed by host.
+func NewHybridKVS(capacity int, host *Store) *HybridKVS {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HybridKVS{
+		capacity: capacity,
+		cache:    make(map[string]*list.Element, capacity),
+		order:    list.New(),
+		host:     host,
+	}
+}
+
+// Read returns the versioned value for key, consulting the hardware cache
+// first and the host store on a miss (promoting the entry).
+func (h *HybridKVS) Read(key string) (VersionedValue, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if el, ok := h.cache[key]; ok {
+		h.hits++
+		h.order.MoveToFront(el)
+		return el.Value.(*hybridEntry).val, true
+	}
+	h.misses++
+	h.hostReads++
+	v, err := h.host.Get(key)
+	if err != nil {
+		return VersionedValue{}, false
+	}
+	h.insertLocked(key, v)
+	return v, true
+}
+
+// Version returns the current version of key.
+func (h *HybridKVS) Version(key string) (block.Version, bool) {
+	v, ok := h.Read(key)
+	return v.Version, ok
+}
+
+// Write stores value in both the cache and the host store. Unlike the pure
+// HardwareKVS, a hybrid database never rejects for capacity: it evicts.
+func (h *HybridKVS) Write(key string, value []byte, ver block.Version) error {
+	val := make([]byte, len(value))
+	copy(val, value)
+	vv := VersionedValue{Value: val, Version: ver}
+
+	h.mu.Lock()
+	if el, ok := h.cache[key]; ok {
+		el.Value.(*hybridEntry).val = vv
+		h.order.MoveToFront(el)
+	} else {
+		h.insertLocked(key, vv)
+	}
+	h.hostWrites++
+	h.mu.Unlock()
+
+	h.host.Put(key, value, ver)
+	return nil
+}
+
+// insertLocked adds an entry, evicting the LRU entry when full.
+func (h *HybridKVS) insertLocked(key string, vv VersionedValue) {
+	if len(h.cache) >= h.capacity {
+		back := h.order.Back()
+		if back != nil {
+			h.order.Remove(back)
+			delete(h.cache, back.Value.(*hybridEntry).key)
+			h.evictions++
+		}
+	}
+	h.cache[key] = h.order.PushFront(&hybridEntry{key: key, val: vv})
+}
+
+// CacheLen reports the number of entries resident in hardware.
+func (h *HybridKVS) CacheLen() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.cache)
+}
+
+// Stats reports cache behaviour.
+func (h *HybridKVS) Stats() (hits, misses, evictions, hostReads, hostWrites int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits, h.misses, h.evictions, h.hostReads, h.hostWrites
+}
+
+// Snapshot returns the authoritative (host) contents.
+func (h *HybridKVS) Snapshot() map[string]VersionedValue {
+	return h.host.Snapshot()
+}

@@ -1,0 +1,140 @@
+package statedb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bmac/internal/block"
+)
+
+func TestHybridReadThroughAndPromotion(t *testing.T) {
+	host := NewStore()
+	host.Put("k", []byte("v"), block.Version{BlockNum: 2})
+	h := NewHybridKVS(4, host)
+
+	v, ok := h.Read("k") // miss -> host
+	if !ok || string(v.Value) != "v" {
+		t.Fatalf("read = %+v, %v", v, ok)
+	}
+	if _, ok := h.Read("k"); !ok { // now a hit
+		t.Fatal("promoted entry missing")
+	}
+	hits, misses, _, hostReads, _ := h.Stats()
+	if hits != 1 || misses != 1 || hostReads != 1 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, hostReads)
+	}
+}
+
+func TestHybridEviction(t *testing.T) {
+	host := NewStore()
+	h := NewHybridKVS(2, host)
+	for i := 0; i < 5; i++ {
+		if err := h.Write(fmt.Sprintf("k%d", i), []byte{byte(i)}, block.Version{BlockNum: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.CacheLen() != 2 {
+		t.Errorf("cache len = %d, want 2", h.CacheLen())
+	}
+	_, _, evictions, _, _ := h.Stats()
+	if evictions != 3 {
+		t.Errorf("evictions = %d, want 3", evictions)
+	}
+	// Evicted keys are still readable (from the host), with correct versions.
+	for i := 0; i < 5; i++ {
+		v, ok := h.Read(fmt.Sprintf("k%d", i))
+		if !ok || v.Version.BlockNum != uint64(i) {
+			t.Errorf("k%d after eviction: %+v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestHybridLRUOrder(t *testing.T) {
+	h := NewHybridKVS(2, NewStore())
+	h.Write("a", []byte("1"), block.Version{})
+	h.Write("b", []byte("2"), block.Version{})
+	h.Read("a")                                // a becomes MRU
+	h.Write("c", []byte("3"), block.Version{}) // evicts b
+	if h.CacheLen() != 2 {
+		t.Fatalf("cache len = %d", h.CacheLen())
+	}
+	hits0, _, _, hostReads0, _ := h.Stats()
+	h.Read("a") // should still be cached
+	hits1, _, _, hostReads1, _ := h.Stats()
+	if hits1 != hits0+1 || hostReads1 != hostReads0 {
+		t.Error("a was evicted despite being MRU")
+	}
+}
+
+func TestHybridNeverRejects(t *testing.T) {
+	h := NewHybridKVS(1, NewStore())
+	for i := 0; i < 100; i++ {
+		if err := h.Write(fmt.Sprintf("k%d", i), []byte("v"), block.Version{}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+}
+
+// TestHybridMatchesStore property-checks that a HybridKVS (any capacity)
+// and a plain Store agree on every read after the same write sequence —
+// the §5 requirement that spilling to the host is transparent to mvcc.
+func TestHybridMatchesStore(t *testing.T) {
+	type op struct {
+		Key  uint8
+		Val  uint8
+		Read bool
+	}
+	f := func(capRaw uint8, ops []op) bool {
+		capacity := int(capRaw%8) + 1
+		ref := NewStore()
+		h := NewHybridKVS(capacity, NewStore())
+		for i, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%32)
+			if o.Read {
+				rv, refErr := ref.Get(key)
+				hv, hok := h.Read(key)
+				refOk := refErr == nil
+				if refOk != hok {
+					return false
+				}
+				if refOk && (string(rv.Value) != string(hv.Value) || rv.Version != hv.Version) {
+					return false
+				}
+				continue
+			}
+			ver := block.Version{BlockNum: uint64(i)}
+			ref.Put(key, []byte{o.Val}, ver)
+			if err := h.Write(key, []byte{o.Val}, ver); err != nil {
+				return false
+			}
+		}
+		return SnapshotsEqual(ref.Snapshot(), h.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHybridReadHit(b *testing.B) {
+	h := NewHybridKVS(1024, NewStore())
+	for i := 0; i < 512; i++ {
+		h.Write(fmt.Sprintf("k%d", i), []byte("v"), block.Version{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(fmt.Sprintf("k%d", i%512))
+	}
+}
+
+func BenchmarkHybridReadMiss(b *testing.B) {
+	host := NewStore()
+	for i := 0; i < 1<<16; i++ {
+		host.Put(fmt.Sprintf("k%d", i), []byte("v"), block.Version{})
+	}
+	h := NewHybridKVS(16, host)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(fmt.Sprintf("k%d", i%(1<<16)))
+	}
+}

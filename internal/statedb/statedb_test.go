@@ -1,0 +1,239 @@
+package statedb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"bmac/internal/block"
+)
+
+func TestStoreGetPut(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	s.Put("k", []byte("v"), block.Version{BlockNum: 1, TxNum: 2})
+	v, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Value) != "v" || v.Version != (block.Version{BlockNum: 1, TxNum: 2}) {
+		t.Errorf("got %+v", v)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestStoreWriteBatchAtomicVersion(t *testing.T) {
+	s := NewStore()
+	ver := block.Version{BlockNum: 5, TxNum: 0}
+	s.WriteBatch([]block.KVWrite{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: []byte("2")},
+	}, ver)
+	for _, k := range []string{"a", "b"} {
+		got, ok := s.Version(k)
+		if !ok || got != ver {
+			t.Errorf("version(%q) = %v, %v", k, got, ok)
+		}
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	s := NewStore()
+	val := []byte("mutable")
+	s.Put("k", val, block.Version{})
+	val[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got.Value) != "mutable" {
+		t.Error("store aliased caller's slice")
+	}
+}
+
+func TestMVCCCheck(t *testing.T) {
+	s := NewStore()
+	s.Put("acct", []byte("100"), block.Version{BlockNum: 4, TxNum: 2})
+
+	// Matching version: no conflict.
+	if err := s.MVCCCheck([]block.KVRead{{Key: "acct", Version: block.Version{BlockNum: 4, TxNum: 2}}}); err != nil {
+		t.Errorf("matching version: %v", err)
+	}
+	// Stale version: conflict.
+	if err := s.MVCCCheck([]block.KVRead{{Key: "acct", Version: block.Version{BlockNum: 3, TxNum: 0}}}); err == nil {
+		t.Error("stale read version must conflict")
+	}
+	// Absent key read as absent: no conflict.
+	if err := s.MVCCCheck([]block.KVRead{{Key: "nope", Version: block.Version{}}}); err != nil {
+		t.Errorf("absent key, zero version: %v", err)
+	}
+	// Absent key but endorsement saw a version: conflict.
+	if err := s.MVCCCheck([]block.KVRead{{Key: "nope", Version: block.Version{BlockNum: 1}}}); err == nil {
+		t.Error("deleted key must conflict")
+	}
+}
+
+func TestStoreConcurrentReaders(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}, block.Version{BlockNum: uint64(i)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := s.Get(fmt.Sprintf("k%d", i)); err != nil {
+					t.Errorf("get k%d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHardwareKVSCapacity(t *testing.T) {
+	h := NewHardwareKVS(2)
+	if err := h.Write("a", []byte("1"), block.Version{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write("b", []byte("2"), block.Version{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Write("c", []byte("3"), block.Version{}); !errors.Is(err, ErrFull) {
+		t.Errorf("err = %v, want ErrFull", err)
+	}
+	// Overwriting an existing key is always allowed.
+	if err := h.Write("a", []byte("9"), block.Version{BlockNum: 1}); err != nil {
+		t.Errorf("overwrite: %v", err)
+	}
+	if h.Len() != 2 {
+		t.Errorf("len = %d", h.Len())
+	}
+}
+
+func TestHardwareKVSReadWrite(t *testing.T) {
+	h := NewHardwareKVS(8192)
+	if _, ok := h.Read("k"); ok {
+		t.Error("read of absent key reported ok")
+	}
+	ver := block.Version{BlockNum: 9, TxNum: 3}
+	if err := h.Write("k", []byte("val"), ver); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.Read("k")
+	if !ok || string(v.Value) != "val" || v.Version != ver {
+		t.Errorf("read = %+v, %v", v, ok)
+	}
+	gotVer, ok := h.Version("k")
+	if !ok || gotVer != ver {
+		t.Errorf("version = %v", gotVer)
+	}
+}
+
+func TestHardwareKVSConcurrentAccess(t *testing.T) {
+	h := NewHardwareKVS(8192)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%20)
+				if g%2 == 0 {
+					if err := h.Write(key, []byte{byte(i)}, block.Version{BlockNum: uint64(i)}); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				} else {
+					h.Read(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	reads, writes := h.AccessCounts()
+	if reads == 0 || writes == 0 {
+		t.Errorf("counts = %d/%d", reads, writes)
+	}
+}
+
+func TestSnapshotsEqual(t *testing.T) {
+	s := NewStore()
+	h := NewHardwareKVS(100)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		ver := block.Version{BlockNum: uint64(i)}
+		s.Put(k, []byte{byte(i)}, ver)
+		if err := h.Write(k, []byte{byte(i)}, ver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !SnapshotsEqual(s.Snapshot(), h.Snapshot()) {
+		t.Error("identical commit sequences produced different snapshots")
+	}
+	s.Put("extra", []byte("x"), block.Version{})
+	if SnapshotsEqual(s.Snapshot(), h.Snapshot()) {
+		t.Error("different snapshots reported equal")
+	}
+}
+
+// TestStoreHardwareEquivalence property-checks that the software Store and
+// the HardwareKVS agree after any same sequence of writes.
+func TestStoreHardwareEquivalence(t *testing.T) {
+	type op struct {
+		Key byte
+		Val byte
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		h := NewHardwareKVS(1 << 16)
+		for i, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%16)
+			ver := block.Version{BlockNum: uint64(i)}
+			s.Put(key, []byte{o.Val}, ver)
+			if err := h.Write(key, []byte{o.Val}, ver); err != nil {
+				return false
+			}
+		}
+		return SnapshotsEqual(s.Snapshot(), h.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 8192; i++ {
+		s.Put(fmt.Sprintf("key%d", i), []byte("value"), block.Version{BlockNum: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key%d", i%8192)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHardwareKVSReadWrite(b *testing.B) {
+	h := NewHardwareKVS(8192)
+	for i := 0; i < 4096; i++ {
+		if err := h.Write(fmt.Sprintf("key%d", i), []byte("value"), block.Version{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("key%d", i%4096)
+		h.Read(key)
+		if err := h.Write(key, []byte("value2"), block.Version{BlockNum: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package validator implements the software-only validator peer: the
+// baseline the Blockchain Machine is compared against (paper Figure 2a).
+//
+// The pipeline reproduces Fabric v1.4's validation phase with its known
+// bottlenecks:
+//
+//  1. unmarshal   — recursive decode of the deeply nested block protobuf
+//  2. block verify — orderer signature over the header
+//  3. verify_vscc — per transaction: client signature, then vscc
+//     (verify ALL endorsements — Fabric does not short-circuit — and
+//     evaluate the endorsement policy sequentially) with a configurable
+//     number of parallel worker threads (the "vscc threads" == vCPUs knob)
+//  4. mvcc        — sequential read-set version check
+//  5. commit      — state database write batch, then ledger commit
+//
+// Every stage is timestamped so the experiments can reproduce the
+// bottleneck breakdowns of Figures 3 and 10.
+package validator
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/fabcrypto"
+	"bmac/internal/identity"
+	"bmac/internal/ledger"
+	"bmac/internal/policy"
+	"bmac/internal/statedb"
+)
+
+// Breakdown records where validation time went for one block, mirroring the
+// coarse breakdown of Figure 3b / Figure 10 (stage level) and the profiling
+// view of Figure 3a (operation level).
+type Breakdown struct {
+	// Stage-level (Figure 10 categories).
+	Unmarshal    time.Duration
+	BlockVerify  time.Duration
+	VerifyVSCC   time.Duration
+	MVCC         time.Duration
+	StateDB      time.Duration // mvcc reads + commit writes
+	LedgerCommit time.Duration
+	Total        time.Duration
+
+	// Operation-level (Figure 3a categories).
+	ECDSATime   time.Duration
+	ECDSACount  int
+	SHA256Time  time.Duration
+	SHA256Count int
+}
+
+// Add accumulates another breakdown (for experiment averaging).
+func (b *Breakdown) Add(o Breakdown) {
+	b.Unmarshal += o.Unmarshal
+	b.BlockVerify += o.BlockVerify
+	b.VerifyVSCC += o.VerifyVSCC
+	b.MVCC += o.MVCC
+	b.StateDB += o.StateDB
+	b.LedgerCommit += o.LedgerCommit
+	b.Total += o.Total
+	b.ECDSATime += o.ECDSATime
+	b.ECDSACount += o.ECDSACount
+	b.SHA256Time += o.SHA256Time
+	b.SHA256Count += o.SHA256Count
+}
+
+// Result is the outcome of validating and committing one block.
+type Result struct {
+	BlockNum   uint64
+	BlockValid bool
+	Flags      []byte // one block.ValidationCode per transaction
+	CommitHash []byte
+	Breakdown  Breakdown
+}
+
+// Config parameterizes the software validator.
+type Config struct {
+	// Workers is the number of parallel vscc threads (the vCPU knob in the
+	// paper's experiments).
+	Workers int
+	// Policies maps chaincode name to its endorsement policy.
+	Policies map[string]*policy.Policy
+	// SkipLedger excludes the ledger commit (the paper's metrics exclude
+	// it "for direct comparison between hardware and software" — §4.2).
+	SkipLedger bool
+}
+
+// ErrBlockInvalid reports a block whose orderer signature failed; the block
+// is discarded without committing.
+var ErrBlockInvalid = errors.New("validator: block verification failed")
+
+// Validator is a software-only validator peer core.
+type Validator struct {
+	cfg    Config
+	store  *statedb.Store
+	ledger *ledger.Ledger
+}
+
+// New creates a validator over its own state database and ledger (ledger
+// may be nil when cfg.SkipLedger is set).
+func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Validator {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Validator{cfg: cfg, store: store, ledger: led}
+}
+
+// Store returns the validator's state database.
+func (v *Validator) Store() *statedb.Store { return v.store }
+
+// parsedTx is the fully unmarshaled view of one transaction.
+type parsedTx struct {
+	tx   *block.Transaction
+	rw   *block.RWSet
+	prp  []byte
+	err  error
+	code block.ValidationCode
+}
+
+// ValidateAndCommit runs the full validation pipeline on a marshaled block.
+// It accepts raw bytes because the unmarshaling cost is part of what the
+// paper measures.
+func (v *Validator) ValidateAndCommit(raw []byte) (*Result, error) {
+	var bd Breakdown
+	start := time.Now()
+
+	// Stage 1: unmarshal everything (bottleneck 1).
+	tUn := time.Now()
+	b, err := block.Unmarshal(raw)
+	if err != nil {
+		return nil, err
+	}
+	txs := make([]parsedTx, len(b.Envelopes))
+	for i := range b.Envelopes {
+		tx, err := block.UnmarshalTransactionPayload(b.Envelopes[i].PayloadBytes)
+		if err != nil {
+			txs[i] = parsedTx{err: err, code: block.BadPayload}
+			continue
+		}
+		prp, err := block.UnmarshalProposalResponsePayload(tx.Payload.Action.ProposalResponseBytes)
+		if err != nil {
+			txs[i] = parsedTx{err: err, code: block.BadPayload}
+			continue
+		}
+		txs[i] = parsedTx{tx: tx, rw: &prp.Extension.Results, prp: tx.Payload.Action.ProposalResponseBytes}
+	}
+	bd.Unmarshal = time.Since(tUn)
+
+	return v.validateParsed(b, txs, start, bd)
+}
+
+// ValidateAndCommitBlock validates an already-unmarshaled block (the path a
+// gossip listener uses); the inner transaction payloads still need decoding
+// and are charged to the unmarshal stage.
+func (v *Validator) ValidateAndCommitBlock(b *block.Block) (*Result, error) {
+	// Re-marshal cost is not charged; Fabric receives raw bytes, and so do
+	// the benchmarks (which call ValidateAndCommit). This entry point is
+	// for integration plumbing.
+	return v.ValidateAndCommit(block.Marshal(b))
+}
+
+func (v *Validator) validateParsed(b *block.Block, txs []parsedTx, start time.Time, bd Breakdown) (*Result, error) {
+	res := &Result{BlockNum: b.Header.Number, Flags: make([]byte, len(txs))}
+
+	// Stage 2: block verification (orderer signature).
+	tBlk := time.Now()
+	blockErr := v.verifyOrderer(b, &bd)
+	bd.BlockVerify = time.Since(tBlk)
+	if blockErr != nil {
+		for i := range res.Flags {
+			res.Flags[i] = byte(block.InvalidOther)
+		}
+		res.Breakdown = bd
+		res.Breakdown.Total = time.Since(start)
+		return res, fmt.Errorf("%w: %v", ErrBlockInvalid, blockErr)
+	}
+	res.BlockValid = true
+
+	// Stage 3: verify + vscc with parallel workers.
+	tVscc := time.Now()
+	v.verifyVSCCParallel(b, txs, res.Flags, &bd)
+	bd.VerifyVSCC = time.Since(tVscc)
+
+	// Stage 4: mvcc, strictly sequential in transaction order.
+	tMvcc := time.Now()
+	writtenInBlock := make(map[string]bool)
+	for i := range txs {
+		if res.Flags[i] != byte(block.Valid) {
+			continue
+		}
+		if conflict := v.mvccOne(txs[i].rw, writtenInBlock); conflict {
+			res.Flags[i] = byte(block.MVCCReadConflict)
+			continue
+		}
+		for _, w := range txs[i].rw.Writes {
+			writtenInBlock[w.Key] = true
+		}
+	}
+	bd.MVCC = time.Since(tMvcc)
+
+	// Stage 5a: state database commit (write sets of valid transactions).
+	tDB := time.Now()
+	for i := range txs {
+		if res.Flags[i] != byte(block.Valid) {
+			continue
+		}
+		ver := block.Version{BlockNum: b.Header.Number, TxNum: uint64(i)}
+		v.store.WriteBatch(txs[i].rw.Writes, ver)
+	}
+	bd.StateDB = bd.MVCC + time.Since(tDB) // mvcc reads + commit writes
+
+	// Stage 5b: ledger commit.
+	b.Metadata.ValidationFlags = res.Flags
+	if !v.cfg.SkipLedger && v.ledger != nil {
+		tLed := time.Now()
+		ch, err := v.ledger.Commit(b)
+		if err != nil {
+			return nil, fmt.Errorf("ledger commit block %d: %w", b.Header.Number, err)
+		}
+		res.CommitHash = ch
+		bd.LedgerCommit = time.Since(tLed)
+	} else {
+		// Compute the commit hash chain value anyway for cross-checking.
+		res.CommitHash = block.CommitHash(nil, b.Header.DataHash, res.Flags)
+	}
+
+	bd.Total = time.Since(start)
+	res.Breakdown = bd
+	return res, nil
+}
+
+// verifyOrderer verifies the block metadata signature, attributing hash and
+// ECDSA time to the operation counters.
+func (v *Validator) verifyOrderer(b *block.Block, bd *Breakdown) error {
+	ms := &b.Metadata.Signature
+	pub, err := fabcrypto.PublicKeyFromCert(ms.Creator)
+	if err != nil {
+		return err
+	}
+	msg := block.OrdererSigningBytes(&b.Header, ms.Nonce, ms.Creator)
+	digest := v.timedHash(msg, bd)
+	return v.timedVerify(pub, digest, ms.Signature, bd)
+}
+
+func (v *Validator) timedHash(msg []byte, bd *Breakdown) []byte {
+	t := time.Now()
+	d := sha256.Sum256(msg)
+	bd.SHA256Time += time.Since(t)
+	bd.SHA256Count++
+	return d[:]
+}
+
+func (v *Validator) timedVerify(pub *ecdsa.PublicKey, digest, sig []byte, bd *Breakdown) error {
+	t := time.Now()
+	err := fabcrypto.VerifyDigest(pub, digest, sig)
+	bd.ECDSATime += time.Since(t)
+	bd.ECDSACount++
+	return err
+}
+
+// verifyVSCCParallel runs transaction verification and vscc across
+// cfg.Workers goroutines — the parallel "vscc threads" of a Fabric peer.
+// Per Fabric behaviour, every endorsement is signature-verified even when
+// the policy is already satisfied, and the policy expression is evaluated
+// without short-circuiting.
+func (v *Validator) verifyVSCCParallel(b *block.Block, txs []parsedTx, flags []byte, bd *Breakdown) {
+	var (
+		mu   sync.Mutex // merges per-worker op counters
+		next int
+	)
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		var local Breakdown
+		for {
+			mu.Lock()
+			i := next
+			next++
+			mu.Unlock()
+			if i >= len(txs) {
+				break
+			}
+			flags[i] = byte(v.verifyAndVSCCOne(&b.Envelopes[i], &txs[i], &local))
+		}
+		mu.Lock()
+		bd.ECDSATime += local.ECDSATime
+		bd.ECDSACount += local.ECDSACount
+		bd.SHA256Time += local.SHA256Time
+		bd.SHA256Count += local.SHA256Count
+		mu.Unlock()
+	}
+	workers := v.cfg.Workers
+	if workers > len(txs) && len(txs) > 0 {
+		workers = len(txs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+}
+
+// verifyAndVSCCOne validates one transaction: client signature, then all
+// endorsement signatures, then the endorsement policy.
+func (v *Validator) verifyAndVSCCOne(env *block.Envelope, p *parsedTx, bd *Breakdown) block.ValidationCode {
+	if p.err != nil {
+		return p.code
+	}
+	// Transaction verification: client signature over the payload.
+	pub, err := fabcrypto.PublicKeyFromCert(p.tx.SignatureHeader.Creator)
+	if err != nil {
+		return block.BadCreator
+	}
+	digest := v.timedHash(env.PayloadBytes, bd)
+	if err := v.timedVerify(pub, digest, env.Signature, bd); err != nil {
+		return block.BadSignature
+	}
+
+	// vscc: verify EVERY endorsement (Fabric does not short-circuit).
+	var rf policy.RegisterFile
+	for i := range p.tx.Payload.Action.Endorsements {
+		e := &p.tx.Payload.Action.Endorsements[i]
+		epub, err := fabcrypto.PublicKeyFromCert(e.Endorser)
+		if err != nil {
+			continue // unverifiable endorsement contributes nothing
+		}
+		msg := block.EndorsementSigningBytes(p.prp, e.Endorser)
+		edigest := v.timedHash(msg, bd)
+		if err := v.timedVerify(epub, edigest, e.Signature, bd); err != nil {
+			continue
+		}
+		cert, err := fabcrypto.ParseCertificate(e.Endorser)
+		if err != nil {
+			continue
+		}
+		org, role, ok := v.orgRoleOf(cert.Subject.Organization, cert.Subject.CommonName)
+		if ok {
+			rf.Set(org, role)
+		}
+	}
+
+	pol, ok := v.cfg.Policies[p.tx.ChannelHeader.ChaincodeName]
+	if !ok {
+		return block.InvalidOther // no policy installed for this chaincode
+	}
+	if !pol.EvalSequential(&rf) {
+		return block.EndorsementPolicyFailure
+	}
+	return block.Valid
+}
+
+// orgRoleOf maps certificate subject fields back to (org number, role).
+// Organization names follow the OrgN convention used throughout the
+// repository; common names are "<role><seq>.<org>".
+func (v *Validator) orgRoleOf(orgs []string, cn string) (uint8, identity.Role, bool) {
+	if len(orgs) != 1 {
+		return 0, 0, false
+	}
+	var orgNum int
+	if _, err := fmt.Sscanf(orgs[0], "Org%d", &orgNum); err != nil || orgNum < 1 || orgNum > 255 {
+		return 0, 0, false
+	}
+	role := identity.RolePeer
+	switch {
+	case strings.HasPrefix(cn, "peer"):
+		role = identity.RolePeer
+	case strings.HasPrefix(cn, "admin"):
+		role = identity.RoleAdmin
+	case strings.HasPrefix(cn, "orderer"):
+		role = identity.RoleOrderer
+	case strings.HasPrefix(cn, "client"):
+		role = identity.RoleClient
+	}
+	return uint8(orgNum), role, true
+}
+
+// mvccOne re-checks a transaction's read set against the current state
+// database and the keys written earlier in this block, returning true on
+// conflict.
+func (v *Validator) mvccOne(rw *block.RWSet, writtenInBlock map[string]bool) bool {
+	for _, r := range rw.Reads {
+		if writtenInBlock[r.Key] {
+			return true // an earlier tx in this block already wrote it
+		}
+	}
+	return v.store.MVCCCheck(rw.Reads) != nil
+}

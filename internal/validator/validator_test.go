@@ -1,0 +1,378 @@
+package validator
+
+import (
+	"errors"
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/identity"
+	"bmac/internal/ledger"
+	"bmac/internal/policy"
+	"bmac/internal/statedb"
+)
+
+type fixture struct {
+	net     *identity.Network
+	client  *identity.Identity
+	orderer *identity.Identity
+	peers   []*identity.Identity // one per org
+}
+
+func newFixture(t testing.TB, orgs int) *fixture {
+	t.Helper()
+	n := identity.NewNetwork()
+	f := &fixture{net: n}
+	for i := 1; i <= orgs; i++ {
+		org := "Org" + string(rune('0'+i))
+		if _, err := n.AddOrg(org); err != nil {
+			t.Fatal(err)
+		}
+		p, err := n.NewIdentity(org, identity.RolePeer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.peers = append(f.peers, p)
+	}
+	var err error
+	f.client, err = n.NewIdentity("Org1", identity.RoleClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.orderer, err = n.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func (f *fixture) validator(t testing.TB, pol string, workers int) *Validator {
+	t.Helper()
+	led, err := ledger.Open(t.TempDir(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	return New(Config{
+		Workers:  workers,
+		Policies: map[string]*policy.Policy{"smallbank": policy.MustParse(pol)},
+	}, statedb.NewStore(), led)
+}
+
+func (f *fixture) simpleBlock(t testing.TB, num uint64, prev []byte, nTxs int, spec func(i int) block.TxSpec) *block.Block {
+	t.Helper()
+	envs := make([]block.Envelope, 0, nTxs)
+	for i := 0; i < nTxs; i++ {
+		env, err := block.NewEndorsedEnvelope(spec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, *env)
+	}
+	b, err := block.NewBlock(num, prev, envs, f.orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func (f *fixture) defaultSpec(endorsers ...*identity.Identity) func(i int) block.TxSpec {
+	return func(i int) block.TxSpec {
+		return block.TxSpec{
+			Creator:   f.client,
+			Chaincode: "smallbank",
+			Channel:   "ch1",
+			RWSet: block.RWSet{
+				Writes: []block.KVWrite{{Key: "k" + string(rune('a'+i)), Value: []byte{byte(i)}}},
+			},
+			Endorsers: endorsers,
+		}
+	}
+}
+
+func TestAllValidTransactions(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 4)
+	b := f.simpleBlock(t, 0, nil, 5, f.defaultSpec(f.peers[0], f.peers[1]))
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BlockValid {
+		t.Error("block should be valid")
+	}
+	for i, fl := range res.Flags {
+		if block.ValidationCode(fl) != block.Valid {
+			t.Errorf("tx %d flag = %v", i, block.ValidationCode(fl))
+		}
+	}
+	if v.Store().Len() != 5 {
+		t.Errorf("state keys = %d, want 5", v.Store().Len())
+	}
+	if len(res.CommitHash) == 0 {
+		t.Error("no commit hash")
+	}
+	if res.Breakdown.ECDSACount != 1+5*3 { // orderer + 5*(client+2 ends)
+		t.Errorf("ecdsa count = %d, want 16", res.Breakdown.ECDSACount)
+	}
+}
+
+func TestBadClientSignature(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	spec := f.defaultSpec(f.peers[0], f.peers[1])
+	bad := func(i int) block.TxSpec {
+		s := spec(i)
+		if i == 1 {
+			s.CorruptClientSig = true
+		}
+		return s
+	}
+	b := f.simpleBlock(t, 0, nil, 3, bad)
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []block.ValidationCode{block.Valid, block.BadSignature, block.Valid}
+	for i, w := range want {
+		if block.ValidationCode(res.Flags[i]) != w {
+			t.Errorf("tx %d flag = %v, want %v", i, block.ValidationCode(res.Flags[i]), w)
+		}
+	}
+}
+
+func TestBadEndorsementFailsPolicy(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	spec := f.defaultSpec(f.peers[0], f.peers[1])
+	bad := func(i int) block.TxSpec {
+		s := spec(i)
+		if i == 0 {
+			s.CorruptEndorsementIdx = 1 // first endorsement corrupt
+		}
+		return s
+	}
+	b := f.simpleBlock(t, 0, nil, 2, bad)
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res.Flags[0]) != block.EndorsementPolicyFailure {
+		t.Errorf("tx 0 flag = %v, want policy failure", block.ValidationCode(res.Flags[0]))
+	}
+	if block.ValidationCode(res.Flags[1]) != block.Valid {
+		t.Errorf("tx 1 flag = %v, want valid", block.ValidationCode(res.Flags[1]))
+	}
+}
+
+func TestInsufficientEndorsements(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	// Only one endorsement for a 2of2 policy.
+	b := f.simpleBlock(t, 0, nil, 1, f.defaultSpec(f.peers[0]))
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res.Flags[0]) != block.EndorsementPolicyFailure {
+		t.Errorf("flag = %v, want policy failure", block.ValidationCode(res.Flags[0]))
+	}
+}
+
+func TestBadOrdererSignatureRejectsBlock(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	b := f.simpleBlock(t, 0, nil, 2, f.defaultSpec(f.peers[0], f.peers[1]))
+	b.Header.Number = 0
+	b.Metadata.Signature.Signature[10] ^= 0xff
+	_, err := v.ValidateAndCommit(block.Marshal(b))
+	if !errors.Is(err, ErrBlockInvalid) {
+		t.Errorf("err = %v, want ErrBlockInvalid", err)
+	}
+	if v.Store().Len() != 0 {
+		t.Error("invalid block mutated state")
+	}
+}
+
+func TestMVCCConflictWithinBlock(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	// tx0 writes "hot"; tx1 reads "hot" at the pre-block version -> conflict.
+	spec := func(i int) block.TxSpec {
+		s := block.TxSpec{
+			Creator:   f.client,
+			Chaincode: "smallbank",
+			Channel:   "ch1",
+			Endorsers: []*identity.Identity{f.peers[0], f.peers[1]},
+		}
+		if i == 0 {
+			s.RWSet = block.RWSet{Writes: []block.KVWrite{{Key: "hot", Value: []byte("1")}}}
+		} else {
+			s.RWSet = block.RWSet{
+				Reads:  []block.KVRead{{Key: "hot", Version: block.Version{}}},
+				Writes: []block.KVWrite{{Key: "other", Value: []byte("2")}},
+			}
+		}
+		return s
+	}
+	b := f.simpleBlock(t, 0, nil, 2, spec)
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res.Flags[0]) != block.Valid {
+		t.Errorf("tx 0 = %v", block.ValidationCode(res.Flags[0]))
+	}
+	if block.ValidationCode(res.Flags[1]) != block.MVCCReadConflict {
+		t.Errorf("tx 1 = %v, want mvcc conflict", block.ValidationCode(res.Flags[1]))
+	}
+	// tx1's write must NOT be applied.
+	if _, err := v.Store().Get("other"); err == nil {
+		t.Error("conflicted transaction was committed")
+	}
+}
+
+func TestMVCCStaleReadAcrossBlocks(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	// Block 0 writes k at version (0,0).
+	spec0 := func(i int) block.TxSpec {
+		return block.TxSpec{
+			Creator: f.client, Chaincode: "smallbank", Channel: "ch1",
+			RWSet:     block.RWSet{Writes: []block.KVWrite{{Key: "k", Value: []byte("1")}}},
+			Endorsers: []*identity.Identity{f.peers[0], f.peers[1]},
+		}
+	}
+	b0 := f.simpleBlock(t, 0, nil, 1, spec0)
+	if _, err := v.ValidateAndCommit(block.Marshal(b0)); err != nil {
+		t.Fatal(err)
+	}
+	// Block 1: tx reads k at a WRONG (stale) version.
+	spec1 := func(i int) block.TxSpec {
+		return block.TxSpec{
+			Creator: f.client, Chaincode: "smallbank", Channel: "ch1",
+			RWSet: block.RWSet{
+				Reads:  []block.KVRead{{Key: "k", Version: block.Version{BlockNum: 5, TxNum: 3}}},
+				Writes: []block.KVWrite{{Key: "k", Value: []byte("2")}},
+			},
+			Endorsers: []*identity.Identity{f.peers[0], f.peers[1]},
+		}
+	}
+	b1 := f.simpleBlock(t, 1, block.HeaderHash(&b0.Header), 1, spec1)
+	res, err := v.ValidateAndCommit(block.Marshal(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res.Flags[0]) != block.MVCCReadConflict {
+		t.Errorf("flag = %v, want mvcc conflict", block.ValidationCode(res.Flags[0]))
+	}
+	// Correct version passes.
+	spec2 := func(i int) block.TxSpec {
+		return block.TxSpec{
+			Creator: f.client, Chaincode: "smallbank", Channel: "ch1",
+			RWSet: block.RWSet{
+				Reads:  []block.KVRead{{Key: "k", Version: block.Version{BlockNum: 0, TxNum: 0}}},
+				Writes: []block.KVWrite{{Key: "k", Value: []byte("3")}},
+			},
+			Endorsers: []*identity.Identity{f.peers[0], f.peers[1]},
+		}
+	}
+	b2 := f.simpleBlock(t, 2, block.HeaderHash(&b1.Header), 1, spec2)
+	res2, err := v.ValidateAndCommit(block.Marshal(b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res2.Flags[0]) != block.Valid {
+		t.Errorf("flag = %v, want valid", block.ValidationCode(res2.Flags[0]))
+	}
+}
+
+func TestUnknownChaincodePolicy(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 1)
+	spec := func(i int) block.TxSpec {
+		return block.TxSpec{
+			Creator: f.client, Chaincode: "unknowncc", Channel: "ch1",
+			Endorsers: []*identity.Identity{f.peers[0], f.peers[1]},
+		}
+	}
+	b := f.simpleBlock(t, 0, nil, 1, spec)
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block.ValidationCode(res.Flags[0]) != block.InvalidOther {
+		t.Errorf("flag = %v, want InvalidOther", block.ValidationCode(res.Flags[0]))
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The same block must validate identically with 1 or 8 workers.
+	f := newFixture(t, 2)
+	spec := f.defaultSpec(f.peers[0], f.peers[1])
+	bad := func(i int) block.TxSpec {
+		s := spec(i)
+		if i%3 == 1 {
+			s.CorruptClientSig = true
+		}
+		return s
+	}
+	b := f.simpleBlock(t, 0, nil, 9, bad)
+	raw := block.Marshal(b)
+
+	v1 := f.validator(t, "2of2", 1)
+	v8 := f.validator(t, "2of2", 8)
+	r1, err := v1.ValidateAndCommit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := v8.ValidateAndCommit(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !block.FlagsEqual(r1.Flags, r8.Flags) {
+		t.Errorf("flags differ across worker counts: %v vs %v", r1.Flags, r8.Flags)
+	}
+	if string(r1.CommitHash) != string(r8.CommitHash) {
+		t.Error("commit hashes differ across worker counts")
+	}
+}
+
+func TestBreakdownPopulated(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	b := f.simpleBlock(t, 0, nil, 4, f.defaultSpec(f.peers[0], f.peers[1]))
+	res, err := v.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	if bd.Unmarshal <= 0 || bd.VerifyVSCC <= 0 || bd.Total <= 0 {
+		t.Errorf("breakdown not populated: %+v", bd)
+	}
+	if bd.ECDSATime <= 0 || bd.SHA256Count == 0 {
+		t.Errorf("op counters not populated: %+v", bd)
+	}
+	// ECDSA dominates vscc, matching the paper's profile.
+	if bd.ECDSATime < bd.SHA256Time {
+		t.Errorf("expected ecdsa (%v) > sha256 (%v)", bd.ECDSATime, bd.SHA256Time)
+	}
+}
+
+func TestLedgerChainAcrossBlocks(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	b0 := f.simpleBlock(t, 0, nil, 1, f.defaultSpec(f.peers[0], f.peers[1]))
+	r0, err := v.ValidateAndCommit(block.Marshal(b0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := f.simpleBlock(t, 1, block.HeaderHash(&b0.Header), 1, f.defaultSpec(f.peers[0], f.peers[1]))
+	r1, err := v.ValidateAndCommit(block.Marshal(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := block.CommitHash(r0.CommitHash, b1.Header.DataHash, r1.Flags)
+	if string(r1.CommitHash) != string(want) {
+		t.Error("commit hash chain mismatch")
+	}
+}

@@ -1,0 +1,251 @@
+package yamllite
+
+import (
+	"errors"
+	"testing"
+)
+
+func parse(t *testing.T, src string) Node {
+	t.Helper()
+	n, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return n
+}
+
+func TestFlatMapping(t *testing.T) {
+	n := parse(t, "name: bmac\nport: 9309\nenabled: true\n")
+	if s, _ := GetString(n, "name"); s != "bmac" {
+		t.Errorf("name = %q", s)
+	}
+	if v, _ := GetInt(n, "port"); v != 9309 {
+		t.Errorf("port = %d", v)
+	}
+	if b, _ := GetBool(n, "enabled"); !b {
+		t.Error("enabled = false")
+	}
+}
+
+func TestNestedMapping(t *testing.T) {
+	src := `
+architecture:
+  tx_validators: 8
+  vscc_engines: 2
+network:
+  channel: ch1
+`
+	n := parse(t, src)
+	arch, ok := GetMap(n, "architecture")
+	if !ok {
+		t.Fatal("no architecture map")
+	}
+	if v, _ := GetInt(arch, "tx_validators"); v != 8 {
+		t.Errorf("tx_validators = %d", v)
+	}
+	netm, _ := GetMap(n, "network")
+	if s, _ := GetString(netm, "channel"); s != "ch1" {
+		t.Errorf("channel = %q", s)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	src := `
+orgs:
+  - name: Org1
+    peers: 2
+  - name: Org2
+    peers: 1
+tags:
+  - alpha
+  - beta
+`
+	n := parse(t, src)
+	orgs, ok := GetSeq(n, "orgs")
+	if !ok || len(orgs) != 2 {
+		t.Fatalf("orgs = %v", orgs)
+	}
+	first, ok := orgs[0].(map[string]any)
+	if !ok {
+		t.Fatalf("org[0] = %T", orgs[0])
+	}
+	if s, _ := GetString(first, "name"); s != "Org1" {
+		t.Errorf("org name = %q", s)
+	}
+	if v, _ := GetInt(first, "peers"); v != 2 {
+		t.Errorf("peers = %d", v)
+	}
+	tags, _ := GetSeq(n, "tags")
+	if len(tags) != 2 || tags[0] != "alpha" || tags[1] != "beta" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := `
+# top comment
+key: value  # trailing comment
+
+other: 7
+`
+	n := parse(t, src)
+	if s, _ := GetString(n, "key"); s != "value" {
+		t.Errorf("key = %q", s)
+	}
+	if v, _ := GetInt(n, "other"); v != 7 {
+		t.Errorf("other = %d", v)
+	}
+}
+
+func TestQuotedStrings(t *testing.T) {
+	src := `policy: "2-outof-3 orgs"
+hash: '#notacomment'
+`
+	n := parse(t, src)
+	if s, _ := GetString(n, "policy"); s != "2-outof-3 orgs" {
+		t.Errorf("policy = %q", s)
+	}
+	if s, _ := GetString(n, "hash"); s != "#notacomment" {
+		t.Errorf("hash = %q", s)
+	}
+}
+
+func TestQuotedNumberStaysString(t *testing.T) {
+	n := parse(t, `version: "14"`)
+	if s, ok := GetString(n, "version"); !ok || s != "14" {
+		t.Errorf("version = %v", s)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := `
+a:
+  b:
+    c:
+      - x: 1
+      - x: 2
+`
+	n := parse(t, src)
+	a, _ := GetMap(n, "a")
+	b, _ := GetMap(a, "b")
+	seq, ok := GetSeq(b, "c")
+	if !ok || len(seq) != 2 {
+		t.Fatalf("c = %v", seq)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"\tkey: value",        // tab indent
+		"key value",           // no colon
+		"key: 1\nkey: 2",      // duplicate key
+		"key: 1\n  indent: 2", // stray indent under scalar... (nested under scalar)
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestNullValues(t *testing.T) {
+	n := parse(t, "a: null\nb: ~\n")
+	m := n.(map[string]any)
+	if m["a"] != nil || m["b"] != nil {
+		t.Errorf("nulls = %v, %v", m["a"], m["b"])
+	}
+}
+
+func TestAccessorsOnWrongTypes(t *testing.T) {
+	n := parse(t, "a: 1")
+	if _, ok := GetMap(n, "a"); ok {
+		t.Error("GetMap on scalar succeeded")
+	}
+	if _, ok := GetSeq(n, "a"); ok {
+		t.Error("GetSeq on scalar succeeded")
+	}
+	if _, ok := GetString(n, "a"); ok {
+		t.Error("GetString on int succeeded")
+	}
+	if _, ok := GetInt("not a map", "a"); ok {
+		t.Error("GetInt on non-map succeeded")
+	}
+}
+
+func FuzzParseNoPanic(f *testing.F) {
+	f.Add("a: 1\nb:\n  - x: 2\n")
+	f.Add("- 1\n- 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		Parse([]byte(src)) // must not panic
+	})
+}
+
+func TestSequenceOfNestedBlocks(t *testing.T) {
+	src := `
+items:
+  -
+    name: first
+  -
+    name: second
+`
+	n := parse(t, src)
+	items, ok := GetSeq(n, "items")
+	if !ok || len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	first, ok := items[0].(map[string]any)
+	if !ok {
+		t.Fatalf("item 0 = %T", items[0])
+	}
+	if s, _ := GetString(first, "name"); s != "first" {
+		t.Errorf("name = %q", s)
+	}
+}
+
+func TestDashOnlyEmptyItem(t *testing.T) {
+	n := parse(t, "items:\n  - 1\n  -\n")
+	items, _ := GetSeq(n, "items")
+	if len(items) != 2 || items[1] != nil {
+		t.Errorf("items = %#v", items)
+	}
+}
+
+func TestItemKeyWithNestedBlock(t *testing.T) {
+	src := `
+rules:
+  - match:
+      org: Org1
+      role: peer
+`
+	n := parse(t, src)
+	rules, ok := GetSeq(n, "rules")
+	if !ok || len(rules) != 1 {
+		t.Fatalf("rules = %v", rules)
+	}
+	match, ok := GetMap(rules[0], "match")
+	if !ok {
+		t.Fatalf("match = %v", rules[0])
+	}
+	if s, _ := GetString(match, "org"); s != "Org1" {
+		t.Errorf("org = %q", s)
+	}
+}
+
+func TestTopLevelSequence(t *testing.T) {
+	n := parse(t, "- a\n- b\n")
+	seq, ok := n.([]any)
+	if !ok || len(seq) != 2 || seq[0] != "a" {
+		t.Fatalf("seq = %#v", n)
+	}
+}
+
+func TestEmptyValueKey(t *testing.T) {
+	n := parse(t, "a:\nb: 2\n")
+	m := n.(map[string]any)
+	if m["a"] != nil {
+		t.Errorf("a = %v", m["a"])
+	}
+	if v, _ := GetInt(n, "b"); v != 2 {
+		t.Errorf("b = %v", v)
+	}
+}

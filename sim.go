@@ -1,0 +1,68 @@
+package bmac
+
+import (
+	"fmt"
+	"time"
+
+	"bmac/internal/hwsim"
+	"bmac/internal/policy"
+)
+
+// SimResult is the outcome of simulating one architecture on one workload
+// shape: steady-state throughput, latencies and FPGA utilization.
+type SimResult struct {
+	Arch         string
+	Throughput   float64 // transactions per second
+	BlockLatency time.Duration
+	TxLatency    time.Duration
+	EndsVerified int // endorsement verifications for the whole block
+	EndsSkipped  int // endorsements skipped by short-circuit evaluation
+	LUTPct       float64
+	FFPct        float64
+	BRAMPct      float64
+	FitsU250     bool
+	EngineCount  int
+}
+
+// SimWorkload describes a uniform workload for architecture simulation.
+type SimWorkload struct {
+	// Policy is the chaincode endorsement policy (e.g. "2of3").
+	Policy string
+	// BlockSize is the number of transactions per block.
+	BlockSize int
+	// Reads and Writes are the per-transaction database request counts.
+	Reads  int
+	Writes int
+}
+
+// SimulateArchitecture runs the calibrated timing simulator (the paper's
+// high-level simulator, §4.1) for an NxE architecture on a workload,
+// returning performance and resource estimates. Clients gather one
+// endorsement per organization referenced by the policy, as in the paper's
+// experiments.
+func SimulateArchitecture(txValidators, vsccEngines int, w SimWorkload) (SimResult, error) {
+	pol, err := policy.Parse(w.Policy)
+	if err != nil {
+		return SimResult{}, fmt.Errorf("simulate architecture: %w", err)
+	}
+	if w.BlockSize < 1 {
+		return SimResult{}, fmt.Errorf("simulate architecture: block size %d", w.BlockSize)
+	}
+	cfg := hwsim.Config{TxValidators: txValidators, VSCCEngines: vsccEngines}
+	timing := hwsim.Simulate(cfg, policy.Compile(pol),
+		hwsim.UniformTxProfile(w.BlockSize, pol.MaxEndorsements(), w.Reads, w.Writes))
+	u := hwsim.Resources(txValidators, vsccEngines)
+	return SimResult{
+		Arch:         cfg.String(),
+		Throughput:   timing.Throughput(w.BlockSize),
+		BlockLatency: timing.BlockLatency(),
+		TxLatency:    timing.TxLatency,
+		EndsVerified: timing.EndsVerified,
+		EndsSkipped:  timing.EndsSkipped,
+		LUTPct:       u.LUTPct,
+		FFPct:        u.FFPct,
+		BRAMPct:      u.BRAMPct,
+		FitsU250:     u.FitsU250(),
+		EngineCount:  u.Engines,
+	}, nil
+}

@@ -1,0 +1,229 @@
+package bmac
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/bmacproto"
+	"bmac/internal/chaincode"
+	"bmac/internal/client"
+	"bmac/internal/endorser"
+	"bmac/internal/identity"
+	"bmac/internal/orderer"
+	"bmac/internal/peer"
+	"bmac/internal/raft"
+	"bmac/internal/statedb"
+)
+
+// Workload generates benchmark transactions; the concrete workloads mirror
+// the paper's benchmarks.
+type Workload = client.Workload
+
+// The benchmark workloads from the paper's evaluation (§4.2).
+type (
+	// SmallbankWorkload is the Caliper smallbank banking benchmark.
+	SmallbankWorkload = client.SmallbankWorkload
+	// DRMWorkload is the Caliper digital-rights-management benchmark.
+	DRMWorkload = client.DRMWorkload
+	// SplitPayWorkload is the split-payment smallbank variant of Fig 12c.
+	SplitPayWorkload = client.SplitPayWorkload
+)
+
+// BlockOutcome pairs the software and BMac validation results for one
+// block, with the §4.1 cross-check verdict.
+type BlockOutcome struct {
+	BlockNum uint64
+	TxCount  int
+	SW       peer.CommitResult
+	HW       peer.CommitResult
+	// Match reports whether flags and commit hash agree between the two
+	// peers (the paper found no mismatches; neither should you).
+	Match bool
+}
+
+// Testbed is a complete in-process BMac network, the programmatic
+// equivalent of the paper's Figure 8 setup: endorser peers per org, a
+// Raft-backed ordering service, one software validator peer and one BMac
+// peer receiving the same blocks over the two protocols.
+type Testbed struct {
+	Config    *Config
+	Network   *identity.Network
+	Endorsers []*endorser.Endorser
+	SWPeer    *peer.SWPeer
+	BMacPeer  *peer.BMacPeer
+	Orderer   *orderer.Orderer
+
+	registry *chaincode.Registry
+	cluster  *raft.Cluster
+	sender   *bmacproto.Sender
+	clients  []*client.Driver
+	outcomes chan BlockOutcome
+}
+
+// NewTestbed builds and starts a network from cfg. Ledgers are created
+// under dir. Close the testbed to release resources.
+func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := cfg.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbed{
+		Config:   cfg,
+		Network:  net,
+		registry: chaincode.NewRegistry(chaincode.Smallbank{}, chaincode.DRM{}, chaincode.SplitPay{}),
+		outcomes: make(chan BlockOutcome, 256),
+	}
+
+	// Endorser peers: the first `Endorsers` peers of each org.
+	for _, org := range cfg.Orgs {
+		for i := 0; i < org.Endorsers; i++ {
+			id, err := net.LookupByName(fmt.Sprintf("peer%d.%s", i, org.Name))
+			if err != nil {
+				return nil, err
+			}
+			tb.Endorsers = append(tb.Endorsers, endorser.New(id, statedb.NewStore(), tb.registry))
+		}
+	}
+	if len(tb.Endorsers) == 0 {
+		return nil, errors.New("bmac: configuration declares no endorser peers")
+	}
+
+	// Validator peers.
+	valCfg, err := cfg.ValidatorConfig(4)
+	if err != nil {
+		return nil, err
+	}
+	tb.SWPeer, err = peer.NewSWPeer(valCfg, filepath.Join(dir, "sw_validator"))
+	if err != nil {
+		return nil, err
+	}
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		return nil, err
+	}
+	tb.BMacPeer, err = peer.NewBMacPeer(coreCfg, cfg.Arch.DBCapacity, filepath.Join(dir, "bmac_peer"))
+	if err != nil {
+		return nil, err
+	}
+
+	// BMac protocol path (orderer -> BMac peer).
+	link := bmacproto.NewMemLink(tb.BMacPeer.Receiver)
+	tb.sender = bmacproto.NewSender(identity.NewCache(), link)
+	if err := tb.sender.RegisterNetwork(net); err != nil {
+		return nil, err
+	}
+
+	// Ordering service: single-node Raft, as in the paper's setup.
+	tb.cluster = raft.NewCluster(1, 20*time.Millisecond)
+	if tb.cluster.WaitForLeader(5*time.Second) == nil {
+		return nil, errors.New("bmac: raft leader election timed out")
+	}
+	ordID, err := net.LookupByName("orderer0." + cfg.Orgs[0].Name)
+	if err != nil {
+		return nil, fmt.Errorf("bmac: first org needs an orderer: %w", err)
+	}
+	tb.Orderer = orderer.New(orderer.Config{
+		BatchSize:    cfg.Arch.MaxBlockTxs,
+		BatchTimeout: 50 * time.Millisecond,
+		Channel:      cfg.Channel,
+	}, ordID, tb.cluster.Nodes[0])
+	tb.Orderer.OnDeliver(tb.deliver)
+	return tb, nil
+}
+
+// deliver is the orderer's delivery hook: BMac protocol first (§3.5), then
+// the software peer, then the cross-check and committer updates.
+func (tb *Testbed) deliver(b *block.Block) error {
+	if _, err := tb.sender.SendBlock(b); err != nil {
+		return err
+	}
+	swRes, err := tb.SWPeer.CommitBlock(b)
+	if err != nil {
+		return err
+	}
+	hwRes, ok := <-tb.BMacPeer.Results()
+	if !ok {
+		return errors.New("bmac: hardware peer stopped")
+	}
+	// Committer role: endorser stores track the committed state so later
+	// simulations read fresh versions.
+	for _, e := range tb.Endorsers {
+		if err := client.ApplyBlock(e.Store(), b, swRes.Flags); err != nil {
+			return err
+		}
+	}
+	outcome := BlockOutcome{
+		BlockNum: b.Header.Number,
+		TxCount:  len(b.Envelopes),
+		SW:       swRes,
+		HW:       hwRes,
+		Match: block.FlagsEqual(swRes.Flags, hwRes.Flags) &&
+			string(swRes.CommitHash) == string(hwRes.CommitHash),
+	}
+	tb.outcomes <- outcome
+	return nil
+}
+
+// Outcomes delivers one BlockOutcome per committed block, in order.
+func (tb *Testbed) Outcomes() <-chan BlockOutcome { return tb.outcomes }
+
+// NewClient creates a workload driver whose transactions are endorsed by
+// every endorser peer and submitted to the ordering service.
+func (tb *Testbed) NewClient(w Workload, seed int64) (*client.Driver, error) {
+	clientOrg := tb.Config.Orgs[0].Name
+	id, err := tb.Network.LookupByName("client0." + clientOrg)
+	if err != nil {
+		return nil, fmt.Errorf("bmac: first org needs a client: %w", err)
+	}
+	d := client.NewDriver(id, tb.Endorsers, tb.Orderer, w, tb.Config.Channel, seed)
+	tb.clients = append(tb.clients, d)
+	return d, nil
+}
+
+// Bootstrap seeds the genesis state for a workload in every store:
+// endorsers, the software peer and the BMac peer's in-hardware database.
+func (tb *Testbed) Bootstrap(w Workload) error {
+	stores := []*statedb.Store{tb.SWPeer.Validator.Store()}
+	for _, e := range tb.Endorsers {
+		stores = append(stores, e.Store())
+	}
+	if err := client.Bootstrap(w, tb.registry, stores...); err != nil {
+		return err
+	}
+	return client.BootstrapHardware(w, tb.registry, tb.SWPeer.Validator.Store(), tb.BMacPeer.Proc.DB())
+}
+
+// AwaitBlocks collects n block outcomes or times out.
+func (tb *Testbed) AwaitBlocks(n int, timeout time.Duration) ([]BlockOutcome, error) {
+	out := make([]BlockOutcome, 0, n)
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case o := <-tb.outcomes:
+			out = append(out, o)
+		case <-deadline:
+			return out, fmt.Errorf("bmac: %d/%d blocks after %v", len(out), n, timeout)
+		}
+	}
+	return out, nil
+}
+
+// Close shuts the network down.
+func (tb *Testbed) Close() error {
+	tb.Orderer.Stop()
+	tb.cluster.Stop()
+	var firstErr error
+	if err := tb.BMacPeer.Close(); err != nil {
+		firstErr = err
+	}
+	if err := tb.SWPeer.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
