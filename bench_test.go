@@ -264,6 +264,32 @@ func BenchmarkTable1Resources(b *testing.B) {
 	b.ReportMetric(lut, "lut_16x2_%")
 }
 
+// BenchmarkPipelineSpeedup measures the parallel pipelined commit engine
+// (internal/pipeline) against the sequential software validator on a chain
+// of low-conflict blocks — the repo's first step past the paper's software
+// baseline. The headline metric is wall-clock speedup; it exceeds 1.0x on
+// multi-core hosts and degrades gracefully to ~1x on a single core.
+func BenchmarkPipelineSpeedup(b *testing.B) {
+	env := benchEnv(b)
+	spec := experiments.ConflictChainSpec{
+		Blocks: 4, Txs: 100, Endorsements: 2, Reads: 2, Writes: 2,
+		HotKeys: 8, HotProb: 0, Seed: 1,
+	}
+	if _, err := env.MeasurePipeline(spec, "2of2", 0, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := env.MeasurePipeline(spec, "2of2", 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = cmp.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup_x")
+}
+
 // BenchmarkHeadline reports the paper's headline speedup: simulated BMac
 // peak vs measured 16-worker software validation (paper ~12x).
 func BenchmarkHeadline(b *testing.B) {

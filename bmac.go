@@ -26,16 +26,23 @@ import (
 	"bmac/internal/config"
 	"bmac/internal/experiments"
 	"bmac/internal/metrics"
+	"bmac/internal/validator"
 )
+
+// StageBreakdown is the per-stage/per-operation timing breakdown reported
+// by the software validator peers (sequential and parallel pipelined).
+type StageBreakdown = validator.Breakdown
 
 // Config is the BMac network/architecture configuration (paper §3.5).
 type Config = config.Config
 
-// ArchSpec, OrgSpec and ChaincodeSpec are configuration components.
+// ArchSpec, OrgSpec, ChaincodeSpec and PipelineSpec are configuration
+// components.
 type (
 	ArchSpec      = config.ArchSpec
 	OrgSpec       = config.OrgSpec
 	ChaincodeSpec = config.ChaincodeSpec
+	PipelineSpec  = config.PipelineSpec
 )
 
 // LoadConfig reads a YAML configuration file.

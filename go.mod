@@ -1,0 +1,3 @@
+module bmac
+
+go 1.24

@@ -40,11 +40,30 @@ type invocation = struct {
 
 // SmallbankWorkload drives the smallbank benchmark over `accounts`
 // accounts with the standard operation mix.
+//
+// Skew dials in hot-account contention: 0 (or <= 1) picks accounts
+// uniformly, while values > 1 draw them from a Zipf distribution with that
+// exponent, concentrating traffic on low-numbered accounts. Higher skew
+// means more read/write overlap between in-flight transactions — the
+// conflict-rate axis of the pipeline experiments.
 type SmallbankWorkload struct {
 	Accounts int
+	Skew     float64
 }
 
 var _ Workload = SmallbankWorkload{}
+
+// accountPicker returns an account sampler, uniform or Zipf-skewed. The
+// workload value is stateless (determinism lives in the caller's rng), so
+// the Zipf state is rebuilt per invocation and shared by all draws of one
+// transaction.
+func (w SmallbankWorkload) accountPicker(rng *mrand.Rand) func() int {
+	if w.Skew <= 1 {
+		return func() int { return rng.Intn(w.Accounts) }
+	}
+	z := mrand.NewZipf(rng, w.Skew, 1, uint64(w.Accounts-1))
+	return func() int { return int(z.Uint64()) }
+}
 
 // Chaincode implements Workload.
 func (SmallbankWorkload) Chaincode() string { return "smallbank" }
@@ -63,8 +82,9 @@ func (w SmallbankWorkload) Setup() []invocation {
 
 // Next implements Workload.
 func (w SmallbankWorkload) Next(rng *mrand.Rand) (string, []string) {
-	a := strconv.Itoa(rng.Intn(w.Accounts))
-	b := strconv.Itoa(rng.Intn(w.Accounts))
+	pick := w.accountPicker(rng)
+	a := strconv.Itoa(pick())
+	b := strconv.Itoa(pick())
 	amt := strconv.Itoa(1 + rng.Intn(100))
 	switch rng.Intn(5) {
 	case 0:

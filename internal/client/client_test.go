@@ -2,6 +2,7 @@ package client
 
 import (
 	mrand "math/rand"
+	"strconv"
 	"testing"
 
 	"bmac/internal/block"
@@ -192,5 +193,41 @@ func TestDRMWorkloadRuns(t *testing.T) {
 	d := NewDriver(f.client, []*endorser.Endorser{f.e1, f.e2}, sub, w, "ch1", 9)
 	if err := d.Run(10); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSmallbankSkewConcentratesAccounts checks the hot-account Zipf dial:
+// high skew must concentrate traffic on low-numbered accounts while zero
+// skew stays roughly uniform; both must remain deterministic per seed.
+func TestSmallbankSkewConcentratesAccounts(t *testing.T) {
+	const accounts, draws = 100, 2000
+	countLow := func(skew float64, seed int64) int {
+		w := SmallbankWorkload{Accounts: accounts, Skew: skew}
+		rng := mrand.New(mrand.NewSource(seed))
+		low := 0
+		for i := 0; i < draws; i++ {
+			_, args := w.Next(rng)
+			a, err := strconv.Atoi(args[0])
+			if err != nil || a < 0 || a >= accounts {
+				t.Fatalf("bad account %q", args[0])
+			}
+			if a < accounts/10 {
+				low++
+			}
+		}
+		return low
+	}
+	uniform := countLow(0, 1)
+	skewed := countLow(2.0, 1)
+	// Uniform: ~10% of draws hit the low decile. Zipf(2.0): the vast
+	// majority do.
+	if uniform > draws/4 {
+		t.Errorf("uniform low-decile share too high: %d/%d", uniform, draws)
+	}
+	if skewed < draws/2 {
+		t.Errorf("skewed low-decile share too low: %d/%d", skewed, draws)
+	}
+	if again := countLow(2.0, 1); again != skewed {
+		t.Errorf("skewed workload not deterministic: %d vs %d", skewed, again)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"bmac/internal/core"
 	"bmac/internal/hwsim"
 	"bmac/internal/identity"
+	"bmac/internal/pipeline"
 	"bmac/internal/policy"
 	"bmac/internal/validator"
 	"bmac/internal/yamllite"
@@ -45,12 +46,24 @@ type ArchSpec struct {
 	MaxBlockTxs  int
 }
 
+// PipelineSpec declares the software parallel commit engine parameters
+// (internal/pipeline).
+type PipelineSpec struct {
+	// Workers is the goroutine budget per parallel stage; 0 means
+	// GOMAXPROCS at engine construction.
+	Workers int
+	// Depth is the number of blocks allowed in flight between pipeline
+	// stages; 0 means the engine default (4).
+	Depth int
+}
+
 // Config is the parsed BMac configuration.
 type Config struct {
 	Channel    string
 	Orgs       []OrgSpec
 	Chaincodes []ChaincodeSpec
 	Arch       ArchSpec
+	Pipeline   PipelineSpec
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -158,6 +171,15 @@ func Parse(raw []byte) (*Config, error) {
 			cfg.Arch.MaxBlockTxs = int(v)
 		}
 	}
+
+	if pipe, ok := yamllite.GetMap(root, "pipeline"); ok {
+		if v, ok := yamllite.GetInt(pipe, "workers"); ok {
+			cfg.Pipeline.Workers = int(v)
+		}
+		if v, ok := yamllite.GetInt(pipe, "depth"); ok {
+			cfg.Pipeline.Depth = int(v)
+		}
+	}
 	return cfg, cfg.Validate()
 }
 
@@ -178,6 +200,10 @@ func (c *Config) Validate() error {
 	if !hwsim.Resources(c.Arch.TxValidators, c.Arch.VSCCEngines).FitsU250() {
 		return fmt.Errorf("%w: architecture %dx%d does not fit the U250",
 			ErrInvalid, c.Arch.TxValidators, c.Arch.VSCCEngines)
+	}
+	if c.Pipeline.Workers < 0 || c.Pipeline.Depth < 0 {
+		return fmt.Errorf("%w: pipeline workers=%d depth=%d must be >= 0",
+			ErrInvalid, c.Pipeline.Workers, c.Pipeline.Depth)
 	}
 	return nil
 }
@@ -230,6 +256,20 @@ func (c *Config) ValidatorConfig(workers int) (validator.Config, error) {
 		return validator.Config{}, err
 	}
 	return validator.Config{Workers: workers, Policies: pols}, nil
+}
+
+// PipelineConfig materializes the parallel commit engine configuration from
+// the `pipeline` knob.
+func (c *Config) PipelineConfig() (pipeline.Config, error) {
+	pols, err := c.Policies()
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	return pipeline.Config{
+		Workers:  c.Pipeline.Workers,
+		Depth:    c.Pipeline.Depth,
+		Policies: pols,
+	}, nil
 }
 
 // HWSimConfig materializes the timing simulator configuration.

@@ -28,6 +28,9 @@ architecture:
   vscc_engines: 2
   db_capacity: 8192
   max_block_txs: 256
+pipeline:
+  workers: 6
+  depth: 3
 `
 
 func TestParseSample(t *testing.T) {
@@ -46,6 +49,29 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.Arch.TxValidators != 8 || cfg.Arch.DBCapacity != 8192 {
 		t.Errorf("arch = %+v", cfg.Arch)
+	}
+	if cfg.Pipeline.Workers != 6 || cfg.Pipeline.Depth != 3 {
+		t.Errorf("pipeline = %+v", cfg.Pipeline)
+	}
+}
+
+func TestPipelineConfigDefaultsAndMaterialization(t *testing.T) {
+	cfg := Default()
+	if cfg.Pipeline.Workers != 0 || cfg.Pipeline.Depth != 0 {
+		t.Errorf("default pipeline spec should be zero (engine chooses): %+v", cfg.Pipeline)
+	}
+	pc, err := cfg.PipelineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Policies) != len(cfg.Chaincodes) {
+		t.Errorf("pipeline policies = %d, want %d", len(pc.Policies), len(cfg.Chaincodes))
+	}
+
+	bad := Default()
+	bad.Pipeline.Workers = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative pipeline workers accepted")
 	}
 }
 

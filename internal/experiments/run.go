@@ -43,7 +43,7 @@ func Names() []string {
 	return []string{
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
-		"headline", "ablations",
+		"headline", "ablations", "pipeline",
 	}
 }
 
@@ -61,6 +61,7 @@ var Titles = map[string]string{
 	"table1":    "Table 1: FPGA resource utilization (model)",
 	"headline":  "Headline: peak throughput and speedup",
 	"ablations": "Ablations: design-choice benches",
+	"pipeline":  "Pipeline: parallel commit engine speedup vs block size and conflict rate",
 }
 
 // Run executes one experiment by id.
@@ -90,6 +91,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return Headline(r.env, r.opts)
 	case "ablations":
 		return Ablations(r.env, r.opts)
+	case "pipeline":
+		return FigPipeline(r.env, r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

@@ -1,8 +1,12 @@
-// Package peer assembles the two validator peer flavors of the paper's
-// experimental setup (Figure 8):
+// Package peer assembles the three validator peer flavors of the paper's
+// experimental setup (Figure 8) and its software-parallel extension:
 //
 //   - SWPeer: a software-only validator (sw_validator) — gossip intake,
 //     validation pipeline, state database and ledger.
+//
+//   - ParallelPeer: the software parallel commit engine
+//     (internal/pipeline) — the same Fabric semantics as SWPeer but with
+//     pipelined stages and dependency-scheduled intra-block parallelism.
 //
 //   - BMacPeer: the hardware-accelerated peer — the BMac protocol receiver
 //     and block processor "in hardware" (internal/bmacproto +
@@ -22,6 +26,7 @@ import (
 	"bmac/internal/core"
 	"bmac/internal/identity"
 	"bmac/internal/ledger"
+	"bmac/internal/pipeline"
 	"bmac/internal/statedb"
 	"bmac/internal/validator"
 )
@@ -34,6 +39,9 @@ type CommitResult struct {
 	CommitHash []byte
 	// HWStats is populated by BMac peers only.
 	HWStats core.Stats
+	// Breakdown is populated by the software peers (SWPeer, ParallelPeer)
+	// so callers can compare per-stage timings.
+	Breakdown validator.Breakdown
 }
 
 // SWPeer is a software-only validator peer.
@@ -67,11 +75,55 @@ func (p *SWPeer) CommitBlock(b *block.Block) (CommitResult, error) {
 		BlockValid: res.BlockValid,
 		Flags:      res.Flags,
 		CommitHash: res.CommitHash,
+		Breakdown:  res.Breakdown,
 	}, nil
 }
 
 // Close releases the ledger.
 func (p *SWPeer) Close() error { return p.Ledger.Close() }
+
+// ParallelPeer is a software validator peer backed by the parallel
+// pipelined commit engine.
+type ParallelPeer struct {
+	Engine *pipeline.Engine
+	Ledger *ledger.Ledger
+}
+
+// NewParallelPeer creates a parallel peer with a fresh state database and a
+// ledger in dir.
+func NewParallelPeer(cfg pipeline.Config, dir string) (*ParallelPeer, error) {
+	led, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("parallel peer ledger: %w", err)
+	}
+	return &ParallelPeer{
+		Engine: pipeline.New(cfg, statedb.NewStore(), led),
+		Ledger: led,
+	}, nil
+}
+
+// CommitBlock validates and commits one received block. The engine still
+// parallelizes the stages internally; use Submit/Results on the Engine
+// directly for inter-block pipelining.
+func (p *ParallelPeer) CommitBlock(b *block.Block) (CommitResult, error) {
+	res, err := p.Engine.ValidateAndCommit(block.Marshal(b))
+	if err != nil {
+		return CommitResult{}, err
+	}
+	return CommitResult{
+		BlockNum:   res.BlockNum,
+		BlockValid: res.BlockValid,
+		Flags:      res.Flags,
+		CommitHash: res.CommitHash,
+		Breakdown:  res.Breakdown,
+	}, nil
+}
+
+// Close drains the engine and releases the ledger.
+func (p *ParallelPeer) Close() error {
+	p.Engine.Close()
+	return p.Ledger.Close()
+}
 
 // BMacPeer is the hardware-accelerated validator peer.
 type BMacPeer struct {

@@ -11,6 +11,7 @@ import (
 	"bmac/internal/gossip"
 	"bmac/internal/identity"
 	"bmac/internal/orderer"
+	"bmac/internal/pipeline"
 	"bmac/internal/policy"
 	"bmac/internal/raft"
 	"bmac/internal/statedb"
@@ -345,5 +346,82 @@ func TestSWPeerRejectsTamperedBlock(t *testing.T) {
 	b.Metadata.Signature.Signature[3] ^= 0xff
 	if _, err := swPeer.CommitBlock(b); err == nil {
 		t.Error("tampered orderer signature accepted")
+	}
+}
+
+// TestParallelPeerMatchesSWPeer commits the same blocks through an SWPeer
+// and a ParallelPeer and requires identical flags, commit hashes and
+// ledger heights — the three-way cross-check the Testbed performs, in
+// miniature.
+func TestParallelPeerMatchesSWPeer(t *testing.T) {
+	net := identity.NewNetwork()
+	if _, err := net.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := net.NewIdentity("Org1", identity.RoleClient)
+	ordID, _ := net.NewIdentity("Org1", identity.RoleOrderer)
+	endorser, _ := net.NewIdentity("Org1", identity.RolePeer)
+	pols := map[string]*policy.Policy{"cc": policy.MustParse("1of1")}
+
+	swPeer, err := NewSWPeer(validator.Config{Workers: 2, Policies: pols}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer swPeer.Close()
+	parPeer, err := NewParallelPeer(pipeline.Config{Workers: 4, Policies: pols}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parPeer.Close()
+
+	var prevHash []byte
+	for n := uint64(0); n < 3; n++ {
+		envs := make([]block.Envelope, 0, 4)
+		for i := 0; i < 4; i++ {
+			rw := block.RWSet{Writes: []block.KVWrite{{
+				Key:   "acct" + string(rune('0'+i)),
+				Value: []byte{byte(n)},
+			}}}
+			if n > 0 && i == 0 {
+				rw.Reads = []block.KVRead{{
+					Key:     "acct0",
+					Version: block.Version{BlockNum: n - 1, TxNum: 0},
+				}}
+			}
+			env, err := block.NewEndorsedEnvelope(block.TxSpec{
+				Creator: client, Chaincode: "cc", Channel: "ch",
+				RWSet: rw, Endorsers: []*identity.Identity{endorser},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs = append(envs, *env)
+		}
+		b, err := block.NewBlock(n, prevHash, envs, ordID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevHash = block.HeaderHash(&b.Header)
+		swRes, err := swPeer.CommitBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, err := parPeer.CommitBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !block.FlagsEqual(swRes.Flags, parRes.Flags) {
+			t.Fatalf("block %d: flags diverge: sw %v par %v", n, swRes.Flags, parRes.Flags)
+		}
+		if !bytes.Equal(swRes.CommitHash, parRes.CommitHash) {
+			t.Fatalf("block %d: commit hash diverges", n)
+		}
+	}
+	if swPeer.Ledger.Height() != parPeer.Ledger.Height() {
+		t.Error("ledger heights diverge")
+	}
+	if !statedb.SnapshotsEqual(
+		swPeer.Validator.Store().Snapshot(), parPeer.Engine.Store().Snapshot()) {
+		t.Error("state diverged")
 	}
 }

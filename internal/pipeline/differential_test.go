@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/statedb"
+	"bmac/internal/validator"
+)
+
+// randomRWSet builds a read/write set over a small shared key pool. Reads
+// are endorsed at the version currently in `world` (the pre-block state a
+// live endorser would observe), with occasional deliberately stale versions
+// to force mvcc conflicts; hot keys force intra-block dependencies.
+func randomRWSet(rng *rand.Rand, world map[string]block.Version) block.RWSet {
+	var rw block.RWSet
+	nReads := rng.Intn(3)
+	for r := 0; r < nReads; r++ {
+		key := "k" + strconv.Itoa(rng.Intn(6))
+		ver := world[key]
+		if rng.Intn(8) == 0 {
+			ver = block.Version{BlockNum: ver.BlockNum + 1} // stale/wrong
+		}
+		rw.Reads = append(rw.Reads, block.KVRead{Key: key, Version: ver})
+	}
+	nWrites := 1 + rng.Intn(2)
+	for wi := 0; wi < nWrites; wi++ {
+		key := "k" + strconv.Itoa(rng.Intn(6))
+		rw.Writes = append(rw.Writes, block.KVWrite{
+			Key: key, Value: []byte{byte(rng.Intn(256))},
+		})
+	}
+	return rw
+}
+
+// buildRandomBlocks creates a chain of blocks with random fault injection
+// (bad client signatures, corrupt/missing endorsements, stale reads) and
+// simultaneously tracks the endorsement-time world state by replaying the
+// sequential validator's semantics per block.
+func buildRandomBlocks(t *testing.T, r *rig, rng *rand.Rand, nBlocks int) [][]byte {
+	t.Helper()
+	world := make(map[string]block.Version) // committed version per key
+	raws := make([][]byte, 0, nBlocks)
+	sw := validator.New(validator.Config{
+		Workers: 3, Policies: r.pols, SkipLedger: true,
+	}, statedb.NewStore(), nil)
+
+	for n := 0; n < nBlocks; n++ {
+		nTxs := 1 + rng.Intn(10)
+		rws := make([]block.RWSet, 0, nTxs)
+		envs := make([]block.Envelope, 0, nTxs)
+		for i := 0; i < nTxs; i++ {
+			spec := block.TxSpec{
+				Creator:   r.client,
+				Chaincode: "smallbank",
+				Channel:   "ch1",
+				RWSet:     randomRWSet(rng, world),
+				Endorsers: r.peers[:2],
+			}
+			switch rng.Intn(6) {
+			case 0:
+				spec.CorruptClientSig = true
+			case 1:
+				spec.CorruptEndorsementIdx = 1 + rng.Intn(2)
+			case 2:
+				spec.Endorsers = r.peers[:1] // policy failure (2of2)
+			}
+			env, err := block.NewEndorsedEnvelope(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rws = append(rws, spec.RWSet)
+			envs = append(envs, *env)
+		}
+		b, err := block.NewBlock(uint64(n), nil, envs, r.orderer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := block.Marshal(b)
+		raws = append(raws, raw)
+
+		// Advance the endorsement-time world using the reference validator
+		// so later blocks read versions a live endorser would have seen.
+		res, err := sw.ValidateAndCommit(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range res.Flags {
+			if block.ValidationCode(f) != block.Valid {
+				continue
+			}
+			for _, wr := range rws[i].Writes {
+				world[wr.Key] = block.Version{BlockNum: uint64(n), TxNum: uint64(i)}
+			}
+		}
+	}
+	return raws
+}
+
+// TestDifferentialRandomized is the pipeline counterpart of
+// internal/core/differential_test.go: random multi-block chains with fault
+// injection, validated by the sequential validator and the parallel engine
+// in lockstep. Flags, commit hash and final state must be byte-identical.
+// Run with -race to also shake out scheduler/cache races.
+func TestDifferentialRandomized(t *testing.T) {
+	r := newRig(t)
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		raws := buildRandomBlocks(t, r, rng, 6)
+
+		sw := validator.New(validator.Config{
+			Workers: 3, Policies: r.pols, SkipLedger: true,
+		}, statedb.NewStore(), nil)
+		eng := New(Config{Workers: 4, Policies: r.pols, SkipLedger: true},
+			statedb.NewStore(), nil)
+
+		for n, raw := range raws {
+			swRes, swErr := sw.ValidateAndCommit(raw)
+			parRes, parErr := eng.ValidateAndCommit(raw)
+			if (swErr == nil) != (parErr == nil) {
+				t.Fatalf("seed %d block %d: error divergence sw=%v par=%v", seed, n, swErr, parErr)
+			}
+			if !block.FlagsEqual(swRes.Flags, parRes.Flags) {
+				t.Fatalf("seed %d block %d: flags diverge\n  sw  %v\n  par %v",
+					seed, n, swRes.Flags, parRes.Flags)
+			}
+			if string(swRes.CommitHash) != string(parRes.CommitHash) {
+				t.Fatalf("seed %d block %d: commit hash diverges", seed, n)
+			}
+			if swRes.BlockValid != parRes.BlockValid {
+				t.Fatalf("seed %d block %d: validity diverges", seed, n)
+			}
+		}
+		if !statedb.SnapshotsEqual(sw.Store().Snapshot(), eng.Store().Snapshot()) {
+			t.Fatalf("seed %d: final state diverged", seed)
+		}
+		eng.Close()
+	}
+}
+
+// TestDifferentialPipelined feeds whole chains through Submit/Results so
+// blocks genuinely overlap in the pipeline, then compares every outcome and
+// the final state against the sequential validator.
+func TestDifferentialPipelined(t *testing.T) {
+	r := newRig(t)
+	for seed := int64(100); seed <= 102; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		raws := buildRandomBlocks(t, r, rng, 8)
+
+		sw := validator.New(validator.Config{
+			Workers: 3, Policies: r.pols, SkipLedger: true,
+		}, statedb.NewStore(), nil)
+		swResults := make([]*validator.Result, len(raws))
+		for n, raw := range raws {
+			res, err := sw.ValidateAndCommit(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swResults[n] = res
+		}
+
+		eng := New(Config{Workers: 4, Policies: r.pols, SkipLedger: true},
+			statedb.NewStore(), nil)
+		for _, raw := range raws {
+			eng.Submit(raw)
+		}
+		for n := range raws {
+			o := <-eng.Results()
+			if o.Err != nil {
+				t.Fatalf("seed %d block %d: %v", seed, n, o.Err)
+			}
+			if o.Res.BlockNum != uint64(n) {
+				t.Fatalf("seed %d: results out of order", seed)
+			}
+			if !block.FlagsEqual(o.Res.Flags, swResults[n].Flags) {
+				t.Fatalf("seed %d block %d: flags diverge\n  sw  %v\n  par %v",
+					seed, n, swResults[n].Flags, o.Res.Flags)
+			}
+			if string(o.Res.CommitHash) != string(swResults[n].CommitHash) {
+				t.Fatalf("seed %d block %d: commit hash diverges", seed, n)
+			}
+		}
+		if !statedb.SnapshotsEqual(sw.Store().Snapshot(), eng.Store().Snapshot()) {
+			t.Fatalf("seed %d: final state diverged", seed)
+		}
+		eng.Close()
+	}
+}

@@ -1,0 +1,334 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/ledger"
+	"bmac/internal/policy"
+	"bmac/internal/statedb"
+	"bmac/internal/validator"
+)
+
+// Config parameterizes the parallel commit engine.
+type Config struct {
+	// Workers is the goroutine budget per parallel stage (unmarshal, vscc,
+	// mvcc/commit). Zero means GOMAXPROCS.
+	Workers int
+	// Policies maps chaincode name to its endorsement policy.
+	Policies map[string]*policy.Policy
+	// SkipLedger excludes the ledger commit, as the paper's metrics do.
+	SkipLedger bool
+	// Depth is the number of blocks allowed in flight between stages
+	// (default 4). Higher values buy more inter-block overlap at the cost
+	// of memory.
+	Depth int
+}
+
+// Result is the outcome of one block, identical in content to the
+// sequential validator's result.
+type Result = validator.Result
+
+// Outcome pairs a block result with its error, preserving submission order
+// on the Results channel. Err mirrors the sequential validator's error
+// return (e.g. validator.ErrBlockInvalid for a bad orderer signature).
+type Outcome struct {
+	Res *Result
+	Err error
+}
+
+// job carries one block through the stage pipeline.
+type job struct {
+	raw   []byte
+	start time.Time
+
+	b    *block.Block
+	txs  []validator.ParsedTx
+	res  *Result
+	err  error
+	bd   validator.Breakdown
+	skip bool // no commit: unmarshal or block verification failed
+}
+
+// Engine is the parallel pipelined commit engine. Blocks submitted in order
+// flow through four stages — unmarshal, block-verify+vscc, dependency-
+// scheduled mvcc, state/ledger flush — each stage a goroutine, so up to
+// four blocks are processed concurrently, and the heavy stages additionally
+// fan work out across Workers goroutines.
+//
+// Blocks must be submitted in increasing header-number order by a single
+// goroutine (or via the synchronous ValidateAndCommit).
+type Engine struct {
+	cfg   Config
+	cache *MVCache
+	led   *ledger.Ledger
+
+	in  chan *job
+	out chan Outcome
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// New creates and starts an engine over its own stage goroutines. led may
+// be nil when cfg.SkipLedger is set.
+func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 4
+	}
+	e := &Engine{
+		cfg:   cfg,
+		cache: NewMVCache(store),
+		led:   led,
+		in:    make(chan *job, cfg.Depth),
+		out:   make(chan Outcome, cfg.Depth),
+		done:  make(chan struct{}),
+	}
+	parsed := make(chan *job, cfg.Depth)
+	verified := make(chan *job, cfg.Depth)
+	decided := make(chan *job, cfg.Depth)
+	go e.parseStage(e.in, parsed)
+	go e.verifyStage(parsed, verified)
+	go e.decideStage(verified, decided)
+	go e.flushStage(decided)
+	return e
+}
+
+// Store returns the backing state database.
+func (e *Engine) Store() *statedb.Store { return e.cache.Store() }
+
+// Cache returns the multi-version state cache.
+func (e *Engine) Cache() *MVCache { return e.cache }
+
+// Submit feeds one marshaled block into the pipeline. Results arrive on
+// Results() in submission order.
+func (e *Engine) Submit(raw []byte) {
+	e.in <- &job{raw: raw, start: time.Now()}
+}
+
+// Results delivers one Outcome per submitted block, in order.
+func (e *Engine) Results() <-chan Outcome { return e.out }
+
+// ValidateAndCommit runs one block synchronously through the pipeline:
+// same contract as validator.Validator.ValidateAndCommit. Within a single
+// block the engine still parallelizes unmarshal, vscc and the dependency-
+// scheduled commit; inter-block overlap requires Submit.
+func (e *Engine) ValidateAndCommit(raw []byte) (*Result, error) {
+	e.Submit(raw)
+	o := <-e.out
+	return o.Res, o.Err
+}
+
+// Close drains the pipeline and releases the stage goroutines. The engine
+// must not be used afterwards. The ledger, if any, is NOT closed (the
+// caller owns it).
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		close(e.in)
+		<-e.done
+	})
+}
+
+// --- stage 1: unmarshal ---
+
+func (e *Engine) parseStage(in <-chan *job, next chan<- *job) {
+	defer close(next)
+	for j := range in {
+		t := time.Now()
+		b, err := block.Unmarshal(j.raw)
+		if err != nil {
+			j.err = err
+			j.skip = true
+			next <- j
+			continue
+		}
+		j.b = b
+		j.txs = make([]validator.ParsedTx, len(b.Envelopes))
+		// Fan the per-transaction payload decoding out across workers —
+		// the sequential validator decodes one transaction at a time.
+		parallelFor(len(j.txs), e.cfg.Workers, func(i int) {
+			j.txs[i] = validator.ParseTx(b.Envelopes[i].PayloadBytes)
+		})
+		j.bd.Unmarshal = time.Since(t)
+		next <- j
+	}
+}
+
+// --- stage 2: block verification + vscc ---
+
+func (e *Engine) verifyStage(in <-chan *job, next chan<- *job) {
+	defer close(next)
+	for j := range in {
+		if j.skip {
+			next <- j
+			continue
+		}
+		j.res = &Result{BlockNum: j.b.Header.Number, Flags: make([]byte, len(j.txs))}
+
+		t := time.Now()
+		blockErr := validator.VerifyOrderer(j.b, &j.bd)
+		j.bd.BlockVerify = time.Since(t)
+		if blockErr != nil {
+			for i := range j.res.Flags {
+				j.res.Flags[i] = byte(block.InvalidOther)
+			}
+			j.err = fmt.Errorf("%w: %v", validator.ErrBlockInvalid, blockErr)
+			j.skip = true
+			next <- j
+			continue
+		}
+		j.res.BlockValid = true
+
+		t = time.Now()
+		locals := make([]validator.Breakdown, len(j.txs))
+		parallelFor(len(j.txs), e.cfg.Workers, func(i int) {
+			j.res.Flags[i] = byte(validator.VSCCOne(&j.b.Envelopes[i], &j.txs[i], e.cfg.Policies, &locals[i]))
+		})
+		for i := range locals {
+			j.bd.ECDSATime += locals[i].ECDSATime
+			j.bd.ECDSACount += locals[i].ECDSACount
+			j.bd.SHA256Time += locals[i].SHA256Time
+			j.bd.SHA256Count += locals[i].SHA256Count
+		}
+		j.bd.VerifyVSCC = time.Since(t)
+		next <- j
+	}
+}
+
+// --- stage 3: dependency-scheduled mvcc ---
+
+func (e *Engine) decideStage(in <-chan *job, next chan<- *job) {
+	defer close(next)
+	for j := range in {
+		if j.skip {
+			next <- j
+			continue
+		}
+		t := time.Now()
+		blockNum := j.b.Header.Number
+		flags := j.res.Flags
+
+		accs := make([]Access, len(j.txs))
+		for i := range j.txs {
+			if flags[i] == byte(block.Valid) {
+				accs[i] = AccessOf(j.txs[i].RW)
+			}
+		}
+		g := BuildGraph(accs)
+		RunGraph(g, e.cfg.Workers, func(i int) {
+			if flags[i] != byte(block.Valid) {
+				return
+			}
+			rw := j.txs[i].RW
+			for _, r := range rw.Reads {
+				// An earlier valid transaction of this block wrote the key:
+				// same verdict as the sequential writtenInBlock check. The
+				// scheduler guarantees every such writer is already decided.
+				if e.cache.WrittenBy(r.Key, blockNum, uint64(i)) {
+					flags[i] = byte(block.MVCCReadConflict)
+					return
+				}
+			}
+			if !e.cache.MVCCCheck(rw.Reads, blockNum) {
+				flags[i] = byte(block.MVCCReadConflict)
+				return
+			}
+			// Decision is final: publish the writes so dependents (and the
+			// next block's mvcc stage) observe them before the flush lands.
+			ver := block.Version{BlockNum: blockNum, TxNum: uint64(i)}
+			for _, w := range rw.Writes {
+				e.cache.Put(w.Key, w.Value, ver)
+			}
+		})
+		j.bd.MVCC = time.Since(t)
+		j.b.Metadata.ValidationFlags = flags
+		next <- j
+	}
+}
+
+// --- stage 4: state database + ledger flush ---
+
+func (e *Engine) flushStage(in <-chan *job) {
+	defer close(e.done)
+	defer close(e.out)
+	for j := range in {
+		if j.skip {
+			if j.res != nil {
+				j.bd.Total = time.Since(j.start)
+				j.res.Breakdown = j.bd
+			}
+			e.out <- Outcome{Res: j.res, Err: j.err}
+			continue
+		}
+		t := time.Now()
+		store := e.cache.Store()
+		for i := range j.txs {
+			if j.res.Flags[i] != byte(block.Valid) {
+				continue
+			}
+			ver := block.Version{BlockNum: j.b.Header.Number, TxNum: uint64(i)}
+			store.WriteBatch(j.txs[i].RW.Writes, ver)
+		}
+		e.cache.Retire(j.b.Header.Number)
+		j.bd.StateDB = j.bd.MVCC + time.Since(t)
+
+		if !e.cfg.SkipLedger && e.led != nil {
+			tLed := time.Now()
+			ch, err := e.led.Commit(j.b)
+			if err != nil {
+				j.bd.Total = time.Since(j.start)
+				e.out <- Outcome{Err: fmt.Errorf("pipeline ledger commit block %d: %w", j.b.Header.Number, err)}
+				continue
+			}
+			j.res.CommitHash = ch
+			j.bd.LedgerCommit = time.Since(tLed)
+		} else {
+			j.res.CommitHash = block.CommitHash(nil, j.b.Header.DataHash, j.res.Flags)
+		}
+		j.bd.Total = time.Since(j.start)
+		j.res.Breakdown = j.bd
+		e.out <- Outcome{Res: j.res}
+	}
+}
+
+// parallelFor runs fn(0..n-1) across up to `workers` goroutines and waits.
+func parallelFor(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

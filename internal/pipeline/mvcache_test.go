@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"testing"
+
+	"bmac/internal/block"
+	"bmac/internal/statedb"
+)
+
+func v(b, t uint64) block.Version { return block.Version{BlockNum: b, TxNum: t} }
+
+func TestMVCacheFallsBackToStore(t *testing.T) {
+	store := statedb.NewStore()
+	store.Put("a", []byte("base"), v(1, 0))
+	c := NewMVCache(store)
+
+	ver, ok := c.Version("a", 5)
+	if !ok || ver != v(1, 0) {
+		t.Errorf("Version(a) = %v %v, want store version", ver, ok)
+	}
+	if _, ok := c.Version("missing", 5); ok {
+		t.Error("missing key should report ok=false")
+	}
+}
+
+func TestMVCacheResolvesCorrectBlockSnapshot(t *testing.T) {
+	store := statedb.NewStore()
+	store.Put("a", []byte("base"), v(1, 0))
+	c := NewMVCache(store)
+	c.Put("a", []byte("b3"), v(3, 7))
+	c.Put("a", []byte("b5"), v(5, 2))
+
+	cases := []struct {
+		blockNum uint64
+		want     block.Version
+	}{
+		{2, v(1, 0)}, // before any cached write: store version
+		{3, v(1, 0)}, // block 3 must not see its own writes
+		{4, v(3, 7)},
+		{5, v(3, 7)},
+		{6, v(5, 2)},
+	}
+	for _, tc := range cases {
+		got, ok := c.Version("a", tc.blockNum)
+		if !ok || got != tc.want {
+			t.Errorf("Version(a, block %d) = %v %v, want %v", tc.blockNum, got, ok, tc.want)
+		}
+	}
+	if vv, ok := c.Get("a", 6); !ok || string(vv.Value) != "b5" {
+		t.Errorf("Get(a, 6) = %q %v, want b5", vv.Value, ok)
+	}
+	if vv, ok := c.Get("a", 2); !ok || string(vv.Value) != "base" {
+		t.Errorf("Get(a, 2) = %q %v, want base", vv.Value, ok)
+	}
+}
+
+func TestMVCacheWrittenBy(t *testing.T) {
+	c := NewMVCache(statedb.NewStore())
+	c.Put("a", []byte("x"), v(4, 3))
+
+	if c.WrittenBy("a", 4, 3) {
+		t.Error("a tx must not conflict with itself")
+	}
+	if c.WrittenBy("a", 4, 2) {
+		t.Error("tx 2 precedes writer tx 3: no conflict")
+	}
+	if !c.WrittenBy("a", 4, 9) {
+		t.Error("tx 9 reads after tx 3 wrote in the same block: conflict")
+	}
+	if c.WrittenBy("a", 5, 9) {
+		t.Error("block 5 sees block 4's write as base state, not in-block")
+	}
+	if c.WrittenBy("b", 4, 9) {
+		t.Error("unwritten key reported as written")
+	}
+}
+
+func TestMVCacheMVCCCheck(t *testing.T) {
+	store := statedb.NewStore()
+	store.Put("a", []byte("x"), v(1, 0))
+	c := NewMVCache(store)
+	c.Put("a", []byte("y"), v(2, 5)) // unflushed block-2 write
+
+	// Block 3 endorsed against post-block-2 state.
+	if !c.MVCCCheck([]block.KVRead{{Key: "a", Version: v(2, 5)}}, 3) {
+		t.Error("read at the cached version should pass")
+	}
+	if c.MVCCCheck([]block.KVRead{{Key: "a", Version: v(1, 0)}}, 3) {
+		t.Error("stale read version should conflict")
+	}
+	// Block 2 itself still sees the pre-block-2 store state.
+	if !c.MVCCCheck([]block.KVRead{{Key: "a", Version: v(1, 0)}}, 2) {
+		t.Error("block 2 read at store version should pass")
+	}
+	// Absent keys match only the zero version.
+	if !c.MVCCCheck([]block.KVRead{{Key: "nope"}}, 3) {
+		t.Error("absent key at zero version should pass")
+	}
+	if c.MVCCCheck([]block.KVRead{{Key: "nope", Version: v(1, 1)}}, 3) {
+		t.Error("absent key at nonzero version should conflict")
+	}
+}
+
+func TestMVCacheRetire(t *testing.T) {
+	store := statedb.NewStore()
+	c := NewMVCache(store)
+	c.Put("a", []byte("b2"), v(2, 0))
+	c.Put("a", []byte("b3"), v(3, 0))
+	c.Put("b", []byte("b2"), v(2, 1))
+
+	// Simulate the flusher: block 2 lands in the store, then retires.
+	store.Put("a", []byte("b2"), v(2, 0))
+	store.Put("b", []byte("b2"), v(2, 1))
+	c.Retire(2)
+
+	if c.Len() != 1 {
+		t.Errorf("after retire: %d cached keys, want 1 (a@block3)", c.Len())
+	}
+	if ver, ok := c.Version("a", 3); !ok || ver != v(2, 0) {
+		t.Errorf("Version(a, 3) = %v %v, want store's (2,0)", ver, ok)
+	}
+	if ver, ok := c.Version("a", 4); !ok || ver != v(3, 0) {
+		t.Errorf("Version(a, 4) = %v %v, want cached (3,0)", ver, ok)
+	}
+}
+
+func TestMVCachePutOutOfOrderAndOverwrite(t *testing.T) {
+	c := NewMVCache(statedb.NewStore())
+	c.Put("a", []byte("late"), v(2, 9))
+	c.Put("a", []byte("early"), v(2, 1)) // decided out of order by the scheduler
+	if ver, ok := c.Version("a", 3); !ok || ver != v(2, 9) {
+		t.Errorf("latest version = %v %v, want (2,9)", ver, ok)
+	}
+	// A transaction writing the same key twice: last value wins.
+	c.Put("a", []byte("v1"), v(2, 9))
+	if vv, ok := c.Get("a", 3); !ok || string(vv.Value) != "v1" {
+		t.Errorf("overwrite: got %q", vv.Value)
+	}
+}

@@ -1,0 +1,62 @@
+package pipeline
+
+import "sync"
+
+// RunGraph executes decide(i) once for every transaction of g on up to
+// `workers` goroutines, never running a transaction before all of its
+// dependencies have been decided. Independent transactions run
+// concurrently; a conflict-free block becomes a pure worker-pool sweep,
+// while a fully serial block degrades gracefully to sequential execution.
+//
+// decide must be safe for concurrent invocation on distinct indices.
+func RunGraph(g *Graph, workers int, decide func(i int)) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// ready is buffered for every transaction so completions never block.
+	ready := make(chan int, n)
+	var (
+		mu        sync.Mutex
+		indegree  = make([]int, n)
+		completed int
+	)
+	copy(indegree, g.indegree)
+	for i := 0; i < n; i++ {
+		if indegree[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				decide(i)
+				mu.Lock()
+				for _, d := range g.Dependents(i) {
+					indegree[d]--
+					if indegree[d] == 0 {
+						ready <- d
+					}
+				}
+				completed++
+				done := completed == n
+				mu.Unlock()
+				if done {
+					close(ready) // releases every idle worker
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"bmac/internal/block"
 )
@@ -45,10 +46,11 @@ type Store struct {
 	mu   sync.RWMutex
 	data map[string]VersionedValue
 
-	// readDelay/writeDelay model the per-access latency of a disk-backed
-	// LevelDB; zero by default (pure in-memory).
-	reads  int
-	writes int
+	// Access counters are atomic: reads increment them while holding only
+	// the read lock, and the parallel commit engine issues concurrent
+	// version lookups.
+	reads  atomic.Int64
+	writes atomic.Int64
 }
 
 // NewStore creates an empty software state database.
@@ -60,7 +62,7 @@ func NewStore() *Store {
 func (s *Store) Get(key string) (VersionedValue, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	s.reads++
+	s.reads.Add(1)
 	v, ok := s.data[key]
 	if !ok {
 		return VersionedValue{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -74,7 +76,7 @@ func (s *Store) Get(key string) (VersionedValue, error) {
 func (s *Store) Version(key string) (block.Version, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	s.reads++
+	s.reads.Add(1)
 	v, ok := s.data[key]
 	return v.Version, ok
 }
@@ -87,7 +89,7 @@ func (s *Store) WriteBatch(writes []block.KVWrite, ver block.Version) {
 		val := make([]byte, len(w.Value))
 		copy(val, w.Value)
 		s.data[w.Key] = VersionedValue{Value: val, Version: ver}
-		s.writes++
+		s.writes.Add(1)
 	}
 }
 
@@ -105,9 +107,7 @@ func (s *Store) Len() int {
 
 // AccessCounts reports cumulative reads and writes (experiment metrics).
 func (s *Store) AccessCounts() (reads, writes int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.reads, s.writes
+	return int(s.reads.Load()), int(s.writes.Load())
 }
 
 // MVCCCheck re-reads each read-set key and compares versions, returning nil

@@ -113,13 +113,30 @@ func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Validator {
 // Store returns the validator's state database.
 func (v *Validator) Store() *statedb.Store { return v.store }
 
-// parsedTx is the fully unmarshaled view of one transaction.
-type parsedTx struct {
-	tx   *block.Transaction
-	rw   *block.RWSet
-	prp  []byte
-	err  error
-	code block.ValidationCode
+// ParsedTx is the fully unmarshaled view of one transaction. It is shared
+// with internal/pipeline so both commit engines decode transactions through
+// the same code path.
+type ParsedTx struct {
+	Tx   *block.Transaction
+	RW   *block.RWSet
+	PRP  []byte
+	Err  error
+	Code block.ValidationCode
+}
+
+// ParseTx decodes one envelope payload into a ParsedTx. Decode failures are
+// recorded in Err/Code rather than returned, because a malformed transaction
+// invalidates only itself (BadPayload), never the block.
+func ParseTx(payloadBytes []byte) ParsedTx {
+	tx, err := block.UnmarshalTransactionPayload(payloadBytes)
+	if err != nil {
+		return ParsedTx{Err: err, Code: block.BadPayload}
+	}
+	prp, err := block.UnmarshalProposalResponsePayload(tx.Payload.Action.ProposalResponseBytes)
+	if err != nil {
+		return ParsedTx{Err: err, Code: block.BadPayload}
+	}
+	return ParsedTx{Tx: tx, RW: &prp.Extension.Results, PRP: tx.Payload.Action.ProposalResponseBytes}
 }
 
 // ValidateAndCommit runs the full validation pipeline on a marshaled block.
@@ -135,19 +152,9 @@ func (v *Validator) ValidateAndCommit(raw []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	txs := make([]parsedTx, len(b.Envelopes))
+	txs := make([]ParsedTx, len(b.Envelopes))
 	for i := range b.Envelopes {
-		tx, err := block.UnmarshalTransactionPayload(b.Envelopes[i].PayloadBytes)
-		if err != nil {
-			txs[i] = parsedTx{err: err, code: block.BadPayload}
-			continue
-		}
-		prp, err := block.UnmarshalProposalResponsePayload(tx.Payload.Action.ProposalResponseBytes)
-		if err != nil {
-			txs[i] = parsedTx{err: err, code: block.BadPayload}
-			continue
-		}
-		txs[i] = parsedTx{tx: tx, rw: &prp.Extension.Results, prp: tx.Payload.Action.ProposalResponseBytes}
+		txs[i] = ParseTx(b.Envelopes[i].PayloadBytes)
 	}
 	bd.Unmarshal = time.Since(tUn)
 
@@ -164,12 +171,12 @@ func (v *Validator) ValidateAndCommitBlock(b *block.Block) (*Result, error) {
 	return v.ValidateAndCommit(block.Marshal(b))
 }
 
-func (v *Validator) validateParsed(b *block.Block, txs []parsedTx, start time.Time, bd Breakdown) (*Result, error) {
+func (v *Validator) validateParsed(b *block.Block, txs []ParsedTx, start time.Time, bd Breakdown) (*Result, error) {
 	res := &Result{BlockNum: b.Header.Number, Flags: make([]byte, len(txs))}
 
 	// Stage 2: block verification (orderer signature).
 	tBlk := time.Now()
-	blockErr := v.verifyOrderer(b, &bd)
+	blockErr := VerifyOrderer(b, &bd)
 	bd.BlockVerify = time.Since(tBlk)
 	if blockErr != nil {
 		for i := range res.Flags {
@@ -193,11 +200,11 @@ func (v *Validator) validateParsed(b *block.Block, txs []parsedTx, start time.Ti
 		if res.Flags[i] != byte(block.Valid) {
 			continue
 		}
-		if conflict := v.mvccOne(txs[i].rw, writtenInBlock); conflict {
+		if conflict := v.mvccOne(txs[i].RW, writtenInBlock); conflict {
 			res.Flags[i] = byte(block.MVCCReadConflict)
 			continue
 		}
-		for _, w := range txs[i].rw.Writes {
+		for _, w := range txs[i].RW.Writes {
 			writtenInBlock[w.Key] = true
 		}
 	}
@@ -210,7 +217,7 @@ func (v *Validator) validateParsed(b *block.Block, txs []parsedTx, start time.Ti
 			continue
 		}
 		ver := block.Version{BlockNum: b.Header.Number, TxNum: uint64(i)}
-		v.store.WriteBatch(txs[i].rw.Writes, ver)
+		v.store.WriteBatch(txs[i].RW.Writes, ver)
 	}
 	bd.StateDB = bd.MVCC + time.Since(tDB) // mvcc reads + commit writes
 
@@ -234,20 +241,21 @@ func (v *Validator) validateParsed(b *block.Block, txs []parsedTx, start time.Ti
 	return res, nil
 }
 
-// verifyOrderer verifies the block metadata signature, attributing hash and
-// ECDSA time to the operation counters.
-func (v *Validator) verifyOrderer(b *block.Block, bd *Breakdown) error {
+// VerifyOrderer verifies the block metadata signature, attributing hash and
+// ECDSA time to the operation counters. Exported so internal/pipeline's
+// block-verify stage is the same code as the sequential validator's.
+func VerifyOrderer(b *block.Block, bd *Breakdown) error {
 	ms := &b.Metadata.Signature
 	pub, err := fabcrypto.PublicKeyFromCert(ms.Creator)
 	if err != nil {
 		return err
 	}
 	msg := block.OrdererSigningBytes(&b.Header, ms.Nonce, ms.Creator)
-	digest := v.timedHash(msg, bd)
-	return v.timedVerify(pub, digest, ms.Signature, bd)
+	digest := timedHash(msg, bd)
+	return timedVerify(pub, digest, ms.Signature, bd)
 }
 
-func (v *Validator) timedHash(msg []byte, bd *Breakdown) []byte {
+func timedHash(msg []byte, bd *Breakdown) []byte {
 	t := time.Now()
 	d := sha256.Sum256(msg)
 	bd.SHA256Time += time.Since(t)
@@ -255,7 +263,7 @@ func (v *Validator) timedHash(msg []byte, bd *Breakdown) []byte {
 	return d[:]
 }
 
-func (v *Validator) timedVerify(pub *ecdsa.PublicKey, digest, sig []byte, bd *Breakdown) error {
+func timedVerify(pub *ecdsa.PublicKey, digest, sig []byte, bd *Breakdown) error {
 	t := time.Now()
 	err := fabcrypto.VerifyDigest(pub, digest, sig)
 	bd.ECDSATime += time.Since(t)
@@ -268,7 +276,7 @@ func (v *Validator) timedVerify(pub *ecdsa.PublicKey, digest, sig []byte, bd *Br
 // Per Fabric behaviour, every endorsement is signature-verified even when
 // the policy is already satisfied, and the policy expression is evaluated
 // without short-circuiting.
-func (v *Validator) verifyVSCCParallel(b *block.Block, txs []parsedTx, flags []byte, bd *Breakdown) {
+func (v *Validator) verifyVSCCParallel(b *block.Block, txs []ParsedTx, flags []byte, bd *Breakdown) {
 	var (
 		mu   sync.Mutex // merges per-worker op counters
 		next int
@@ -285,7 +293,7 @@ func (v *Validator) verifyVSCCParallel(b *block.Block, txs []parsedTx, flags []b
 			if i >= len(txs) {
 				break
 			}
-			flags[i] = byte(v.verifyAndVSCCOne(&b.Envelopes[i], &txs[i], &local))
+			flags[i] = byte(VSCCOne(&b.Envelopes[i], &txs[i], v.cfg.Policies, &local))
 		}
 		mu.Lock()
 		bd.ECDSATime += local.ECDSATime
@@ -305,46 +313,48 @@ func (v *Validator) verifyVSCCParallel(b *block.Block, txs []parsedTx, flags []b
 	wg.Wait()
 }
 
-// verifyAndVSCCOne validates one transaction: client signature, then all
-// endorsement signatures, then the endorsement policy.
-func (v *Validator) verifyAndVSCCOne(env *block.Envelope, p *parsedTx, bd *Breakdown) block.ValidationCode {
-	if p.err != nil {
-		return p.code
+// VSCCOne validates one transaction: client signature, then all endorsement
+// signatures, then the endorsement policy. Exported so internal/pipeline's
+// vscc stage shares the exact Fabric-equivalent semantics (every endorsement
+// verified, no short-circuiting).
+func VSCCOne(env *block.Envelope, p *ParsedTx, policies map[string]*policy.Policy, bd *Breakdown) block.ValidationCode {
+	if p.Err != nil {
+		return p.Code
 	}
 	// Transaction verification: client signature over the payload.
-	pub, err := fabcrypto.PublicKeyFromCert(p.tx.SignatureHeader.Creator)
+	pub, err := fabcrypto.PublicKeyFromCert(p.Tx.SignatureHeader.Creator)
 	if err != nil {
 		return block.BadCreator
 	}
-	digest := v.timedHash(env.PayloadBytes, bd)
-	if err := v.timedVerify(pub, digest, env.Signature, bd); err != nil {
+	digest := timedHash(env.PayloadBytes, bd)
+	if err := timedVerify(pub, digest, env.Signature, bd); err != nil {
 		return block.BadSignature
 	}
 
 	// vscc: verify EVERY endorsement (Fabric does not short-circuit).
 	var rf policy.RegisterFile
-	for i := range p.tx.Payload.Action.Endorsements {
-		e := &p.tx.Payload.Action.Endorsements[i]
+	for i := range p.Tx.Payload.Action.Endorsements {
+		e := &p.Tx.Payload.Action.Endorsements[i]
 		epub, err := fabcrypto.PublicKeyFromCert(e.Endorser)
 		if err != nil {
 			continue // unverifiable endorsement contributes nothing
 		}
-		msg := block.EndorsementSigningBytes(p.prp, e.Endorser)
-		edigest := v.timedHash(msg, bd)
-		if err := v.timedVerify(epub, edigest, e.Signature, bd); err != nil {
+		msg := block.EndorsementSigningBytes(p.PRP, e.Endorser)
+		edigest := timedHash(msg, bd)
+		if err := timedVerify(epub, edigest, e.Signature, bd); err != nil {
 			continue
 		}
 		cert, err := fabcrypto.ParseCertificate(e.Endorser)
 		if err != nil {
 			continue
 		}
-		org, role, ok := v.orgRoleOf(cert.Subject.Organization, cert.Subject.CommonName)
+		org, role, ok := orgRoleOf(cert.Subject.Organization, cert.Subject.CommonName)
 		if ok {
 			rf.Set(org, role)
 		}
 	}
 
-	pol, ok := v.cfg.Policies[p.tx.ChannelHeader.ChaincodeName]
+	pol, ok := policies[p.Tx.ChannelHeader.ChaincodeName]
 	if !ok {
 		return block.InvalidOther // no policy installed for this chaincode
 	}
@@ -357,7 +367,7 @@ func (v *Validator) verifyAndVSCCOne(env *block.Envelope, p *parsedTx, bd *Break
 // orgRoleOf maps certificate subject fields back to (org number, role).
 // Organization names follow the OrgN convention used throughout the
 // repository; common names are "<role><seq>.<org>".
-func (v *Validator) orgRoleOf(orgs []string, cn string) (uint8, identity.Role, bool) {
+func orgRoleOf(orgs []string, cn string) (uint8, identity.Role, bool) {
 	if len(orgs) != 1 {
 		return 0, 0, false
 	}

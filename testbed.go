@@ -32,16 +32,22 @@ type (
 	SplitPayWorkload = client.SplitPayWorkload
 )
 
-// BlockOutcome pairs the software and BMac validation results for one
-// block, with the §4.1 cross-check verdict.
+// BlockOutcome gathers the validation results of one block from all three
+// peers — SW (sequential software), Par (parallel pipelined software) and
+// HW (BMac) — with the §4.1 cross-check verdict.
 type BlockOutcome struct {
 	BlockNum uint64
 	TxCount  int
 	SW       peer.CommitResult
+	Par      peer.CommitResult
 	HW       peer.CommitResult
-	// Match reports whether flags and commit hash agree between the two
+	// Match reports whether flags and commit hash agree across all three
 	// peers (the paper found no mismatches; neither should you).
 	Match bool
+	// HWMatch and ParMatch break the verdict down per peer pair
+	// (sequential-vs-BMac and sequential-vs-parallel).
+	HWMatch  bool
+	ParMatch bool
 }
 
 // Testbed is a complete in-process BMac network, the programmatic
@@ -53,6 +59,7 @@ type Testbed struct {
 	Network   *identity.Network
 	Endorsers []*endorser.Endorser
 	SWPeer    *peer.SWPeer
+	ParPeer   *peer.ParallelPeer
 	BMacPeer  *peer.BMacPeer
 	Orderer   *orderer.Orderer
 
@@ -103,6 +110,14 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipeCfg, err := cfg.PipelineConfig()
+	if err != nil {
+		return nil, err
+	}
+	tb.ParPeer, err = peer.NewParallelPeer(pipeCfg, filepath.Join(dir, "par_validator"))
+	if err != nil {
+		return nil, err
+	}
 	coreCfg, err := cfg.CoreConfig()
 	if err != nil {
 		return nil, err
@@ -138,15 +153,32 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 }
 
 // deliver is the orderer's delivery hook: BMac protocol first (§3.5), then
-// the software peer, then the cross-check and committer updates.
+// the two software peers, then the three-way cross-check and committer
+// updates.
 func (tb *Testbed) deliver(b *block.Block) error {
 	if _, err := tb.sender.SendBlock(b); err != nil {
 		return err
 	}
+	// The two software peers are independent (own stores, own ledgers):
+	// validate concurrently so delivery pays max(sw, par), not the sum.
+	type parOut struct {
+		res peer.CommitResult
+		err error
+	}
+	parCh := make(chan parOut, 1)
+	go func() {
+		res, err := tb.ParPeer.CommitBlock(b)
+		parCh <- parOut{res, err}
+	}()
 	swRes, err := tb.SWPeer.CommitBlock(b)
+	par := <-parCh
 	if err != nil {
 		return err
 	}
+	if par.err != nil {
+		return par.err
+	}
+	parRes := par.res
 	hwRes, ok := <-tb.BMacPeer.Results()
 	if !ok {
 		return errors.New("bmac: hardware peer stopped")
@@ -162,10 +194,14 @@ func (tb *Testbed) deliver(b *block.Block) error {
 		BlockNum: b.Header.Number,
 		TxCount:  len(b.Envelopes),
 		SW:       swRes,
+		Par:      parRes,
 		HW:       hwRes,
-		Match: block.FlagsEqual(swRes.Flags, hwRes.Flags) &&
+		HWMatch: block.FlagsEqual(swRes.Flags, hwRes.Flags) &&
 			string(swRes.CommitHash) == string(hwRes.CommitHash),
+		ParMatch: block.FlagsEqual(swRes.Flags, parRes.Flags) &&
+			string(swRes.CommitHash) == string(parRes.CommitHash),
 	}
+	outcome.Match = outcome.HWMatch && outcome.ParMatch
 	tb.outcomes <- outcome
 	return nil
 }
@@ -187,9 +223,9 @@ func (tb *Testbed) NewClient(w Workload, seed int64) (*client.Driver, error) {
 }
 
 // Bootstrap seeds the genesis state for a workload in every store:
-// endorsers, the software peer and the BMac peer's in-hardware database.
+// endorsers, both software peers and the BMac peer's in-hardware database.
 func (tb *Testbed) Bootstrap(w Workload) error {
-	stores := []*statedb.Store{tb.SWPeer.Validator.Store()}
+	stores := []*statedb.Store{tb.SWPeer.Validator.Store(), tb.ParPeer.Engine.Store()}
 	for _, e := range tb.Endorsers {
 		stores = append(stores, e.Store())
 	}
@@ -220,6 +256,9 @@ func (tb *Testbed) Close() error {
 	tb.cluster.Stop()
 	var firstErr error
 	if err := tb.BMacPeer.Close(); err != nil {
+		firstErr = err
+	}
+	if err := tb.ParPeer.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := tb.SWPeer.Close(); err != nil && firstErr == nil {
