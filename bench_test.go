@@ -16,6 +16,7 @@ import (
 	"bmac/internal/hwsim"
 	"bmac/internal/identity"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 )
 
 func benchEnv(b *testing.B) *experiments.Env {
@@ -101,7 +102,7 @@ func BenchmarkFigure10Breakdown(b *testing.B) {
 	env := benchEnv(b)
 	spec := experiments.BlockSpec{Txs: 200, Endorsements: 2, Reads: 2, Writes: 2}
 	hw := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2},
-		policy.Compile(policy.MustParse("2of2")),
+		policy.Compile(policytest.MustParse("2of2")),
 		hwsim.UniformTxProfile(spec.Txs, 2, 2, 2))
 	if _, err := env.MeasureSW(spec, "2of2", 8, 1); err != nil {
 		b.Fatal(err)
@@ -130,7 +131,7 @@ func BenchmarkFigure11(b *testing.B) {
 					b.Fatal(err)
 				}
 				hw := hwsim.Simulate(hwsim.Config{TxValidators: par, VSCCEngines: 2},
-					policy.Compile(policy.MustParse("2of2")),
+					policy.Compile(policytest.MustParse("2of2")),
 					hwsim.UniformTxProfile(bs, 2, 2, 2))
 				b.ResetTimer()
 				var swTPS float64
@@ -167,7 +168,7 @@ func BenchmarkFigure12aPolicies(b *testing.B) {
 				b.Fatal(err)
 			}
 			hw := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2},
-				policy.Compile(policy.MustParse(pc.pol)),
+				policy.Compile(policytest.MustParse(pc.pol)),
 				hwsim.UniformTxProfile(150, pc.ends, 2, 2))
 			b.ResetTimer()
 			var swTPS float64
@@ -189,7 +190,7 @@ func BenchmarkFigure12bArchitectures(b *testing.B) {
 	for _, arch := range []struct{ n, e int }{{8, 2}, {5, 3}} {
 		arch := arch
 		b.Run(benchName("arch", arch.n, "x", arch.e), func(b *testing.B) {
-			circ3 := policy.Compile(policy.MustParse("3of3"))
+			circ3 := policy.Compile(policytest.MustParse("3of3"))
 			var tps float64
 			for i := 0; i < b.N; i++ {
 				t := hwsim.Simulate(hwsim.Config{TxValidators: arch.n, VSCCEngines: arch.e},
@@ -212,7 +213,7 @@ func BenchmarkFigure12cDBRequests(b *testing.B) {
 				b.Fatal(err)
 			}
 			hw := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2},
-				policy.Compile(policy.MustParse("2of2")),
+				policy.Compile(policytest.MustParse("2of2")),
 				hwsim.UniformTxProfile(150, 2, rw, rw))
 			b.ResetTimer()
 			var swTPS float64
@@ -237,7 +238,7 @@ func BenchmarkFigure13DRM(b *testing.B) {
 		b.Fatal(err)
 	}
 	hw := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2},
-		policy.Compile(policy.MustParse("2of2")),
+		policy.Compile(policytest.MustParse("2of2")),
 		hwsim.UniformTxProfile(150, 2, 1, 1))
 	b.ResetTimer()
 	var swTPS float64
@@ -290,6 +291,38 @@ func BenchmarkPipelineSpeedup(b *testing.B) {
 	b.ReportMetric(speedup, "speedup_x")
 }
 
+// BenchmarkHybridPrefetch measures the §5 hybrid hardware/host database
+// under the pipelined engine at smallbank Zipf skew 1.0: throughput with a
+// modeled host-read latency, prefetch off vs on. The headline metrics are
+// the hybrid hit rate and the fraction of latency-lost throughput the
+// async read-set prefetch recovers by hiding host reads under vscc.
+func BenchmarkHybridPrefetch(b *testing.B) {
+	env := benchEnv(b)
+	spec := experiments.HybridSpec{
+		Blocks: 8, Txs: 64, Endorsements: 2,
+		Accounts: 1024, ReadsPerTx: 3,
+		Skew:            1.0,
+		Capacity:        512,
+		HostLatency:     400 * time.Microsecond,
+		Workers:         0, // GOMAXPROCS
+		PrefetchWorkers: 16,
+		Seed:            1,
+	}
+	b.ResetTimer()
+	var pt experiments.HybridPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pt, err = env.MeasureHybrid(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pt.PrefetchTPS, "prefetch_tps")
+	b.ReportMetric(pt.NoPrefetchTPS, "no_prefetch_tps")
+	b.ReportMetric(pt.HitRate*100, "hit_%")
+	b.ReportMetric(pt.Recovered()*100, "recovered_%")
+}
+
 // BenchmarkHeadline reports the paper's headline speedup: simulated BMac
 // peak vs measured 16-worker software validation (paper ~12x).
 func BenchmarkHeadline(b *testing.B) {
@@ -299,7 +332,7 @@ func BenchmarkHeadline(b *testing.B) {
 		b.Fatal(err)
 	}
 	hw := hwsim.Simulate(hwsim.Config{TxValidators: 46, VSCCEngines: 2},
-		policy.Compile(policy.MustParse("2of2")),
+		policy.Compile(policytest.MustParse("2of2")),
 		hwsim.UniformTxProfile(250, 2, 2, 2))
 	b.ResetTimer()
 	var speedup float64

@@ -36,13 +36,14 @@ type StageBreakdown = validator.Breakdown
 // Config is the BMac network/architecture configuration (paper §3.5).
 type Config = config.Config
 
-// ArchSpec, OrgSpec, ChaincodeSpec and PipelineSpec are configuration
-// components.
+// ArchSpec, OrgSpec, ChaincodeSpec, PipelineSpec and StateDBSpec are
+// configuration components.
 type (
 	ArchSpec      = config.ArchSpec
 	OrgSpec       = config.OrgSpec
 	ChaincodeSpec = config.ChaincodeSpec
 	PipelineSpec  = config.PipelineSpec
+	StateDBSpec   = config.StateDBSpec
 )
 
 // LoadConfig reads a YAML configuration file.

@@ -1,6 +1,7 @@
 package bmac
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -33,6 +34,52 @@ chaincodes:
 	}
 	if cfg.Channel != "ch9" {
 		t.Errorf("channel = %q", cfg.Channel)
+	}
+}
+
+// TestTestbedHybridBackendCrossCheck runs the full network with the
+// parallel peer on a small hybrid hardware/host database (modeled host
+// latency, prefetch on) and cross-checks every block against the sequential
+// and BMac peers: the §5 backend must be invisible to validation results.
+func TestTestbedHybridBackendCrossCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StateDB = StateDBSpec{Backend: "hybrid", Capacity: 16, HostReadLatencyUS: 20}
+	cfg.Pipeline.Prefetch = true
+	tb, err := NewTestbed(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	w := SmallbankWorkload{Accounts: 64, Skew: 1.2}
+	if err := tb.Bootstrap(w); err != nil {
+		t.Fatal(err)
+	}
+	driver, err := tb.NewClient(w, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const txs = 30
+	if err := driver.Run(txs); err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for committed < txs {
+		outcomes, err := tb.AwaitBlocks(1, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outcomes {
+			committed += o.TxCount
+			if !o.Match {
+				t.Fatalf("block %d diverged across validation paths (par match %v, hw match %v)",
+					o.BlockNum, o.ParMatch, o.HWMatch)
+			}
+		}
+	}
+	summary := tb.ParallelBackendSummary()
+	if !strings.HasPrefix(summary, "hybrid") {
+		t.Errorf("backend summary = %q, want hybrid", summary)
 	}
 }
 

@@ -35,6 +35,10 @@ func run() error {
 		accounts   = flag.Int("accounts", 100, "accounts/assets to bootstrap")
 		skew       = flag.Float64("skew", 0, "smallbank hot-account Zipf exponent (>1 skews, 0 = uniform)")
 		dir        = flag.String("dir", "", "ledger directory (default: temp)")
+		backend    = flag.String("backend", "", "parallel peer statedb backend: memory, hybrid or sharded (default: config)")
+		dbCap      = flag.Int("db-capacity", 0, "hybrid backend cache capacity (default: architecture db_capacity)")
+		hostLatUS  = flag.Int("host-latency-us", 0, "modeled host read latency on hybrid cache misses, microseconds")
+		prefetch   = flag.Bool("prefetch", false, "enable the pipelined engine's async read-set prefetch stage")
 	)
 	flag.Parse()
 
@@ -45,6 +49,21 @@ func run() error {
 			return err
 		}
 		cfg = loaded
+	}
+	if *backend != "" {
+		cfg.StateDB.Backend = *backend
+	}
+	if *dbCap > 0 {
+		cfg.StateDB.Capacity = *dbCap
+	}
+	if *hostLatUS > 0 {
+		cfg.StateDB.HostReadLatencyUS = *hostLatUS
+	}
+	if *prefetch {
+		cfg.Pipeline.Prefetch = true
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	var w bmac.Workload
 	switch *workload {
@@ -135,6 +154,8 @@ func run() error {
 		fmt.Printf("  %-12s %12v %12v %9s\n", s.name,
 			s.sw.Round(time.Microsecond), s.par.Round(time.Microsecond), speedup)
 	}
+
+	fmt.Printf("\nparallel peer statedb: %s\n", tb.ParallelBackendSummary())
 
 	if mismatches != 0 {
 		return fmt.Errorf("%d blocks mismatched across the three validation paths", mismatches)

@@ -30,6 +30,9 @@ const (
 // receiver is unreachable.
 var ErrWindowFull = errors.New("bmacproto: go-back-n window full")
 
+// ErrClosed reports a send on a closed GBN sender.
+var ErrClosed = errors.New("bmacproto: go-back-n sender closed")
+
 // AckSink carries cumulative ACKs back to the sender (the reverse path).
 type AckSink interface {
 	SendAck(cumulative uint64) error
@@ -42,8 +45,17 @@ type AckFunc func(uint64) error
 func (f AckFunc) SendAck(c uint64) error { return f(c) }
 
 // GBNSender wraps a PacketSink with Go-Back-N reliability.
+//
+// Two locks split the sender's concerns: mu guards the window state and is
+// all HandleAck needs, while sendMu serializes transmissions — sequence
+// numbers are assigned and put on the wire under it, so concurrent
+// SendPacket callers cannot emit first transmissions out of sequence order
+// (which a GBN receiver would drop, triggering spurious go-back-N storms).
+// An ACK arriving synchronously from the sink during a transmit only takes
+// mu, so the split also keeps the reverse path deadlock-free.
 type GBNSender struct {
 	mu      sync.Mutex
+	sendMu  sync.Mutex // serializes sink transmissions; taken before mu
 	sink    PacketSink
 	window  int
 	timeout time.Duration
@@ -78,10 +90,17 @@ func NewGBNSender(sink PacketSink, window int, timeout time.Duration) *GBNSender
 var _ PacketSink = (*GBNSender)(nil)
 
 // SendPacket implements PacketSink: wraps p with a sequence number and
-// transmits; blocks while the window is full.
+// transmits; blocks while the window is full. A closed sender reports
+// ErrClosed.
 func (s *GBNSender) SendPacket(p []byte) error {
 	framed := encodeGBN(gbnKindData, 0, p) // seq patched under the lock
 	for {
+		select {
+		case <-s.stop:
+			return ErrClosed
+		default:
+		}
+		s.sendMu.Lock()
 		s.mu.Lock()
 		if s.nextSeq-s.baseSeq < uint64(s.window) {
 			seq := s.nextSeq
@@ -91,12 +110,17 @@ func (s *GBNSender) SendPacket(p []byte) error {
 			copy(buf, framed)
 			s.inflight = append(s.inflight, buf)
 			s.mu.Unlock()
-			return s.sink.SendPacket(buf)
+			// Transmit while still holding sendMu: the next sequence number
+			// cannot be assigned (let alone hit the wire) before this one.
+			err := s.sink.SendPacket(buf)
+			s.sendMu.Unlock()
+			return err
 		}
 		s.mu.Unlock()
+		s.sendMu.Unlock()
 		select {
 		case <-s.stop:
-			return ErrWindowFull
+			return ErrClosed
 		case <-time.After(s.timeout / 4):
 		}
 	}
@@ -141,6 +165,7 @@ func (s *GBNSender) retransmitLoop() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			s.sendMu.Lock()
 			s.mu.Lock()
 			resend := [][]byte(nil)
 			if len(s.inflight) > 0 && s.baseSeq == lastBase {
@@ -150,11 +175,15 @@ func (s *GBNSender) retransmitLoop() {
 			}
 			lastBase = s.baseSeq
 			s.mu.Unlock()
+			// Retransmit under sendMu so the go-back burst cannot interleave
+			// with a concurrent first transmission of a newer sequence.
 			for _, p := range resend {
 				if err := s.sink.SendPacket(p); err != nil {
+					s.sendMu.Unlock()
 					return
 				}
 			}
+			s.sendMu.Unlock()
 		}
 	}
 }

@@ -36,14 +36,14 @@ type Chaincode interface {
 // records every access to build the transaction's read/write set; writes
 // are buffered (read-your-own-writes within a transaction), not applied.
 type Stub struct {
-	store  *statedb.Store
+	store  statedb.KVS
 	reads  []block.KVRead
 	writes []block.KVWrite
 	dirty  map[string][]byte
 }
 
 // NewStub creates a simulation stub over store.
-func NewStub(store *statedb.Store) *Stub {
+func NewStub(store statedb.KVS) *Stub {
 	return &Stub{store: store, dirty: make(map[string][]byte)}
 }
 

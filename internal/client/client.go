@@ -208,7 +208,7 @@ func NewDriver(id *identity.Identity, endorsers []*endorser.Endorser,
 // Bootstrap applies the workload's setup invocations directly to every
 // endorser store (and any extra stores, e.g. the validator peers') at
 // version (0,0) — the genesis state.
-func Bootstrap(w Workload, reg *chaincode.Registry, stores ...*statedb.Store) error {
+func Bootstrap(w Workload, reg *chaincode.Registry, stores ...statedb.KVS) error {
 	cc, err := reg.Get(w.Chaincode())
 	if err != nil {
 		return err
@@ -227,7 +227,7 @@ func Bootstrap(w Workload, reg *chaincode.Registry, stores ...*statedb.Store) er
 
 // BootstrapHardware mirrors Bootstrap into a hardware KVS so the BMac
 // peer's in-hardware database starts from the same genesis state.
-func BootstrapHardware(w Workload, reg *chaincode.Registry, ref *statedb.Store, hw *statedb.HardwareKVS) error {
+func BootstrapHardware(w Workload, reg *chaincode.Registry, ref statedb.KVS, hw *statedb.HardwareKVS) error {
 	for k, v := range ref.Snapshot() {
 		if err := hw.Write(k, v.Value, v.Version); err != nil {
 			return fmt.Errorf("bootstrap hardware kvs: %w", err)
@@ -327,7 +327,7 @@ func (d *Driver) Submitted() int { return d.submitted }
 // ApplyBlock applies a validated block's write sets to a store — the
 // committer role every peer (including endorsers) plays after validation.
 // Flags select which transactions commit.
-func ApplyBlock(store *statedb.Store, b *block.Block, flags []byte) error {
+func ApplyBlock(store statedb.KVS, b *block.Block, flags []byte) error {
 	for i := range b.Envelopes {
 		if i >= len(flags) || block.ValidationCode(flags[i]) != block.Valid {
 			continue

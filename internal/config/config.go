@@ -10,12 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"bmac/internal/core"
 	"bmac/internal/hwsim"
 	"bmac/internal/identity"
 	"bmac/internal/pipeline"
 	"bmac/internal/policy"
+	"bmac/internal/statedb"
 	"bmac/internal/validator"
 	"bmac/internal/yamllite"
 )
@@ -55,6 +57,35 @@ type PipelineSpec struct {
 	// Depth is the number of blocks allowed in flight between pipeline
 	// stages; 0 means the engine default (4).
 	Depth int
+	// Prefetch enables the async read-set warm-up stage: as soon as a
+	// block is unmarshalled its read-set keys are read from the state
+	// database, hiding a slow backend's miss latency under vscc.
+	Prefetch bool
+	// PrefetchWorkers bounds the warm-up reader pool; 0 means Workers.
+	PrefetchWorkers int
+}
+
+// StateDB backend names accepted by StateDBSpec.Backend.
+const (
+	BackendMemory  = "memory"  // single in-memory Store (default)
+	BackendHybrid  = "hybrid"  // §5 hardware LRU in front of a host Store
+	BackendSharded = "sharded" // lock-striped ShardedStore
+)
+
+// StateDBSpec selects and parameterizes the parallel peer's state-database
+// backend (paper §5's database-scaling proposal).
+type StateDBSpec struct {
+	// Backend is one of memory (default), hybrid or sharded.
+	Backend string
+	// Capacity is the hybrid backend's in-hardware entry budget; 0 means
+	// the architecture's db_capacity (8192 in the paper's configuration).
+	Capacity int
+	// Shards is the sharded backend's lock-stripe count; 0 means the
+	// statedb default (16).
+	Shards int
+	// HostReadLatencyUS models the host/PCIe access cost, in microseconds,
+	// paid by a hybrid cache-miss read; 0 disables the model.
+	HostReadLatencyUS int
 }
 
 // Config is the parsed BMac configuration.
@@ -64,6 +95,7 @@ type Config struct {
 	Chaincodes []ChaincodeSpec
 	Arch       ArchSpec
 	Pipeline   PipelineSpec
+	StateDB    StateDBSpec
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -179,6 +211,27 @@ func Parse(raw []byte) (*Config, error) {
 		if v, ok := yamllite.GetInt(pipe, "depth"); ok {
 			cfg.Pipeline.Depth = int(v)
 		}
+		if v, ok := yamllite.GetBool(pipe, "prefetch"); ok {
+			cfg.Pipeline.Prefetch = v
+		}
+		if v, ok := yamllite.GetInt(pipe, "prefetch_workers"); ok {
+			cfg.Pipeline.PrefetchWorkers = int(v)
+		}
+	}
+
+	if sdb, ok := yamllite.GetMap(root, "statedb"); ok {
+		if v, ok := yamllite.GetString(sdb, "backend"); ok {
+			cfg.StateDB.Backend = v
+		}
+		if v, ok := yamllite.GetInt(sdb, "capacity"); ok {
+			cfg.StateDB.Capacity = int(v)
+		}
+		if v, ok := yamllite.GetInt(sdb, "shards"); ok {
+			cfg.StateDB.Shards = int(v)
+		}
+		if v, ok := yamllite.GetInt(sdb, "host_read_latency_us"); ok {
+			cfg.StateDB.HostReadLatencyUS = int(v)
+		}
 	}
 	return cfg, cfg.Validate()
 }
@@ -201,11 +254,42 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: architecture %dx%d does not fit the U250",
 			ErrInvalid, c.Arch.TxValidators, c.Arch.VSCCEngines)
 	}
-	if c.Pipeline.Workers < 0 || c.Pipeline.Depth < 0 {
-		return fmt.Errorf("%w: pipeline workers=%d depth=%d must be >= 0",
-			ErrInvalid, c.Pipeline.Workers, c.Pipeline.Depth)
+	if c.Pipeline.Workers < 0 || c.Pipeline.Depth < 0 || c.Pipeline.PrefetchWorkers < 0 {
+		return fmt.Errorf("%w: pipeline workers=%d depth=%d prefetch_workers=%d must be >= 0",
+			ErrInvalid, c.Pipeline.Workers, c.Pipeline.Depth, c.Pipeline.PrefetchWorkers)
+	}
+	switch c.StateDB.Backend {
+	case "", BackendMemory, BackendHybrid, BackendSharded:
+	default:
+		return fmt.Errorf("%w: statedb backend %q (valid: %s, %s, %s)",
+			ErrInvalid, c.StateDB.Backend, BackendMemory, BackendHybrid, BackendSharded)
+	}
+	if c.StateDB.Capacity < 0 || c.StateDB.Shards < 0 || c.StateDB.HostReadLatencyUS < 0 {
+		return fmt.Errorf("%w: statedb capacity=%d shards=%d host_read_latency_us=%d must be >= 0",
+			ErrInvalid, c.StateDB.Capacity, c.StateDB.Shards, c.StateDB.HostReadLatencyUS)
 	}
 	return nil
+}
+
+// NewKVS materializes the configured state-database backend for a software
+// peer. Every call returns a fresh, empty database.
+func (c *Config) NewKVS() (statedb.KVS, error) {
+	switch c.StateDB.Backend {
+	case "", BackendMemory:
+		return statedb.NewStore(), nil
+	case BackendSharded:
+		return statedb.NewShardedStore(c.StateDB.Shards), nil
+	case BackendHybrid:
+		capacity := c.StateDB.Capacity
+		if capacity == 0 {
+			capacity = c.Arch.DBCapacity
+		}
+		h := statedb.NewHybridKVS(capacity, statedb.NewStore())
+		h.SetHostReadLatency(time.Duration(c.StateDB.HostReadLatencyUS) * time.Microsecond)
+		return h, nil
+	default:
+		return nil, fmt.Errorf("%w: statedb backend %q", ErrInvalid, c.StateDB.Backend)
+	}
 }
 
 // Policies compiles the sequential (software) policy table.
@@ -266,9 +350,11 @@ func (c *Config) PipelineConfig() (pipeline.Config, error) {
 		return pipeline.Config{}, err
 	}
 	return pipeline.Config{
-		Workers:  c.Pipeline.Workers,
-		Depth:    c.Pipeline.Depth,
-		Policies: pols,
+		Workers:         c.Pipeline.Workers,
+		Depth:           c.Pipeline.Depth,
+		Policies:        pols,
+		Prefetch:        c.Pipeline.Prefetch,
+		PrefetchWorkers: c.Pipeline.PrefetchWorkers,
 	}, nil
 }
 

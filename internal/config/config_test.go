@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"bmac/internal/statedb"
 )
 
 const sampleYAML = `
@@ -31,6 +33,13 @@ architecture:
 pipeline:
   workers: 6
   depth: 3
+  prefetch: true
+  prefetch_workers: 4
+statedb:
+  backend: hybrid
+  capacity: 512
+  shards: 8
+  host_read_latency_us: 40
 `
 
 func TestParseSample(t *testing.T) {
@@ -50,8 +59,48 @@ func TestParseSample(t *testing.T) {
 	if cfg.Arch.TxValidators != 8 || cfg.Arch.DBCapacity != 8192 {
 		t.Errorf("arch = %+v", cfg.Arch)
 	}
-	if cfg.Pipeline.Workers != 6 || cfg.Pipeline.Depth != 3 {
+	if cfg.Pipeline.Workers != 6 || cfg.Pipeline.Depth != 3 ||
+		!cfg.Pipeline.Prefetch || cfg.Pipeline.PrefetchWorkers != 4 {
 		t.Errorf("pipeline = %+v", cfg.Pipeline)
+	}
+	if cfg.StateDB.Backend != BackendHybrid || cfg.StateDB.Capacity != 512 ||
+		cfg.StateDB.Shards != 8 || cfg.StateDB.HostReadLatencyUS != 40 {
+		t.Errorf("statedb = %+v", cfg.StateDB)
+	}
+}
+
+func TestNewKVSBackends(t *testing.T) {
+	cfg := Default()
+	if kvs, err := cfg.NewKVS(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := kvs.(*statedb.Store); !ok {
+		t.Errorf("default backend = %T, want *statedb.Store", kvs)
+	}
+
+	cfg.StateDB = StateDBSpec{Backend: BackendSharded, Shards: 4}
+	if kvs, err := cfg.NewKVS(); err != nil {
+		t.Fatal(err)
+	} else if s, ok := kvs.(*statedb.ShardedStore); !ok || s.ShardCount() != 4 {
+		t.Errorf("sharded backend = %T (%+v)", kvs, kvs)
+	}
+
+	// Hybrid with capacity 0 inherits the architecture's db_capacity.
+	cfg.StateDB = StateDBSpec{Backend: BackendHybrid, HostReadLatencyUS: 10}
+	if kvs, err := cfg.NewKVS(); err != nil {
+		t.Fatal(err)
+	} else if h, ok := kvs.(*statedb.HybridKVS); !ok || h.Capacity() != cfg.Arch.DBCapacity {
+		t.Errorf("hybrid backend = %T (capacity %v, want %d)", kvs, kvs, cfg.Arch.DBCapacity)
+	}
+
+	bad := Default()
+	bad.StateDB.Backend = "leveldb"
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown backend: err = %v, want ErrInvalid", err)
+	}
+	bad = Default()
+	bad.StateDB.Capacity = -1
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative capacity: err = %v, want ErrInvalid", err)
 	}
 }
 

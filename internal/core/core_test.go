@@ -8,6 +8,7 @@ import (
 	"bmac/internal/identity"
 	"bmac/internal/ledger"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 	"bmac/internal/statedb"
 	"bmac/internal/validator"
 )
@@ -63,7 +64,7 @@ func newRig(t testing.TB, orgs int, pol string, cfg Config) *rig {
 
 	if cfg.Policies == nil {
 		cfg.Policies = map[string]*policy.Circuit{
-			"smallbank": policy.Compile(policy.MustParse(pol)),
+			"smallbank": policy.Compile(policytest.MustParse(pol)),
 		}
 	}
 	r.proc = New(cfg, r.bufs, statedb.NewHardwareKVS(8192))
@@ -307,7 +308,7 @@ func TestSoftwareHardwareEquivalence(t *testing.T) {
 	defer swLed.Close()
 	sw := validator.New(validator.Config{
 		Workers:  4,
-		Policies: map[string]*policy.Policy{"smallbank": policy.MustParse("2of3")},
+		Policies: map[string]*policy.Policy{"smallbank": policytest.MustParse("2of3")},
 	}, statedb.NewStore(), swLed)
 
 	ends3 := []*identity.Identity{r.peers[0], r.peers[1], r.peers[2]}
@@ -410,8 +411,8 @@ func TestUpdatePoliciesAtBlockBoundary(t *testing.T) {
 
 	// Regenerate the ends_policy_evaluator with the new chaincode.
 	r.proc.UpdatePolicies(map[string]*policy.Circuit{
-		"smallbank": policy.Compile(policy.MustParse("2of2")),
-		"newcc":     policy.Compile(policy.MustParse("2of2")),
+		"smallbank": policy.Compile(policytest.MustParse("2of2")),
+		"newcc":     policy.Compile(policytest.MustParse("2of2")),
 	})
 	if _, err := r.sender.SendBlock(newCC(1)); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"bmac/internal/block"
 	"bmac/internal/identity"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 	"bmac/internal/statedb"
 	"bmac/internal/validator"
 )
@@ -27,7 +28,7 @@ func TestRandomizedDifferential(t *testing.T) {
 	for _, polSrc := range policies {
 		for _, arch := range archs {
 			arch := arch
-			pol := policy.MustParse(polSrc)
+			pol := policytest.MustParse(polSrc)
 			ends := pol.MaxEndorsements()
 			arch.Policies = map[string]*policy.Circuit{"smallbank": policy.Compile(pol)}
 

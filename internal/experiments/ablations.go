@@ -28,9 +28,16 @@ func Ablations(e *Env, opts Options) (*metrics.Table, error) {
 
 	// 1. Short-circuit, 2of3 policy (the paper's showcase).
 	spec := BlockSpec{Txs: blockSize, Endorsements: 3, Reads: 2, Writes: 2}
-	on := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of3", spec)
+	on, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of3", spec)
+	if err != nil {
+		return nil, err
+	}
+	pol2of3, err := policy.Parse("2of3")
+	if err != nil {
+		return nil, err
+	}
 	off := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2, DisableShortCircuit: true},
-		policy.Compile(policy.MustParse("2of3")),
+		policy.Compile(pol2of3),
 		hwsim.UniformTxProfile(spec.Txs, spec.Endorsements, spec.Reads, spec.Writes))
 	t.AddRow("short-circuit (2of3 tps)",
 		metrics.FormatTPS(on.Throughput(blockSize)),
@@ -44,7 +51,11 @@ func Ablations(e *Env, opts Options) (*metrics.Table, error) {
 			profiles[i].TxSigValid = false
 		}
 	}
-	circ := policy.Compile(policy.MustParse("3of3"))
+	pol3of3, err := policy.Parse("3of3")
+	if err != nil {
+		return nil, err
+	}
+	circ := policy.Compile(pol3of3)
 	abortOn := hwsim.Simulate(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, circ, profiles)
 	// With early abort disabled every endorsement is still verified; model
 	// by marking signatures valid but keeping the same workload size.
@@ -82,8 +93,11 @@ func Ablations(e *Env, opts Options) (*metrics.Table, error) {
 	// 4. Ledger-commit overlap: with overlap the peer's block period is
 	// max(validate, commit); without it, the sum. Model ledger commit as
 	// the measured software ledger stage (~ proportional to block bytes).
-	hwT := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2",
+	hwT, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2",
 		BlockSpec{Txs: blockSize, Endorsements: 2, Reads: 2, Writes: 2})
+	if err != nil {
+		return nil, err
+	}
 	ledgerCommit := estimateLedgerCommit(len(block.Marshal(b)))
 	overlapOn := maxDur(hwT.BlockLatency(), ledgerCommit)
 	overlapOff := hwT.BlockLatency() + ledgerCommit

@@ -121,11 +121,15 @@ func (e *Env) MeasureSW(spec BlockSpec, pol string, workers, rounds int) (valida
 		return validator.Breakdown{}, err
 	}
 	raw := block.Marshal(b)
+	p, err := policy.Parse(pol)
+	if err != nil {
+		return validator.Breakdown{}, fmt.Errorf("experiments: policy %q: %w", pol, err)
+	}
 	var sum validator.Breakdown
 	for r := 0; r < rounds; r++ {
 		v := validator.New(validator.Config{
 			Workers:    workers,
-			Policies:   map[string]*policy.Policy{"smallbank": policy.MustParse(pol)},
+			Policies:   map[string]*policy.Policy{"smallbank": p},
 			SkipLedger: true, // §4.2: ledger commit excluded from the metrics
 		}, statedb.NewStore(), nil)
 		res, err := v.ValidateAndCommit(raw)

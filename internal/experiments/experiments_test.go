@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"bmac/internal/hwsim"
+	"bmac/internal/policy"
 )
 
 func quickRunner(t *testing.T) *Runner {
@@ -32,6 +37,70 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMalformedPolicyReturnsError pins the error path that replaced the
+// old policy.MustParse panic: a malformed policy string surfaces as an
+// error wrapping policy.ErrParse from every experiment entry point, so a
+// bad parameter (or configuration) can never crash a peer process.
+func TestMalformedPolicyReturnsError(t *testing.T) {
+	r := quickRunner(t)
+	spec := BlockSpec{Txs: 1, Endorsements: 1, Reads: 0, Writes: 1}
+
+	if _, err := r.env.MeasureSW(spec, "not a policy", 1, 1); !errors.Is(err, policy.ErrParse) {
+		t.Errorf("MeasureSW err = %v, want policy.ErrParse", err)
+	}
+	chain := ConflictChainSpec{Blocks: 1, Txs: 1, Endorsements: 1, Writes: 1}
+	if _, err := r.env.MeasurePipeline(chain, "2-outof", 1, 1); !errors.Is(err, policy.ErrParse) {
+		t.Errorf("MeasurePipeline err = %v, want policy.ErrParse", err)
+	}
+	if _, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "Org&", spec); !errors.Is(err, policy.ErrParse) {
+		t.Errorf("bmacTiming err = %v, want policy.ErrParse", err)
+	}
+}
+
+// TestHybridPrefetchRecovery is the acceptance gate for the prefetch
+// stage: at smallbank Zipf skew 0.9 with a cache large enough to hold a
+// block's working set, the async read-set prefetch must recover at least
+// half of the throughput lost to host-read latency (it parallelizes and
+// hides the host round trips the no-prefetch run pays serially in mvcc).
+func TestHybridPrefetchRecovery(t *testing.T) {
+	r := quickRunner(t)
+	spec := HybridSpec{
+		Blocks: 12, Txs: 48, Endorsements: 2,
+		Accounts: 512, ReadsPerTx: 3,
+		Skew:            0.9,
+		Capacity:        512,
+		HostLatency:     400 * time.Microsecond,
+		Workers:         4,
+		PrefetchWorkers: 16,
+		Seed:            1,
+	}
+	// Wall-clock measurement: allow a retry so a loaded CI runner (or the
+	// -race shard's timing distortion) cannot fail the gate spuriously.
+	const attempts = 3
+	var last float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		pt, err := r.env.MeasureHybrid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.MemoryTPS <= 0 || pt.NoPrefetchTPS <= 0 || pt.PrefetchTPS <= 0 {
+			t.Fatalf("non-positive throughput: %+v", pt)
+		}
+		if pt.Prefetched == 0 {
+			t.Fatal("prefetch run issued no warm-up reads")
+		}
+		last = pt.Recovered()
+		t.Logf("attempt %d: memory %.0f tps, no-prefetch %.0f tps, prefetch %.0f tps, hit %.0f%%, recovered %.0f%%",
+			attempt, pt.MemoryTPS, pt.NoPrefetchTPS, pt.PrefetchTPS, pt.HitRate*100, last*100)
+		if last >= 0.5 {
+			return
+		}
+		spec.Seed++
+	}
+	t.Errorf("prefetch recovered only %.0f%% of the latency-lost throughput after %d attempts, want >= 50%%",
+		last*100, attempts)
 }
 
 func TestUnknownExperiment(t *testing.T) {

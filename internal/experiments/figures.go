@@ -158,11 +158,17 @@ func Figure9b(e *Env, opts Options) (*metrics.Table, error) {
 
 func pctf(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
 
-// bmacTiming runs the timing simulator for a uniform workload.
-func bmacTiming(arch hwsim.Config, pol string, spec BlockSpec) hwsim.BlockTiming {
-	circuit := policy.Compile(policy.MustParse(pol))
+// bmacTiming runs the timing simulator for a uniform workload. A malformed
+// policy string is reported as an error, never a panic (a bad experiment
+// parameter must not crash the process).
+func bmacTiming(arch hwsim.Config, pol string, spec BlockSpec) (hwsim.BlockTiming, error) {
+	p, err := policy.Parse(pol)
+	if err != nil {
+		return hwsim.BlockTiming{}, fmt.Errorf("experiments: policy %q: %w", pol, err)
+	}
+	circuit := policy.Compile(p)
 	txs := hwsim.UniformTxProfile(spec.Txs, spec.Endorsements, spec.Reads, spec.Writes)
-	return hwsim.Simulate(arch, circuit, txs)
+	return hwsim.Simulate(arch, circuit, txs), nil
 }
 
 // Figure10 reproduces the validation-latency breakdown of sw_validator vs
@@ -179,7 +185,10 @@ func Figure10(e *Env, opts Options) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	hw := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+	hw, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+	if err != nil {
+		return nil, err
+	}
 
 	// Protocol processor time for the block: bytes / 11 Gbps.
 	sender := bmacproto.NewSender(identity.NewCache(), nil)
@@ -228,7 +237,10 @@ func Figure11(e *Env, opts Options) (*metrics.Table, error) {
 				return nil, err
 			}
 			swTPS := metrics.Throughput(bs, sw.Total)
-			hw := bmacTiming(hwsim.Config{TxValidators: p, VSCCEngines: 2}, "2of2", spec)
+			hw, err := bmacTiming(hwsim.Config{TxValidators: p, VSCCEngines: 2}, "2of2", spec)
+			if err != nil {
+				return nil, err
+			}
 			hwTPS := hw.Throughput(bs)
 			t.AddRow(fmt.Sprintf("%d", bs), fmt.Sprintf("%d", p),
 				metrics.FormatTPS(swTPS), metrics.FormatTPS(hwTPS),
@@ -239,7 +251,10 @@ func Figure11(e *Env, opts Options) (*metrics.Table, error) {
 		// Simulator-only projections (§4.3).
 		for _, row := range []struct{ bs, par int }{{250, 50}, {500, 80}} {
 			spec := BlockSpec{Txs: row.bs, Endorsements: 2, Reads: 2, Writes: 2}
-			hw := bmacTiming(hwsim.Config{TxValidators: row.par, VSCCEngines: 2}, "2of2", spec)
+			hw, err := bmacTiming(hwsim.Config{TxValidators: row.par, VSCCEngines: 2}, "2of2", spec)
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(fmt.Sprintf("%d", row.bs), fmt.Sprintf("%d(sim)", row.par),
 				"-", metrics.FormatTPS(hw.Throughput(row.bs)), "-")
 		}
@@ -283,7 +298,10 @@ func Figure12a(e *Env, opts Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		hw := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, pc.Pol, spec)
+		hw, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, pc.Pol, spec)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(pc.Name,
 			metrics.FormatTPS(metrics.Throughput(blockSize, sw.Total)),
 			metrics.FormatTPS(hw.Throughput(blockSize)),
@@ -303,8 +321,15 @@ func Figure12b(opts Options) (*metrics.Table, error) {
 	t := &metrics.Table{Header: []string{"policy", "8x2 tps", "5x3 tps", "winner"}}
 	for _, pc := range cases {
 		spec := BlockSpec{Txs: 150, Endorsements: pc.Ends, Reads: 2, Writes: 2}
-		a := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, pc.Pol, spec).Throughput(150)
-		b := bmacTiming(hwsim.Config{TxValidators: 5, VSCCEngines: 3}, pc.Pol, spec).Throughput(150)
+		ta, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, pc.Pol, spec)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := bmacTiming(hwsim.Config{TxValidators: 5, VSCCEngines: 3}, pc.Pol, spec)
+		if err != nil {
+			return nil, err
+		}
+		a, b := ta.Throughput(150), tb.Throughput(150)
 		winner := "8x2"
 		if b > a {
 			winner = "5x3"
@@ -334,7 +359,10 @@ func Figure12c(e *Env, opts Options) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		hw := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+		hw, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%d", rw),
 			metrics.FormatTPS(metrics.Throughput(blockSize, sw.Total)),
 			metrics.FormatTPS(hw.Throughput(blockSize)),
@@ -365,7 +393,10 @@ func Figure13(e *Env, opts Options) (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			hw := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+			hw, err := bmacTiming(hwsim.Config{TxValidators: 8, VSCCEngines: 2}, "2of2", spec)
+			if err != nil {
+				return nil, err
+			}
 			t.AddRow(fmt.Sprintf("%d", bs), wl.name,
 				metrics.FormatTPS(metrics.Throughput(bs, sw.Total)),
 				metrics.FormatTPS(hw.Throughput(bs)))
@@ -413,7 +444,10 @@ func Headline(e *Env, opts Options) (*metrics.Table, error) {
 			best.TxValidators = n
 		}
 	}
-	hw := bmacTiming(best, "2of2", spec)
+	hw, err := bmacTiming(best, "2of2", spec)
+	if err != nil {
+		return nil, err
+	}
 	t := &metrics.Table{Header: []string{"metric", "value", "paper"}}
 	t.AddRow("sw_validator (16 vCPU)", metrics.FormatTPS(swTPS)+" tps", "5,600 tps")
 	t.AddRow(fmt.Sprintf("bmac peak (%s)", best.String()),

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/metrics"
+	"bmac/internal/pipeline"
+	"bmac/internal/policy"
+	"bmac/internal/statedb"
+)
+
+// The hybrid experiment measures the paper's §5 database-scaling proposal
+// in software: a small in-hardware LRU (HybridKVS) in front of a host
+// store with a modeled PCIe/host read latency, driven by a smallbank-shaped
+// workload whose account reads follow a Zipf power law. It sweeps cache
+// capacity x skew and reports, for each point, the cache hit rate and the
+// committed throughput with the pipelined engine's read-set prefetch off
+// and on — quantifying how much of the throughput lost to host-read
+// latency the prefetch stage recovers by hiding misses under vscc
+// (the software analogue of Figure 12c's latency hiding).
+
+// HybridSpec describes one hybrid-database measurement point.
+type HybridSpec struct {
+	Blocks          int
+	Txs             int
+	Endorsements    int
+	Accounts        int     // host-resident account keys
+	ReadsPerTx      int     // Zipf-drawn account reads per transaction
+	Skew            float64 // power-law exponent (0 = uniform)
+	Capacity        int     // in-hardware cache entries
+	HostLatency     time.Duration
+	Workers         int
+	PrefetchWorkers int
+	Seed            int64
+}
+
+// HybridPoint is one measured data point of the hybrid experiment.
+type HybridPoint struct {
+	MemoryTPS     float64 // plain in-memory store (no host latency): upper bound
+	NoPrefetchTPS float64 // hybrid backend, prefetch off: latency fully exposed
+	PrefetchTPS   float64 // hybrid backend, prefetch on: latency hidden under vscc
+	HitRate       float64 // cache hit rate of the prefetch run
+	Prefetched    int     // warm-up reads issued by the prefetch run
+}
+
+// Recovered reports the fraction of the throughput lost to host-read
+// latency that the prefetch stage won back:
+// (prefetch - noPrefetch) / (memory - noPrefetch), clamped to [0, 1].
+func (p HybridPoint) Recovered() float64 {
+	lost := p.MemoryTPS - p.NoPrefetchTPS
+	if lost <= 0 {
+		return 1 // nothing was lost to latency
+	}
+	r := (p.PrefetchTPS - p.NoPrefetchTPS) / lost
+	return math.Min(math.Max(r, 0), 1)
+}
+
+// zipfPicker draws account ranks from a power law P(rank) ~ rank^-s. It
+// supports any s >= 0 (math/rand's Zipf requires s > 1, but the paper-style
+// skews of interest start below that).
+type zipfPicker struct {
+	cdf []float64
+}
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipfPicker{cdf: cdf}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	return sort.SearchFloat64s(z.cdf, rng.Float64())
+}
+
+// makeHybridChain builds the workload: every transaction reads ReadsPerTx
+// Zipf-drawn account keys (endorsed at the genesis version, and never
+// written, so the chain is conflict-free) and writes one unique output key.
+func (e *Env) makeHybridChain(spec HybridSpec) ([][]byte, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	zipf := newZipfPicker(spec.Accounts, spec.Skew)
+	endorsers := e.Peers[:spec.Endorsements]
+	out := 0
+	raws := make([][]byte, 0, spec.Blocks)
+	for n := 0; n < spec.Blocks; n++ {
+		envs := make([]block.Envelope, 0, spec.Txs)
+		for i := 0; i < spec.Txs; i++ {
+			var rw block.RWSet
+			for r := 0; r < spec.ReadsPerTx; r++ {
+				rw.Reads = append(rw.Reads, block.KVRead{
+					Key: "acct" + strconv.Itoa(zipf.pick(rng)),
+				})
+			}
+			out++
+			rw.Writes = append(rw.Writes, block.KVWrite{
+				Key: "txout" + strconv.Itoa(out), Value: []byte("0123456789abcdef"),
+			})
+			env, err := block.NewEndorsedEnvelope(block.TxSpec{
+				Creator:   e.Client,
+				Chaincode: "smallbank",
+				Channel:   "ch1",
+				RWSet:     rw,
+				Endorsers: endorsers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			envs = append(envs, *env)
+		}
+		b, err := block.NewBlock(uint64(n), nil, envs, e.Orderer)
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, block.Marshal(b))
+	}
+	return raws, nil
+}
+
+// seedAccounts loads the genesis account state into a store.
+func seedAccounts(kvs statedb.KVS, accounts int) {
+	for i := 0; i < accounts; i++ {
+		kvs.Put("acct"+strconv.Itoa(i), []byte("1000"), block.Version{})
+	}
+}
+
+// MeasureHybrid runs one measurement point: the same chain through the
+// pipelined engine over (1) a plain in-memory store, (2) a hybrid backend
+// with the modeled host latency and prefetch off, (3) the same with
+// prefetch on. The three runs are cross-checked (flags and commit hashes
+// must be bit-identical) while being timed.
+func (e *Env) MeasureHybrid(spec HybridSpec) (HybridPoint, error) {
+	raws, err := e.makeHybridChain(spec)
+	if err != nil {
+		return HybridPoint{}, err
+	}
+	pol, err := policy.Parse("2of2")
+	if err != nil {
+		return HybridPoint{}, err
+	}
+	pols := map[string]*policy.Policy{"smallbank": pol}
+	totalTxs := spec.Blocks * spec.Txs
+
+	var refFlags [][]byte
+	var refHashes [][]byte
+	run := func(kvs statedb.KVS, prefetch bool) (float64, *pipeline.Engine, error) {
+		eng := pipeline.New(pipeline.Config{
+			Workers: spec.Workers, Policies: pols, SkipLedger: true,
+			Prefetch: prefetch, PrefetchWorkers: spec.PrefetchWorkers,
+		}, kvs, nil)
+		start := time.Now()
+		go func() {
+			for _, raw := range raws {
+				eng.Submit(raw)
+			}
+		}()
+		collectRef := refFlags == nil // first run records the reference verdicts
+		var runErr error
+		// Drain every outcome even after a failure, or the submitter and
+		// stage goroutines would block on their channels.
+		for n := range raws {
+			o := <-eng.Results()
+			switch {
+			case runErr != nil:
+			case o.Err != nil:
+				runErr = o.Err
+			case block.CountValid(o.Res.Flags) != spec.Txs:
+				runErr = fmt.Errorf("hybrid experiment: block %d: %d/%d txs valid",
+					n, block.CountValid(o.Res.Flags), spec.Txs)
+			case !collectRef && (!block.FlagsEqual(o.Res.Flags, refFlags[n]) ||
+				string(o.Res.CommitHash) != string(refHashes[n])):
+				runErr = fmt.Errorf("hybrid experiment: block %d diverged across backends", n)
+			}
+			if runErr == nil && collectRef {
+				refFlags = append(refFlags, o.Res.Flags)
+				refHashes = append(refHashes, o.Res.CommitHash)
+			}
+		}
+		elapsed := time.Since(start)
+		if runErr != nil {
+			eng.Close()
+			return 0, nil, runErr
+		}
+		return float64(totalTxs) / elapsed.Seconds(), eng, nil
+	}
+
+	// 1. Plain in-memory store: the no-latency upper bound.
+	mem := statedb.NewStore()
+	seedAccounts(mem, spec.Accounts)
+	memTPS, eng, err := run(mem, false)
+	if err != nil {
+		return HybridPoint{}, err
+	}
+	eng.Close()
+
+	// 2. Hybrid backend, prefetch off: every cold miss stalls mvcc.
+	hostA := statedb.NewStore()
+	seedAccounts(hostA, spec.Accounts)
+	hyA := statedb.NewHybridKVS(spec.Capacity, hostA)
+	hyA.SetHostReadLatency(spec.HostLatency)
+	noTPS, eng, err := run(hyA, false)
+	if err != nil {
+		return HybridPoint{}, err
+	}
+	eng.Close()
+
+	// 3. Hybrid backend, prefetch on: misses absorbed while vscc runs.
+	hostB := statedb.NewStore()
+	seedAccounts(hostB, spec.Accounts)
+	hyB := statedb.NewHybridKVS(spec.Capacity, hostB)
+	hyB.SetHostReadLatency(spec.HostLatency)
+	pfTPS, eng, err := run(hyB, true)
+	if err != nil {
+		return HybridPoint{}, err
+	}
+	prefetched := eng.PrefetchedKeys()
+	eng.Close()
+
+	return HybridPoint{
+		MemoryTPS:     memTPS,
+		NoPrefetchTPS: noTPS,
+		PrefetchTPS:   pfTPS,
+		HitRate:       hyB.HitRate(),
+		Prefetched:    prefetched,
+	}, nil
+}
+
+// FigHybrid is the hybrid-database experiment: cache capacity x Zipf skew,
+// reporting hit rate and throughput with the read-set prefetch off and on.
+func FigHybrid(e *Env, opts Options) (*metrics.Table, error) {
+	o := opts.withDefaults()
+	spec := HybridSpec{
+		Blocks: 8, Txs: 64, Endorsements: 2,
+		Accounts: 1024, ReadsPerTx: 3,
+		HostLatency:     400 * time.Microsecond,
+		Workers:         4,
+		PrefetchWorkers: 16,
+	}
+	capacities := []int{64, 512}
+	skews := []float64{0, 0.9, 1.2}
+	if o.Quick {
+		spec.Blocks, spec.Txs = 3, 32
+		spec.Accounts = 256
+		spec.HostLatency = 150 * time.Microsecond
+		capacities = []int{96}
+		skews = []float64{0, 1.2}
+	}
+	t := &metrics.Table{Header: []string{
+		"capacity", "skew", "hit%", "prefetched",
+		"| memory tps", "no-prefetch tps", "prefetch tps", "recovered",
+	}}
+	for _, c := range capacities {
+		for _, s := range skews {
+			spec.Capacity = c
+			spec.Skew = s
+			spec.Seed = int64(c)*1000 + int64(s*100)
+			pt, err := e.MeasureHybrid(spec)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(
+				strconv.Itoa(c),
+				fmt.Sprintf("%.1f", s),
+				fmt.Sprintf("%.0f%%", pt.HitRate*100),
+				strconv.Itoa(pt.Prefetched),
+				metrics.FormatTPS(pt.MemoryTPS),
+				metrics.FormatTPS(pt.NoPrefetchTPS),
+				metrics.FormatTPS(pt.PrefetchTPS),
+				fmt.Sprintf("%.0f%%", pt.Recovered()*100),
+			)
+		}
+	}
+	return t, nil
+}

@@ -129,7 +129,11 @@ func (e *Env) MeasurePipeline(spec ConflictChainSpec, pol string, workers, round
 	for i, b := range blocks {
 		raws[i] = block.Marshal(b)
 	}
-	pols := map[string]*policy.Policy{"smallbank": policy.MustParse(pol)}
+	p, err := policy.Parse(pol)
+	if err != nil {
+		return PipelineComparison{}, fmt.Errorf("experiments: policy %q: %w", pol, err)
+	}
+	pols := map[string]*policy.Policy{"smallbank": p}
 
 	var out PipelineComparison
 	for _, b := range blocks {

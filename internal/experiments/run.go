@@ -43,7 +43,7 @@ func Names() []string {
 	return []string{
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
-		"headline", "ablations", "pipeline",
+		"headline", "ablations", "pipeline", "hybrid",
 	}
 }
 
@@ -62,6 +62,7 @@ var Titles = map[string]string{
 	"headline":  "Headline: peak throughput and speedup",
 	"ablations": "Ablations: design-choice benches",
 	"pipeline":  "Pipeline: parallel commit engine speedup vs block size and conflict rate",
+	"hybrid":    "Hybrid: §5 hardware/host database — hit rate and prefetch latency hiding vs capacity and Zipf skew",
 }
 
 // Run executes one experiment by id.
@@ -93,6 +94,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return Ablations(r.env, r.opts)
 	case "pipeline":
 		return FigPipeline(r.env, r.opts)
+	case "hybrid":
+		return FigHybrid(r.env, r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

@@ -7,10 +7,11 @@ import (
 
 	"bmac/internal/identity"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 )
 
 func circuit(src string) *policy.Circuit {
-	return policy.Compile(policy.MustParse(src))
+	return policy.Compile(policytest.MustParse(src))
 }
 
 // within reports whether got is within frac of want.

@@ -89,15 +89,21 @@ type ParallelPeer struct {
 	Ledger *ledger.Ledger
 }
 
-// NewParallelPeer creates a parallel peer with a fresh state database and a
-// ledger in dir.
+// NewParallelPeer creates a parallel peer with a fresh in-memory state
+// database and a ledger in dir.
 func NewParallelPeer(cfg pipeline.Config, dir string) (*ParallelPeer, error) {
+	return NewParallelPeerKVS(cfg, statedb.NewStore(), dir)
+}
+
+// NewParallelPeerKVS creates a parallel peer over the given state-database
+// backend (plain, sharded or hybrid hardware/host) and a ledger in dir.
+func NewParallelPeerKVS(cfg pipeline.Config, kvs statedb.KVS, dir string) (*ParallelPeer, error) {
 	led, err := ledger.Open(dir, ledger.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("parallel peer ledger: %w", err)
 	}
 	return &ParallelPeer{
-		Engine: pipeline.New(cfg, statedb.NewStore(), led),
+		Engine: pipeline.New(cfg, kvs, led),
 		Ledger: led,
 	}, nil
 }

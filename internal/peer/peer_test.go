@@ -13,6 +13,7 @@ import (
 	"bmac/internal/orderer"
 	"bmac/internal/pipeline"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 	"bmac/internal/raft"
 	"bmac/internal/statedb"
 	"bmac/internal/validator"
@@ -51,7 +52,7 @@ func TestEndToEndNetworkEquivalence(t *testing.T) {
 	// --- peers ---
 	swPeer, err := NewSWPeer(validator.Config{
 		Workers:  4,
-		Policies: map[string]*policy.Policy{"smallbank": policy.MustParse("2of2")},
+		Policies: map[string]*policy.Policy{"smallbank": policytest.MustParse("2of2")},
 	}, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +63,7 @@ func TestEndToEndNetworkEquivalence(t *testing.T) {
 		TxValidators: 4,
 		VSCCEngines:  2,
 		Policies: map[string]*policy.Circuit{
-			"smallbank": policy.Compile(policy.MustParse("2of2")),
+			"smallbank": policy.Compile(policytest.MustParse("2of2")),
 		},
 	}, 8192, t.TempDir())
 	if err != nil {
@@ -202,7 +203,7 @@ func TestBMacPeerInMemoryPipeline(t *testing.T) {
 	peerNode, err := NewBMacPeer(core.Config{
 		TxValidators: 2,
 		VSCCEngines:  2,
-		Policies:     map[string]*policy.Circuit{"cc": policy.Compile(policy.MustParse("1of1"))},
+		Policies:     map[string]*policy.Circuit{"cc": policy.Compile(policytest.MustParse("1of1"))},
 	}, 1024, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +268,7 @@ func TestBMacPeerDataHashMismatch(t *testing.T) {
 	peerNode, err := NewBMacPeer(core.Config{
 		TxValidators: 2,
 		VSCCEngines:  1,
-		Policies:     map[string]*policy.Circuit{"cc": policy.Compile(policy.MustParse("1of1"))},
+		Policies:     map[string]*policy.Circuit{"cc": policy.Compile(policytest.MustParse("1of1"))},
 	}, 64, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -328,7 +329,7 @@ func TestSWPeerRejectsTamperedBlock(t *testing.T) {
 
 	swPeer, err := NewSWPeer(validator.Config{
 		Workers:  2,
-		Policies: map[string]*policy.Policy{"cc": policy.MustParse("1of1")},
+		Policies: map[string]*policy.Policy{"cc": policytest.MustParse("1of1")},
 	}, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -361,7 +362,7 @@ func TestParallelPeerMatchesSWPeer(t *testing.T) {
 	client, _ := net.NewIdentity("Org1", identity.RoleClient)
 	ordID, _ := net.NewIdentity("Org1", identity.RoleOrderer)
 	endorser, _ := net.NewIdentity("Org1", identity.RolePeer)
-	pols := map[string]*policy.Policy{"cc": policy.MustParse("1of1")}
+	pols := map[string]*policy.Policy{"cc": policytest.MustParse("1of1")}
 
 	swPeer, err := NewSWPeer(validator.Config{Workers: 2, Policies: pols}, t.TempDir())
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strconv"
 	"testing"
+	"time"
 
 	"bmac/internal/block"
 	"bmac/internal/statedb"
@@ -137,6 +138,94 @@ func TestDifferentialRandomized(t *testing.T) {
 			t.Fatalf("seed %d: final state diverged", seed)
 		}
 		eng.Close()
+	}
+}
+
+// TestDifferentialBackends proves the backend-agnostic engine keeps Fabric
+// semantics bit-identical across every statedb backend, sequential vs
+// pipelined, with and without the prefetch stage: same flags, same commit
+// hashes, same final state. The hybrid backend uses a tiny cache (constant
+// evictions) plus a modeled host latency so the slow path really runs.
+func TestDifferentialBackends(t *testing.T) {
+	r := newRig(t)
+	backends := []struct {
+		name     string
+		make     func() statedb.KVS
+		prefetch bool
+	}{
+		{"store", func() statedb.KVS { return statedb.NewStore() }, false},
+		{"store+prefetch", func() statedb.KVS { return statedb.NewStore() }, true},
+		{"sharded", func() statedb.KVS { return statedb.NewShardedStore(8) }, false},
+		{"sharded+prefetch", func() statedb.KVS { return statedb.NewShardedStore(8) }, true},
+		{"hybrid", func() statedb.KVS {
+			return statedb.NewHybridKVS(3, statedb.NewStore())
+		}, false},
+		{"hybrid+prefetch", func() statedb.KVS {
+			h := statedb.NewHybridKVS(3, statedb.NewStore())
+			h.SetHostReadLatency(50 * time.Microsecond)
+			return h
+		}, true},
+	}
+	for seed := int64(7); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		raws := buildRandomBlocks(t, r, rng, 6)
+
+		// Reference: the sequential validator over the plain store.
+		ref := validator.New(validator.Config{
+			Workers: 3, Policies: r.pols, SkipLedger: true,
+		}, statedb.NewStore(), nil)
+		refResults := make([]*validator.Result, len(raws))
+		for n, raw := range raws {
+			res, err := ref.ValidateAndCommit(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refResults[n] = res
+		}
+		refState := ref.Store().Snapshot()
+
+		for _, be := range backends {
+			// Sequential validator over the backend.
+			seq := validator.New(validator.Config{
+				Workers: 3, Policies: r.pols, SkipLedger: true,
+			}, be.make(), nil)
+			for n, raw := range raws {
+				res, err := seq.ValidateAndCommit(raw)
+				if err != nil {
+					t.Fatalf("%s seed %d block %d: %v", be.name, seed, n, err)
+				}
+				if !block.FlagsEqual(res.Flags, refResults[n].Flags) ||
+					string(res.CommitHash) != string(refResults[n].CommitHash) {
+					t.Fatalf("%s seed %d block %d: sequential verdict diverged", be.name, seed, n)
+				}
+			}
+			if !statedb.SnapshotsEqual(refState, seq.Store().Snapshot()) {
+				t.Fatalf("%s seed %d: sequential state diverged", be.name, seed)
+			}
+
+			// Pipelined engine over the backend, blocks genuinely in flight.
+			eng := New(Config{
+				Workers: 4, Policies: r.pols, SkipLedger: true,
+				Prefetch: be.prefetch, PrefetchWorkers: 4,
+			}, be.make(), nil)
+			for _, raw := range raws {
+				eng.Submit(raw)
+			}
+			for n := range raws {
+				o := <-eng.Results()
+				if o.Err != nil {
+					t.Fatalf("%s seed %d block %d: %v", be.name, seed, n, o.Err)
+				}
+				if !block.FlagsEqual(o.Res.Flags, refResults[n].Flags) ||
+					string(o.Res.CommitHash) != string(refResults[n].CommitHash) {
+					t.Fatalf("%s seed %d block %d: pipelined verdict diverged", be.name, seed, n)
+				}
+			}
+			if !statedb.SnapshotsEqual(refState, eng.Store().Snapshot()) {
+				t.Fatalf("%s seed %d: pipelined state diverged", be.name, seed)
+			}
+			eng.Close()
+		}
 	}
 }
 

@@ -26,6 +26,13 @@ type Config struct {
 	// (default 4). Higher values buy more inter-block overlap at the cost
 	// of memory.
 	Depth int
+	// Prefetch enables the async read-set warm-up stage: distinct read-set
+	// keys are read from the backend as soon as a block is unmarshalled, so
+	// slow-backend misses (e.g. HybridKVS host reads) are absorbed while
+	// the block is still in vscc. Verdicts are identical either way.
+	Prefetch bool
+	// PrefetchWorkers bounds the warm-up reader pool (default Workers).
+	PrefetchWorkers int
 }
 
 // Result is the outcome of one block, identical in content to the
@@ -51,13 +58,21 @@ type job struct {
 	err  error
 	bd   validator.Breakdown
 	skip bool // no commit: unmarshal or block verification failed
+
+	// warm tracks the block's async read-set prefetch; the mvcc stage waits
+	// on it so a warm-up read and a committed write can't interleave
+	// mid-check. nil when prefetch is off or the block never parsed.
+	warm *sync.WaitGroup
 }
 
 // Engine is the parallel pipelined commit engine. Blocks submitted in order
-// flow through four stages — unmarshal, block-verify+vscc, dependency-
-// scheduled mvcc, state/ledger flush — each stage a goroutine, so up to
-// four blocks are processed concurrently, and the heavy stages additionally
-// fan work out across Workers goroutines.
+// flow through four stages — unmarshal (plus async read-set prefetch),
+// block-verify+vscc, dependency-scheduled mvcc, state/ledger flush — each
+// stage a goroutine, so up to four blocks are processed concurrently, and
+// the heavy stages additionally fan work out across Workers goroutines.
+//
+// The engine runs over any statedb.KVS backend; with cfg.Prefetch the
+// warm-up readers hide a slow backend's read latency under vscc.
 //
 // Blocks must be submitted in increasing header-number order by a single
 // goroutine (or via the synchronous ValidateAndCommit).
@@ -65,6 +80,7 @@ type Engine struct {
 	cfg   Config
 	cache *MVCache
 	led   *ledger.Ledger
+	pf    *prefetcher // nil when cfg.Prefetch is off
 
 	in  chan *job
 	out chan Outcome
@@ -75,12 +91,15 @@ type Engine struct {
 
 // New creates and starts an engine over its own stage goroutines. led may
 // be nil when cfg.SkipLedger is set.
-func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Engine {
+func New(cfg Config, store statedb.KVS, led *ledger.Ledger) *Engine {
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Depth < 1 {
 		cfg.Depth = 4
+	}
+	if cfg.PrefetchWorkers < 1 {
+		cfg.PrefetchWorkers = cfg.Workers
 	}
 	e := &Engine{
 		cfg:   cfg,
@@ -89,6 +108,9 @@ func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Engine {
 		in:    make(chan *job, cfg.Depth),
 		out:   make(chan Outcome, cfg.Depth),
 		done:  make(chan struct{}),
+	}
+	if cfg.Prefetch {
+		e.pf = newPrefetcher(store, cfg.PrefetchWorkers)
 	}
 	parsed := make(chan *job, cfg.Depth)
 	verified := make(chan *job, cfg.Depth)
@@ -101,7 +123,16 @@ func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Engine {
 }
 
 // Store returns the backing state database.
-func (e *Engine) Store() *statedb.Store { return e.cache.Store() }
+func (e *Engine) Store() statedb.KVS { return e.cache.Store() }
+
+// PrefetchedKeys reports the total number of warm-up reads issued by the
+// prefetch stage (0 when prefetch is off).
+func (e *Engine) PrefetchedKeys() int {
+	if e.pf == nil {
+		return 0
+	}
+	return e.pf.prefetched()
+}
 
 // Cache returns the multi-version state cache.
 func (e *Engine) Cache() *MVCache { return e.cache }
@@ -132,6 +163,9 @@ func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		close(e.in)
 		<-e.done
+		if e.pf != nil {
+			e.pf.close()
+		}
 	})
 }
 
@@ -156,6 +190,11 @@ func (e *Engine) parseStage(in <-chan *job, next chan<- *job) {
 			j.txs[i] = validator.ParseTx(b.Envelopes[i].PayloadBytes)
 		})
 		j.bd.Unmarshal = time.Since(t)
+		// Read sets are known now: kick off the async warm-up so backend
+		// misses resolve while this block is in the vscc stage.
+		if e.pf != nil {
+			j.warm = e.pf.start(j.txs)
+		}
 		next <- j
 	}
 }
@@ -209,6 +248,14 @@ func (e *Engine) decideStage(in <-chan *job, next chan<- *job) {
 		if j.skip {
 			next <- j
 			continue
+		}
+		if j.warm != nil {
+			// Residual stall only: with vscc ahead of us the warm-ups have
+			// normally landed already. This is the latency the prefetch
+			// failed to hide (reported so experiments can show the hiding).
+			tWait := time.Now()
+			j.warm.Wait()
+			j.bd.PrefetchWait = time.Since(tWait)
 		}
 		t := time.Now()
 		blockNum := j.b.Header.Number

@@ -9,6 +9,7 @@ import (
 	"bmac/internal/block"
 	"bmac/internal/identity"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 	"bmac/internal/statedb"
 	"bmac/internal/validator"
 )
@@ -25,7 +26,7 @@ type rig struct {
 func newRig(t testing.TB) *rig {
 	t.Helper()
 	n := identity.NewNetwork()
-	r := &rig{pols: map[string]*policy.Policy{"smallbank": policy.MustParse("2of2")}}
+	r := &rig{pols: map[string]*policy.Policy{"smallbank": policytest.MustParse("2of2")}}
 	for i := 1; i <= 3; i++ {
 		org := fmt.Sprintf("Org%d", i)
 		if _, err := n.AddOrg(org); err != nil {

@@ -7,8 +7,8 @@ import (
 	"bmac/internal/statedb"
 )
 
-// MVCache is a multi-version state cache layered in front of a
-// statedb.Store. The commit engine publishes the write sets of decided
+// MVCache is a multi-version state cache layered in front of any
+// statedb.KVS backend. The commit engine publishes the write sets of decided
 // blocks here *before* they are flushed to the backing store, so the mvcc
 // stage of block n+1 can start while the state-database writes (and ledger
 // commit) of block n are still in flight. Each key holds a short version
@@ -19,7 +19,7 @@ import (
 // store answers with the same version, so the two sources are always
 // consistent during the hand-off window.
 type MVCache struct {
-	store *statedb.Store
+	store statedb.KVS
 
 	mu     sync.RWMutex
 	chains map[string][]mvEntry // ascending by Version
@@ -31,12 +31,12 @@ type mvEntry struct {
 }
 
 // NewMVCache creates an empty cache over the given backing store.
-func NewMVCache(store *statedb.Store) *MVCache {
+func NewMVCache(store statedb.KVS) *MVCache {
 	return &MVCache{store: store, chains: make(map[string][]mvEntry)}
 }
 
 // Store returns the backing state database.
-func (c *MVCache) Store() *statedb.Store { return c.store }
+func (c *MVCache) Store() statedb.KVS { return c.store }
 
 // Put records a decided write of key at ver. Versions need not arrive in
 // order (the scheduler decides transactions as dependencies resolve):

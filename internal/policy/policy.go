@@ -206,15 +206,6 @@ func Parse(src string) (*Policy, error) {
 	return &Policy{Name: src, Expr: expr}, nil
 }
 
-// MustParse is Parse for statically known policies; panics on error.
-func MustParse(src string) *Policy {
-	p, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // Orgs returns the sorted set of organization numbers referenced.
 func (p *Policy) Orgs() []uint8 {
 	set := make(map[uint8]bool)

@@ -8,6 +8,16 @@ import (
 	"bmac/internal/identity"
 )
 
+// mustParse is the in-package equivalent of policytest.MustParse (which
+// cannot be imported here without a cycle).
+func mustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 func rfWith(orgs ...uint8) *RegisterFile {
 	var rf RegisterFile
 	for _, o := range orgs {
@@ -45,7 +55,7 @@ func TestParseOutOfForms(t *testing.T) {
 }
 
 func TestOutOfSemantics(t *testing.T) {
-	p := MustParse("2of3")
+	p := mustParse("2of3")
 	tests := []struct {
 		orgs []uint8
 		want bool
@@ -66,7 +76,7 @@ func TestOutOfSemantics(t *testing.T) {
 }
 
 func TestOneOfOne(t *testing.T) {
-	p := MustParse("1of1")
+	p := mustParse("1of1")
 	if !p.EvalSequential(rfWith(1)) || p.EvalSequential(rfWith(2)) {
 		t.Error("1of1 semantics wrong")
 	}
@@ -128,7 +138,7 @@ func TestParseErrors(t *testing.T) {
 
 func TestGateCounts(t *testing.T) {
 	// "2-outof-3 orgs" = three 2-input ANDs and one 3-input OR (paper §3.3).
-	p := MustParse("2of3")
+	p := mustParse("2of3")
 	g := p.Gates()
 	if g.AndGates != 3 || g.AndInputs != 6 {
 		t.Errorf("AND gates = %d/%d inputs, want 3/6", g.AndGates, g.AndInputs)
@@ -147,7 +157,7 @@ func TestCircuitMatchesSequential(t *testing.T) {
 		"(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)",
 	}
 	for _, src := range policies {
-		p := MustParse(src)
+		p := mustParse(src)
 		c := Compile(p)
 		// Exhaustively compare on all subsets of orgs 1..4.
 		for mask := 0; mask < 16; mask++ {
@@ -166,7 +176,7 @@ func TestCircuitMatchesSequential(t *testing.T) {
 }
 
 func TestCanStillSatisfy(t *testing.T) {
-	c := Compile(MustParse("3of3"))
+	c := Compile(mustParse("3of3"))
 	var rf RegisterFile
 	// Org1's endorsement failed (never set); Org2, Org3 remain.
 	remaining := []identity.EncodedID{
@@ -177,14 +187,14 @@ func TestCanStillSatisfy(t *testing.T) {
 		t.Error("3of3 with Org1 failed can never satisfy")
 	}
 
-	c2 := Compile(MustParse("2of3"))
+	c2 := Compile(mustParse("2of3"))
 	if !c2.CanStillSatisfy(&rf, remaining) {
 		t.Error("2of3 with Org2,Org3 remaining can still satisfy")
 	}
 }
 
 func TestCanStillSatisfyDoesNotMutate(t *testing.T) {
-	c := Compile(MustParse("2of2"))
+	c := Compile(mustParse("2of2"))
 	var rf RegisterFile
 	rf.Set(1, identity.RolePeer)
 	c.CanStillSatisfy(&rf, []identity.EncodedID{identity.Encode(2, identity.RolePeer, 0)})
@@ -233,7 +243,7 @@ func TestOutOfEquivalentToThreshold(t *testing.T) {
 }
 
 func BenchmarkSequentialEval(b *testing.B) {
-	p := MustParse("(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)")
+	p := mustParse("(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)")
 	rf := rfWith(3, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -242,7 +252,7 @@ func BenchmarkSequentialEval(b *testing.B) {
 }
 
 func BenchmarkCircuitEval(b *testing.B) {
-	c := Compile(MustParse("2of4"))
+	c := Compile(mustParse("2of4"))
 	rf := rfWith(2, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

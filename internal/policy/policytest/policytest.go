@@ -1,0 +1,17 @@
+// Package policytest provides test helpers for constructing endorsement
+// policies from statically known expressions.
+package policytest
+
+import "bmac/internal/policy"
+
+// MustParse parses a statically known policy expression, panicking on
+// error. It exists for tests and benchmarks only: production code paths
+// use policy.Parse and propagate the error, so a malformed policy in a
+// configuration can never crash a peer.
+func MustParse(src string) *policy.Policy {
+	p, err := policy.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

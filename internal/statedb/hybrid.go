@@ -2,7 +2,9 @@ package statedb
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+	"time"
 
 	"bmac/internal/block"
 )
@@ -15,14 +17,20 @@ import (
 // to both, evictions are clean (the host always has the latest value).
 //
 // The paper argues the added host-access latency in tx_mvcc_commit stays
-// hidden under the vscc stage; internal/hwsim models that latency and the
-// Figure 12c experiment demonstrates the hiding.
+// hidden under the vscc stage (Figure 12c); SetHostReadLatency models that
+// PCIe/host round trip so the pipeline's prefetch stage can demonstrate the
+// hiding in software: warm-up reads absorb the misses while vscc runs.
 type HybridKVS struct {
 	mu       sync.Mutex
 	capacity int
 	cache    map[string]*list.Element
 	order    *list.List // front = most recently used
 	host     *Store
+
+	// hostLatency is the modeled one-way-plus-return host access cost paid
+	// by a cache-miss read. It is served OUTSIDE the mutex so concurrent
+	// misses (and prefetch warm-ups) overlap, like independent PCIe reads.
+	hostLatency time.Duration
 
 	hits       int
 	misses     int
@@ -50,17 +58,50 @@ func NewHybridKVS(capacity int, host *Store) *HybridKVS {
 	}
 }
 
+// SetHostReadLatency sets the modeled host-access latency paid by each
+// cache-miss read (0 disables the model). Call before sharing the store
+// across goroutines.
+func (h *HybridKVS) SetHostReadLatency(d time.Duration) { h.hostLatency = d }
+
+// Capacity returns the configured in-hardware entry capacity.
+func (h *HybridKVS) Capacity() int { return h.capacity }
+
+// Host returns the backing host store.
+func (h *HybridKVS) Host() *Store { return h.host }
+
 // Read returns the versioned value for key, consulting the hardware cache
 // first and the host store on a miss (promoting the entry).
 func (h *HybridKVS) Read(key string) (VersionedValue, bool) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if el, ok := h.cache[key]; ok {
 		h.hits++
 		h.order.MoveToFront(el)
-		return el.Value.(*hybridEntry).val, true
+		v := el.Value.(*hybridEntry).val
+		h.mu.Unlock()
+		return v, true
 	}
 	h.misses++
+	h.mu.Unlock()
+
+	// Pay the modeled host round trip outside the mutex so concurrent
+	// misses — in particular the prefetch stage's warm-up reads — overlap.
+	if h.hostLatency > 0 {
+		time.Sleep(h.hostLatency)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Re-check under the lock: a concurrent miss may have promoted the key
+	// already, or a writer committed a newer value while we were away. A
+	// promoted key is served from the cache without touching the host, so
+	// hostReads counts only actual host accesses.
+	if el, ok := h.cache[key]; ok {
+		h.order.MoveToFront(el)
+		return el.Value.(*hybridEntry).val, true
+	}
+	// The host read itself happens under the mutex: Write updates cache and
+	// host atomically with respect to it, so the promoted value can never be
+	// older than what the cache was told.
 	h.hostReads++
 	v, err := h.host.Get(key)
 	if err != nil {
@@ -68,6 +109,15 @@ func (h *HybridKVS) Read(key string) (VersionedValue, bool) {
 	}
 	h.insertLocked(key, v)
 	return v, true
+}
+
+// Get is Read with Store-compatible error reporting.
+func (h *HybridKVS) Get(key string) (VersionedValue, error) {
+	v, ok := h.Read(key)
+	if !ok {
+		return VersionedValue{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return v, nil
 }
 
 // Version returns the current version of key.
@@ -78,12 +128,18 @@ func (h *HybridKVS) Version(key string) (block.Version, bool) {
 
 // Write stores value in both the cache and the host store. Unlike the pure
 // HardwareKVS, a hybrid database never rejects for capacity: it evicts.
+//
+// The write-through happens while the mutex is held: if it did not, two
+// concurrent writers could update the cache in one order and the host in
+// the other, and after a clean eviction a read would resurrect the stale
+// host value. The value is defensively copied before either side sees it.
 func (h *HybridKVS) Write(key string, value []byte, ver block.Version) error {
 	val := make([]byte, len(value))
 	copy(val, value)
 	vv := VersionedValue{Value: val, Version: ver}
 
 	h.mu.Lock()
+	defer h.mu.Unlock()
 	if el, ok := h.cache[key]; ok {
 		el.Value.(*hybridEntry).val = vv
 		h.order.MoveToFront(el)
@@ -91,10 +147,25 @@ func (h *HybridKVS) Write(key string, value []byte, ver block.Version) error {
 		h.insertLocked(key, vv)
 	}
 	h.hostWrites++
-	h.mu.Unlock()
-
-	h.host.Put(key, value, ver)
+	h.host.Put(key, val, ver)
 	return nil
+}
+
+// Put implements KVS (Write never fails).
+func (h *HybridKVS) Put(key string, value []byte, ver block.Version) {
+	_ = h.Write(key, value, ver)
+}
+
+// WriteBatch applies a write set with the given version.
+func (h *HybridKVS) WriteBatch(writes []block.KVWrite, ver block.Version) {
+	for _, w := range writes {
+		_ = h.Write(w.Key, w.Value, ver)
+	}
+}
+
+// MVCCCheck re-reads each read-set key and compares versions.
+func (h *HybridKVS) MVCCCheck(reads []block.KVRead) error {
+	return CheckMVCC(h.Version, reads)
 }
 
 // insertLocked adds an entry, evicting the LRU entry when full.
@@ -117,11 +188,31 @@ func (h *HybridKVS) CacheLen() int {
 	return len(h.cache)
 }
 
+// Len reports the number of keys in the authoritative (host) database.
+func (h *HybridKVS) Len() int { return h.host.Len() }
+
+// AccessCounts reports cumulative reads (cache hits + misses) and writes.
+func (h *HybridKVS) AccessCounts() (reads, writes int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits + h.misses, h.hostWrites
+}
+
 // Stats reports cache behaviour.
 func (h *HybridKVS) Stats() (hits, misses, evictions, hostReads, hostWrites int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.hits, h.misses, h.evictions, h.hostReads, h.hostWrites
+}
+
+// HitRate reports the fraction of reads served from the hardware cache.
+func (h *HybridKVS) HitRate() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hits+h.misses == 0 {
+		return 0
+	}
+	return float64(h.hits) / float64(h.hits+h.misses)
 }
 
 // Snapshot returns the authoritative (host) contents.

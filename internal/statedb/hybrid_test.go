@@ -2,8 +2,10 @@ package statedb
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"bmac/internal/block"
 )
@@ -113,6 +115,121 @@ func TestHybridMatchesStore(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// cachedValue peeks at the hardware cache without touching the host or the
+// LRU order (test-only).
+func (h *HybridKVS) cachedValue(key string) (VersionedValue, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	el, ok := h.cache[key]
+	if !ok {
+		return VersionedValue{}, false
+	}
+	return el.Value.(*hybridEntry).val, true
+}
+
+// TestHybridConcurrentWriteThrough runs concurrent writers (and readers)
+// over a tiny cache and checks the write-through invariant: whatever value
+// the hardware cache holds for a key, the host holds the same one — so a
+// clean eviction can never resurrect stale state. Before the fix the host
+// write happened outside the mutex, letting two writers reach the host in
+// reverse order. Run with -race.
+func TestHybridConcurrentWriteThrough(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		host := NewStore()
+		h := NewHybridKVS(2, host)
+		const writers, iters, keys = 8, 50, 4
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					key := fmt.Sprintf("k%d", (w+i)%keys)
+					val := []byte(fmt.Sprintf("w%d/i%d", w, i))
+					if err := h.Write(key, val, block.Version{BlockNum: uint64(w), TxNum: uint64(i)}); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+					val[0] = 'X' // callers may reuse buffers: value must be copied
+					h.Read(key)  // interleave miss-path promotions
+				}
+			}(w)
+		}
+		wg.Wait()
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("k%d", k)
+			hostV, err := host.Get(key)
+			if err != nil {
+				t.Fatalf("round %d: host missing %s: %v", round, key, err)
+			}
+			if hostV.Value[0] == 'X' {
+				t.Fatalf("round %d: host saw caller's buffer mutation on %s", round, key)
+			}
+			if cached, ok := h.cachedValue(key); ok {
+				if string(cached.Value) != string(hostV.Value) || cached.Version != hostV.Version {
+					t.Fatalf("round %d: cache/host diverged on %s: cache=%q@%v host=%q@%v",
+						round, key, cached.Value, cached.Version, hostV.Value, hostV.Version)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridDefensiveCopyOnWrite pins the simple (single-writer) half of
+// the satellite fix: the host must never alias the caller's slice.
+func TestHybridDefensiveCopyOnWrite(t *testing.T) {
+	host := NewStore()
+	h := NewHybridKVS(1, host)
+	buf := []byte("fresh")
+	if err := h.Write("k", buf, block.Version{BlockNum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "STALE")
+	hostV, err := host.Get("k")
+	if err != nil || string(hostV.Value) != "fresh" {
+		t.Fatalf("host value = %q, %v (want \"fresh\")", hostV.Value, err)
+	}
+	if v, ok := h.Read("k"); !ok || string(v.Value) != "fresh" {
+		t.Fatalf("cache value = %q, %v", v.Value, ok)
+	}
+}
+
+// TestHybridHostReadLatency checks that only cache misses pay the modeled
+// host latency, and that concurrent misses overlap rather than serialize.
+func TestHybridHostReadLatency(t *testing.T) {
+	host := NewStore()
+	for i := 0; i < 32; i++ {
+		host.Put(fmt.Sprintf("k%d", i), []byte("v"), block.Version{})
+	}
+	h := NewHybridKVS(32, host)
+	const lat = 2 * time.Millisecond
+	h.SetHostReadLatency(lat)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, ok := h.Read(fmt.Sprintf("k%d", i)); !ok {
+				t.Errorf("k%d missing", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > 16*lat {
+		t.Errorf("32 concurrent misses took %v; they must overlap, not serialize (32x%v)", el, lat)
+	}
+
+	start = time.Now()
+	for i := 0; i < 32; i++ {
+		h.Read(fmt.Sprintf("k%d", i)) // all hits now
+	}
+	if el := time.Since(start); el > lat {
+		t.Errorf("cache hits paid host latency: %v", el)
 	}
 }
 

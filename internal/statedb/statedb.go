@@ -1,18 +1,27 @@
 // Package statedb implements the versioned key-value state databases used by
 // the validator peers.
 //
-// Two implementations are provided:
+// The software backends all satisfy the KVS interface (see kvs.go), so the
+// commit engines are backend-agnostic:
 //
 //   - Store: a LevelDB-like software state database (in-memory with batched
 //     writes and per-store locking), used by the software validator peer.
 //     Reads can proceed in parallel, writes are applied in batches after the
 //     mvcc check, matching Fabric's commit path.
 //
+//   - ShardedStore: Store semantics across N lock-striped shards, removing
+//     the single-mutex bottleneck under the parallel commit engine.
+//
+//   - HybridKVS: the paper's §5 scaling proposal — a small fixed-capacity
+//     LRU (the BRAM/URAM budget) in front of a host Store, with an optional
+//     modeled host-access latency on misses.
+//
 //   - HardwareKVS: the fixed-capacity in-hardware key-value store of the
 //     BMac block processor (BRAM/URAM backed, 8192 entries in the paper's
 //     configuration). It supports read and write with versioned values and
 //     an internal per-key locking discipline that disallows reading a key
-//     while it is being written.
+//     while it is being written. It is deliberately NOT a KVS: the hybrid
+//     database is how §5 scales past its capacity.
 //
 // Values carry a Version (block number, transaction number) so mvcc can
 // compare the version observed at endorsement time with the current one.
@@ -113,20 +122,7 @@ func (s *Store) AccessCounts() (reads, writes int) {
 // MVCCCheck re-reads each read-set key and compares versions, returning nil
 // when all match (the transaction is serializable) — step 3 of validation.
 func (s *Store) MVCCCheck(reads []block.KVRead) error {
-	for _, r := range reads {
-		cur, ok := s.Version(r.Key)
-		if !ok {
-			// Key absent now: matches only an absent read (zero version).
-			if r.Version != (block.Version{}) {
-				return fmt.Errorf("statedb: mvcc conflict on %q: expected %v, key deleted", r.Key, r.Version)
-			}
-			continue
-		}
-		if cur != r.Version {
-			return fmt.Errorf("statedb: mvcc conflict on %q: expected %v, have %v", r.Key, r.Version, cur)
-		}
-	}
-	return nil
+	return CheckMVCC(s.Version, reads)
 }
 
 // Snapshot returns a copy of the full database (for cross-validation of the

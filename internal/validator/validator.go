@@ -47,6 +47,12 @@ type Breakdown struct {
 	LedgerCommit time.Duration
 	Total        time.Duration
 
+	// PrefetchWait is the residual stall the pipelined engine's mvcc stage
+	// spent waiting for the async read-set prefetch to finish — the part of
+	// the host-database latency that vscc did NOT hide (zero for the
+	// sequential validator, which has no prefetch stage).
+	PrefetchWait time.Duration
+
 	// Operation-level (Figure 3a categories).
 	ECDSATime   time.Duration
 	ECDSACount  int
@@ -63,6 +69,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.StateDB += o.StateDB
 	b.LedgerCommit += o.LedgerCommit
 	b.Total += o.Total
+	b.PrefetchWait += o.PrefetchWait
 	b.ECDSATime += o.ECDSATime
 	b.ECDSACount += o.ECDSACount
 	b.SHA256Time += o.SHA256Time
@@ -94,16 +101,17 @@ type Config struct {
 // is discarded without committing.
 var ErrBlockInvalid = errors.New("validator: block verification failed")
 
-// Validator is a software-only validator peer core.
+// Validator is a software-only validator peer core. It runs against any
+// statedb.KVS backend (plain, sharded or hybrid hardware/host).
 type Validator struct {
 	cfg    Config
-	store  *statedb.Store
+	store  statedb.KVS
 	ledger *ledger.Ledger
 }
 
-// New creates a validator over its own state database and ledger (ledger
+// New creates a validator over the given state database and ledger (ledger
 // may be nil when cfg.SkipLedger is set).
-func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Validator {
+func New(cfg Config, store statedb.KVS, led *ledger.Ledger) *Validator {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -111,7 +119,7 @@ func New(cfg Config, store *statedb.Store, led *ledger.Ledger) *Validator {
 }
 
 // Store returns the validator's state database.
-func (v *Validator) Store() *statedb.Store { return v.store }
+func (v *Validator) Store() statedb.KVS { return v.store }
 
 // ParsedTx is the fully unmarshaled view of one transaction. It is shared
 // with internal/pipeline so both commit engines decode transactions through

@@ -8,6 +8,7 @@ import (
 	"bmac/internal/identity"
 	"bmac/internal/ledger"
 	"bmac/internal/policy"
+	"bmac/internal/policy/policytest"
 	"bmac/internal/statedb"
 )
 
@@ -54,7 +55,7 @@ func (f *fixture) validator(t testing.TB, pol string, workers int) *Validator {
 	t.Cleanup(func() { led.Close() })
 	return New(Config{
 		Workers:  workers,
-		Policies: map[string]*policy.Policy{"smallbank": policy.MustParse(pol)},
+		Policies: map[string]*policy.Policy{"smallbank": policytest.MustParse(pol)},
 	}, statedb.NewStore(), led)
 }
 

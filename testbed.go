@@ -114,7 +114,14 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb.ParPeer, err = peer.NewParallelPeer(pipeCfg, filepath.Join(dir, "par_validator"))
+	// The parallel peer runs over the configured statedb backend (memory,
+	// hybrid hardware/host, or sharded); the sequential peer stays on the
+	// plain store, so every block is also a cross-backend differential check.
+	parKVS, err := cfg.NewKVS()
+	if err != nil {
+		return nil, err
+	}
+	tb.ParPeer, err = peer.NewParallelPeerKVS(pipeCfg, parKVS, filepath.Join(dir, "par_validator"))
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +232,7 @@ func (tb *Testbed) NewClient(w Workload, seed int64) (*client.Driver, error) {
 // Bootstrap seeds the genesis state for a workload in every store:
 // endorsers, both software peers and the BMac peer's in-hardware database.
 func (tb *Testbed) Bootstrap(w Workload) error {
-	stores := []*statedb.Store{tb.SWPeer.Validator.Store(), tb.ParPeer.Engine.Store()}
+	stores := []statedb.KVS{tb.SWPeer.Validator.Store(), tb.ParPeer.Engine.Store()}
 	for _, e := range tb.Endorsers {
 		stores = append(stores, e.Store())
 	}
@@ -233,6 +240,27 @@ func (tb *Testbed) Bootstrap(w Workload) error {
 		return err
 	}
 	return client.BootstrapHardware(w, tb.registry, tb.SWPeer.Validator.Store(), tb.BMacPeer.Proc.DB())
+}
+
+// ParallelBackendSummary describes the parallel peer's state-database
+// backend and, for a hybrid backend, its cache behaviour and prefetch
+// volume — the operational view of the §5 scaling proposal.
+func (tb *Testbed) ParallelBackendSummary() string {
+	switch kvs := tb.ParPeer.Engine.Store().(type) {
+	case *statedb.HybridKVS:
+		hits, misses, evictions, hostReads, hostWrites := kvs.Stats()
+		return fmt.Sprintf(
+			"hybrid (capacity %d): %.1f%% hit rate (%d hits, %d misses, %d evictions), host %d reads / %d writes, %d keys prefetched",
+			kvs.Capacity(), kvs.HitRate()*100, hits, misses, evictions,
+			hostReads, hostWrites, tb.ParPeer.Engine.PrefetchedKeys())
+	case *statedb.ShardedStore:
+		reads, writes := kvs.AccessCounts()
+		return fmt.Sprintf("sharded (%d stripes): %d reads, %d writes",
+			kvs.ShardCount(), reads, writes)
+	default:
+		reads, writes := kvs.AccessCounts()
+		return fmt.Sprintf("memory: %d reads, %d writes", reads, writes)
+	}
 }
 
 // AwaitBlocks collects n block outcomes or times out.
