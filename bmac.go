@@ -23,7 +23,9 @@ package bmac
 import (
 	"fmt"
 
+	"bmac/internal/cluster"
 	"bmac/internal/config"
+	"bmac/internal/delivery"
 	"bmac/internal/experiments"
 	"bmac/internal/metrics"
 	"bmac/internal/validator"
@@ -36,14 +38,15 @@ type StageBreakdown = validator.Breakdown
 // Config is the BMac network/architecture configuration (paper §3.5).
 type Config = config.Config
 
-// ArchSpec, OrgSpec, ChaincodeSpec, PipelineSpec and StateDBSpec are
-// configuration components.
+// ArchSpec, OrgSpec, ChaincodeSpec, PipelineSpec, StateDBSpec and
+// DeliverySpec are configuration components.
 type (
 	ArchSpec      = config.ArchSpec
 	OrgSpec       = config.OrgSpec
 	ChaincodeSpec = config.ChaincodeSpec
 	PipelineSpec  = config.PipelineSpec
 	StateDBSpec   = config.StateDBSpec
+	DeliverySpec  = config.DeliverySpec
 )
 
 // LoadConfig reads a YAML configuration file.
@@ -87,3 +90,53 @@ func RunExperiment(name string, opts ExperimentOptions) (*metrics.Table, error) 
 
 // Table is a printable experiment result.
 type Table = metrics.Table
+
+// Cluster harness: the open-loop load driver + non-blocking delivery
+// service stack (orderer -> raft -> delivery -> N peers), reporting
+// throughput, per-tx tail latency and per-peer delivery statistics.
+type (
+	// ClusterOptions parameterize a cluster run (internal/cluster).
+	ClusterOptions = cluster.Options
+	// ClusterResult is the cluster run report.
+	ClusterResult = cluster.Result
+	// ClusterPeerReport is one software peer's summary.
+	ClusterPeerReport = cluster.PeerReport
+	// DeliveryPeerStats is a delivery pipe snapshot.
+	DeliveryPeerStats = delivery.PeerStats
+	// DeliveryPolicy selects what happens to a peer that overruns the
+	// retained block window.
+	DeliveryPolicy = delivery.Policy
+	// LatencySummary is the p50/p95/p99 tail digest.
+	LatencySummary = metrics.LatencySummary
+)
+
+// Delivery overrun policies.
+const (
+	// DeliveryDisconnect kills the pipe of an overrunning peer.
+	DeliveryDisconnect = delivery.Disconnect
+	// DeliveryDrop skips and counts the lost blocks, keeping the peer.
+	DeliveryDrop = delivery.DropBlocks
+)
+
+// Cluster validation path modes.
+const (
+	ClusterSequential = cluster.Sequential
+	ClusterPipelined  = cluster.Pipelined
+	ClusterHybrid     = cluster.Hybrid
+)
+
+// ClusterModes lists the validation path modes.
+func ClusterModes() []string { return cluster.Modes() }
+
+// FormatTPS renders a throughput with thousands separators, e.g. "38,400".
+func FormatTPS(tps float64) string { return metrics.FormatTPS(tps) }
+
+// ParseDeliveryPolicy parses a delivery overrun policy name
+// ("disconnect" or "drop").
+func ParseDeliveryPolicy(s string) (DeliveryPolicy, error) { return delivery.ParsePolicy(s) }
+
+// RunCluster executes one cluster experiment end to end; peers keep
+// their ledgers under dir.
+func RunCluster(cfg *Config, opts ClusterOptions, dir string) (*ClusterResult, error) {
+	return cluster.Run(cfg, opts, dir)
+}

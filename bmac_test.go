@@ -83,6 +83,20 @@ func TestTestbedHybridBackendCrossCheck(t *testing.T) {
 	}
 }
 
+// TestTestbedCloseIdempotent: explicit Close for error checking plus a
+// deferred Close is a common pattern; the second call must be a no-op
+// returning the first result, not a double-close panic.
+func TestTestbedCloseIdempotent(t *testing.T) {
+	tb, err := NewTestbed(DefaultConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tb.Close()
+	if second := tb.Close(); second != first {
+		t.Errorf("second Close = %v, first = %v", second, first)
+	}
+}
+
 func TestExperimentNamesHaveTitles(t *testing.T) {
 	names := ExperimentNames()
 	if len(names) < 10 {

@@ -4,11 +4,19 @@
 // validator, by the parallel pipelined commit engine and by the BMac
 // pipeline — with all results cross-checked, as in paper §4.1.
 //
+// With -cluster it instead drives the delivery-side stack end to end:
+// an open-loop client load (configurable arrival rate and distribution)
+// submits through the Raft ordering service, and blocks fan out through
+// the non-blocking delivery service to N gossip peers (one of them
+// artificially slow) and a BMac peer, reporting throughput, per-tx
+// p50/p95/p99 commit latency and per-peer delivery statistics.
+//
 // Usage:
 //
 //	bmacnet                          # smallbank, default config
 //	bmacnet -config bmac.yaml        # custom network/architecture
 //	bmacnet -workload drm -txs 500   # drm benchmark
+//	bmacnet -cluster -peers 4 -slow-peers 1 -rate 500 -path pipelined
 package main
 
 import (
@@ -39,6 +47,19 @@ func run() error {
 		dbCap      = flag.Int("db-capacity", 0, "hybrid backend cache capacity (default: architecture db_capacity)")
 		hostLatUS  = flag.Int("host-latency-us", 0, "modeled host read latency on hybrid cache misses, microseconds")
 		prefetch   = flag.Bool("prefetch", false, "enable the pipelined engine's async read-set prefetch stage")
+
+		clusterRun = flag.Bool("cluster", false, "run the cluster load experiment (orderer -> raft -> delivery -> N peers)")
+		path       = flag.String("path", "sequential", "cluster validation path: sequential, pipelined or hybrid")
+		peers      = flag.Int("peers", 3, "cluster software peers")
+		slowPeers  = flag.Int("slow-peers", 1, "cluster peers made artificially slow (taken from the end)")
+		slowDelay  = flag.Duration("slow-delay", 40*time.Millisecond, "per-block delay of a slow peer")
+		rate       = flag.Float64("rate", 0, "open-loop aggregate arrival rate, tx/s (0 = unpaced)")
+		arrival    = flag.String("arrival", "poisson", "inter-arrival distribution: poisson or uniform")
+		clients    = flag.Int("clients", 2, "concurrent load clients")
+		raftNodes  = flag.Int("raft-nodes", 1, "raft cluster size of the ordering service")
+		window     = flag.Int("delivery-window", 0, "delivery retained-block window (0 = config/default)")
+		slowPolicy = flag.String("delivery-policy", "", "slow peers' overrun policy: drop, disconnect, or wait (lossless, throttles the orderer to the slow peer; default: config/drop)")
+		noBMac     = flag.Bool("no-bmac", false, "cluster: skip the BMac protocol peer")
 	)
 	flag.Parse()
 
@@ -89,6 +110,30 @@ func run() error {
 		workdir = tmp
 	}
 
+	if *clusterRun {
+		pol := *slowPolicy
+		if pol == "" {
+			pol = cfg.Delivery.Policy
+		}
+		return runCluster(cfg, bmac.ClusterOptions{
+			Mode:       *path,
+			Peers:      *peers,
+			SlowPeers:  *slowPeers,
+			SlowDelay:  *slowDelay,
+			SlowPolicy: pol,
+			BMacPeer:   !*noBMac,
+			RaftNodes:  *raftNodes,
+			Txs:        *txs,
+			Rate:       *rate,
+			Arrival:    *arrival,
+			Clients:    *clients,
+			Window:     *window,
+			Accounts:   *accounts,
+			Skew:       *skew,
+			Seed:       time.Now().UnixNano(),
+		}, workdir)
+	}
+
 	tb, err := bmac.NewTestbed(cfg, workdir)
 	if err != nil {
 		return err
@@ -107,28 +152,41 @@ func run() error {
 		len(cfg.Orgs), len(tb.Endorsers), cfg.Arch.TxValidators, cfg.Arch.VSCCEngines, cfg.Channel)
 	fmt.Printf("submitting %d %s transactions...\n", *txs, *workload)
 	start := time.Now()
-	if err := driver.Run(*txs); err != nil {
-		return err
-	}
+	// Submit concurrently with outcome consumption: with small blocks a
+	// long run produces more blocks than the outcomes channel and the
+	// delivery window can buffer, and the cross-check's backpressure
+	// would park Submit until someone drains outcomes.
+	submitErr := make(chan error, 1)
+	go func() { submitErr <- driver.Run(*txs) }()
 
 	committed, blocks, mismatches := 0, 0, 0
 	var swTotal, parTotal bmac.StageBreakdown
 	for committed < *txs {
-		outcomes, err := tb.AwaitBlocks(1, 30*time.Second)
-		if err != nil {
+		select {
+		case o := <-tb.Outcomes():
+			blocks++
+			committed += o.TxCount
+			if !o.Match {
+				mismatches++
+			}
+			swTotal.Add(o.SW.Breakdown)
+			parTotal.Add(o.Par.Breakdown)
+			fmt.Printf("block %3d: %3d txs, sw/hw match=%v, sw/par match=%v, ends verified=%d skipped=%d\n",
+				o.BlockNum, o.TxCount, o.HWMatch, o.ParMatch,
+				o.HW.HWStats.EndsVerified, o.HW.HWStats.EndsSkipped)
+		case err := <-submitErr:
+			if err != nil {
+				return err
+			}
+			submitErr = nil // submission done; a nil channel never selects
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("timed out with %d/%d txs committed", committed, *txs)
+		}
+	}
+	if submitErr != nil {
+		if err := <-submitErr; err != nil {
 			return err
 		}
-		o := outcomes[0]
-		blocks++
-		committed += o.TxCount
-		if !o.Match {
-			mismatches++
-		}
-		swTotal.Add(o.SW.Breakdown)
-		parTotal.Add(o.Par.Breakdown)
-		fmt.Printf("block %3d: %3d txs, sw/hw match=%v, sw/par match=%v, ends verified=%d skipped=%d\n",
-			o.BlockNum, o.TxCount, o.HWMatch, o.ParMatch,
-			o.HW.HWStats.EndsVerified, o.HW.HWStats.EndsSkipped)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("\n%d blocks, %d txs in %v (%.0f tps end-to-end)\n",
@@ -161,5 +219,43 @@ func run() error {
 		return fmt.Errorf("%d blocks mismatched across the three validation paths", mismatches)
 	}
 	fmt.Println("\nsequential, parallel and BMac validation results matched on every block")
+	return nil
+}
+
+// runCluster drives the delivery-side stack and prints the report.
+func runCluster(cfg *bmac.Config, opts bmac.ClusterOptions, dir string) error {
+	fmt.Printf("cluster: %d peers (%d slow, +%v/block), path %s, raft %d node(s), %d txs",
+		opts.Peers, opts.SlowPeers, opts.SlowDelay, opts.Mode, opts.RaftNodes, opts.Txs)
+	if opts.Rate > 0 {
+		fmt.Printf(" at %.0f tx/s (%s arrivals)", opts.Rate, opts.Arrival)
+	}
+	fmt.Println()
+
+	res, err := bmac.RunCluster(cfg, opts, dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%d blocks, %d txs (%d valid) in %v: %s tps end-to-end, %d late arrivals\n",
+		res.Blocks, res.Txs, res.ValidTxs, res.Elapsed.Round(time.Millisecond),
+		bmac.FormatTPS(res.TPS), res.Late)
+	fmt.Printf("gossip path  e2e commit latency: %s\n", res.SWLatency)
+	if res.HWLatency.Count > 0 {
+		fmt.Printf("bmac   path  e2e commit latency: %s\n", res.HWLatency)
+	}
+
+	fmt.Println("\nper-peer delivery (snapshot at fast-path completion):")
+	fmt.Printf("  %-8s %-5s %8s %10s %6s %6s %8s %8s %7s\n",
+		"peer", "slow", "blocks", "bytes", "lag", "drops", "redials", "senderrs", "commits")
+	for _, p := range res.Peers {
+		d := p.Delivery
+		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %7d\n",
+			p.Name, p.Slow, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.Redials, d.SendErrs, p.Blocks)
+	}
+	if res.BMacDelivery.Name != "" {
+		d := res.BMacDelivery
+		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %7s\n",
+			d.Name, false, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.Redials, d.SendErrs, "-")
+	}
 	return nil
 }

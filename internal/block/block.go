@@ -969,6 +969,33 @@ func ComputeTxID(nonce, creator []byte) string {
 	return hex.EncodeToString(h.Sum())
 }
 
+// EnvelopeTxID extracts the transaction ID from an envelope by decoding
+// only the channel header — enough for delivery-side bookkeeping (e.g.
+// matching committed transactions back to their submission times) without
+// walking the full payload nesting.
+func EnvelopeTxID(env *Envelope) (string, error) {
+	r := wire.NewReader(env.PayloadBytes)
+	for {
+		num, wt, ok := r.Next()
+		if !ok {
+			break
+		}
+		if num != fPayloadChannelHdr {
+			r.Skip(wt)
+			continue
+		}
+		ch, err := UnmarshalChannelHeader(r.Bytes())
+		if err != nil {
+			return "", err
+		}
+		return ch.TxID, nil
+	}
+	if err := r.Err(); err != nil {
+		return "", fmt.Errorf("%w: payload: %v", ErrMalformed, err)
+	}
+	return "", fmt.Errorf("%w: payload missing channel header", ErrMalformed)
+}
+
 // FlagsEqual reports whether two validation flag arrays match exactly.
 func FlagsEqual(a, b []byte) bool { return bytes.Equal(a, b) }
 

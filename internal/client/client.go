@@ -237,15 +237,23 @@ func BootstrapHardware(w Workload, reg *chaincode.Registry, ref statedb.KVS, hw 
 }
 
 // SubmitOne generates, endorses, assembles and submits one transaction.
-// Endorsement gathering races with block commits updating the endorsers'
-// world state (as in a live Fabric network); when the endorsers disagree
-// on the read set, the client retries the proposal, as a real Fabric
-// client SDK does.
 func (d *Driver) SubmitOne() error {
+	_, err := d.SubmitTx()
+	return err
+}
+
+// SubmitTx generates, endorses, assembles and submits one transaction and
+// returns its transaction ID, so open-loop load drivers can match the
+// submission against the block it later commits in (per-tx end-to-end
+// latency). Endorsement gathering races with block commits updating the
+// endorsers' world state (as in a live Fabric network); when the endorsers
+// disagree on the read set, the client retries the proposal, as a real
+// Fabric client SDK does.
+func (d *Driver) SubmitTx() (string, error) {
 	fn, args := d.workload.Next(d.rng)
 	nonce := make([]byte, 24)
 	if _, err := rand.Read(nonce); err != nil {
-		return fmt.Errorf("nonce: %w", err)
+		return "", fmt.Errorf("nonce: %w", err)
 	}
 	prop := &endorser.Proposal{
 		Chaincode: d.workload.Chaincode(),
@@ -266,7 +274,7 @@ func (d *Driver) SubmitOne() error {
 			break
 		}
 		if attempt == maxAttempts || !errors.Is(err, errEndorserMismatch) {
-			return fmt.Errorf("endorse %s.%s: %w", prop.Chaincode, fn, err)
+			return "", fmt.Errorf("endorse %s.%s: %w", prop.Chaincode, fn, err)
 		}
 	}
 	env, err := block.NewEnvelopeFromResponses(block.AssembleSpec{
@@ -278,13 +286,13 @@ func (d *Driver) SubmitOne() error {
 		Endorsers: endorsements,
 	})
 	if err != nil {
-		return err
+		return "", err
 	}
 	if err := d.submitter.Submit(env); err != nil {
-		return err
+		return "", err
 	}
 	d.submitted++
-	return nil
+	return block.ComputeTxID(nonce, d.id.Cert), nil
 }
 
 // errEndorserMismatch reports divergent proposal responses (a block landed

@@ -1,0 +1,659 @@
+// Package cluster wires the whole delivery-side stack end to end: an
+// open-loop client load (internal/load) submits endorsed transactions to
+// a Raft-backed ordering service, whose blocks fan out through the
+// non-blocking delivery service (internal/delivery) to N software peers
+// over the Gossip wire format and optionally to a BMac peer over the
+// custom protocol — the paper §3.5 dual path at cluster scale. Each
+// software peer validates with one of the three commit paths (sequential,
+// parallel pipelined, pipelined over the hybrid hardware/host database),
+// and the harness reports throughput, per-tx end-to-end commit latency
+// (p50/p95/p99) and per-peer delivery statistics, including the
+// isolation of an artificially slow peer.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bmac/internal/block"
+	"bmac/internal/bmacproto"
+	"bmac/internal/chaincode"
+	"bmac/internal/client"
+	"bmac/internal/config"
+	"bmac/internal/delivery"
+	"bmac/internal/endorser"
+	"bmac/internal/gossip"
+	"bmac/internal/identity"
+	"bmac/internal/load"
+	"bmac/internal/metrics"
+	"bmac/internal/orderer"
+	"bmac/internal/peer"
+	"bmac/internal/raft"
+	"bmac/internal/statedb"
+)
+
+// Validation path modes for the software peers.
+const (
+	Sequential = "sequential" // internal/validator, Fabric's baseline pipeline
+	Pipelined  = "pipelined"  // internal/pipeline over an in-memory store
+	Hybrid     = "hybrid"     // internal/pipeline + prefetch over the §5 hybrid database
+)
+
+// Modes lists the validation path modes in presentation order.
+func Modes() []string { return []string{Sequential, Pipelined, Hybrid} }
+
+// Options parameterize one cluster run.
+type Options struct {
+	// Mode selects the software peers' validation path (default
+	// Sequential).
+	Mode string
+	// Peers is the number of software gossip peers (default 3).
+	Peers int
+	// SlowPeers marks that many peers, taken from the end, as
+	// artificially slow (SlowDelay per block on their delivery pipe).
+	SlowPeers int
+	// SlowDelay is the per-block delay of a slow peer (default 20ms).
+	SlowDelay time.Duration
+	// SlowPolicy is the overrun policy name for slow peers: "drop"
+	// (default, so the run completes while the drop counter shows the
+	// overload) or "disconnect". Fast peers always use disconnect.
+	SlowPolicy string
+	// BMacPeer includes a hardware peer fed over the BMac protocol.
+	BMacPeer bool
+	// RaftNodes sizes the ordering service's Raft cluster (default 1,
+	// the paper's setup; 3 exercises majority replication).
+	RaftNodes int
+	// Txs is the total number of transactions to submit (default 60).
+	Txs int
+	// Rate is the aggregate open-loop arrival rate in tx/s (<= 0: no
+	// pacing).
+	Rate float64
+	// Arrival is the inter-arrival distribution (load.Poisson default).
+	Arrival string
+	// Clients is the number of concurrent load clients (default 2).
+	Clients int
+	// Window overrides the delivery window (default config/service
+	// default).
+	Window int
+	// Accounts sizes the smallbank state (default 64).
+	Accounts int
+	// Skew is the smallbank hot-account Zipf exponent (0 = uniform).
+	Skew float64
+	// Seed makes the workload and arrivals deterministic.
+	Seed int64
+	// Timeout bounds the whole run (default 60s).
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = Sequential
+	}
+	if o.Peers == 0 {
+		o.Peers = 3
+	}
+	if o.SlowDelay == 0 {
+		o.SlowDelay = 20 * time.Millisecond
+	}
+	if o.SlowPolicy == "" {
+		o.SlowPolicy = "drop"
+	}
+	if o.RaftNodes == 0 {
+		o.RaftNodes = 1
+	}
+	if o.Txs == 0 {
+		o.Txs = 60
+	}
+	if o.Clients == 0 {
+		o.Clients = 2
+	}
+	if o.Accounts == 0 {
+		o.Accounts = 64
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 60 * time.Second
+	}
+	return o
+}
+
+// PeerReport is one software peer's end-of-run summary.
+type PeerReport struct {
+	Name     string
+	Slow     bool
+	Blocks   int // blocks committed
+	Txs      int // envelopes committed
+	ValidTxs int
+	Delivery delivery.PeerStats
+}
+
+// Result is the cluster run report.
+type Result struct {
+	Mode      string
+	RaftNodes int
+	Submitted int
+	Late      int // arrivals that fired behind schedule
+	Blocks    int // blocks committed by the observer peer
+	Txs       int // envelopes committed by the observer peer
+	ValidTxs  int
+	Elapsed   time.Duration
+	TPS       float64 // committed envelopes/s at the observer peer
+	// SWLatency is the per-tx end-to-end latency (scheduled arrival ->
+	// committed on the observer software peer).
+	SWLatency metrics.LatencySummary
+	// HWLatency is the same measured at the BMac peer (zero without one).
+	HWLatency metrics.LatencySummary
+	Peers     []PeerReport
+	// BMacDelivery is the hardware path's delivery pipe (zero value
+	// without a BMac peer).
+	BMacDelivery delivery.PeerStats
+}
+
+// swPeer is one software gossip peer: listener, commit engine, counters.
+type swPeer struct {
+	name    string
+	slow    bool
+	ln      *gossip.Listener
+	commit  func(*block.Block) (peer.CommitResult, error)
+	close   func() error
+	store   statedb.KVS
+	started bool // commitLoop launched (done will be closed)
+	done    chan struct{}
+
+	mu         sync.Mutex
+	blocks     int
+	txs        int
+	validTxs   int
+	lastCommit time.Time
+	err        error
+}
+
+func (p *swPeer) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Run executes one cluster experiment: build, bootstrap, drive, drain,
+// report. dir receives the peers' ledgers.
+func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.SlowPeers >= opts.Peers {
+		return nil, fmt.Errorf("cluster: %d slow peers need at least %d peers", opts.SlowPeers, opts.SlowPeers+1)
+	}
+	slowPolicy, err := delivery.ParsePolicy(opts.SlowPolicy)
+	if err != nil {
+		return nil, err
+	}
+	net, err := cfg.BuildNetwork()
+	if err != nil {
+		return nil, err
+	}
+	registry := chaincode.NewRegistry(chaincode.Smallbank{}, chaincode.DRM{}, chaincode.SplitPay{})
+
+	// Endorser peers, as in the testbed.
+	var endorsers []*endorser.Endorser
+	for _, org := range cfg.Orgs {
+		for i := 0; i < org.Endorsers; i++ {
+			id, err := net.LookupByName(fmt.Sprintf("peer%d.%s", i, org.Name))
+			if err != nil {
+				return nil, err
+			}
+			endorsers = append(endorsers, endorser.New(id, statedb.NewStore(), registry))
+		}
+	}
+	if len(endorsers) == 0 {
+		return nil, errors.New("cluster: configuration declares no endorser peers")
+	}
+
+	// Ordering service: RaftNodes-node cluster, orderer bound to the
+	// elected leader (leader submit).
+	rc := raft.NewCluster(opts.RaftNodes, 20*time.Millisecond)
+	defer rc.Stop()
+	leader := rc.WaitForLeader(5 * time.Second)
+	if leader == nil {
+		return nil, errors.New("cluster: raft leader election timed out")
+	}
+	ordID, err := net.LookupByName("orderer0." + cfg.Orgs[0].Name)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: first org needs an orderer: %w", err)
+	}
+	ord := orderer.New(orderer.Config{
+		BatchSize:    cfg.Arch.MaxBlockTxs,
+		BatchTimeout: 30 * time.Millisecond,
+		Channel:      cfg.Channel,
+	}, ordID, leader)
+	defer ord.Stop()
+
+	// Software peers behind real gossip TCP listeners.
+	peers := make([]*swPeer, 0, opts.Peers)
+	defer func() {
+		for _, p := range peers {
+			p.ln.Close()
+			if p.started {
+				<-p.done // commitLoop exits once the intake channel closes
+			}
+			p.close()
+		}
+	}()
+	for i := 0; i < opts.Peers; i++ {
+		p, err := newSWPeer(cfg, opts, i, filepath.Join(dir, fmt.Sprintf("peer%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, p)
+	}
+
+	// Optional BMac peer over the protocol path.
+	var (
+		bmacPeer *peer.BMacPeer
+		sender   *bmacproto.Sender
+	)
+	if opts.BMacPeer {
+		coreCfg, err := cfg.CoreConfig()
+		if err != nil {
+			return nil, err
+		}
+		bmacPeer, err = peer.NewBMacPeer(coreCfg, cfg.Arch.DBCapacity, filepath.Join(dir, "bmac_peer"))
+		if err != nil {
+			return nil, err
+		}
+		defer bmacPeer.Close()
+		sender = bmacproto.NewSender(identity.NewCache(), bmacproto.NewMemLink(bmacPeer.Receiver))
+		if err := sender.RegisterNetwork(net); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bootstrap genesis state everywhere.
+	w := client.SmallbankWorkload{Accounts: opts.Accounts, Skew: opts.Skew}
+	stores := make([]statedb.KVS, 0, len(peers)+len(endorsers))
+	for _, p := range peers {
+		stores = append(stores, p.store)
+	}
+	for _, e := range endorsers {
+		stores = append(stores, e.Store())
+	}
+	if err := client.Bootstrap(w, registry, stores...); err != nil {
+		return nil, err
+	}
+	if bmacPeer != nil {
+		if err := client.BootstrapHardware(w, registry, peers[0].store, bmacPeer.Proc.DB()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Open-loop load.
+	gen, err := load.New(load.Options{
+		Rate:    opts.Rate,
+		Arrival: opts.Arrival,
+		Count:   opts.Txs,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clientID, err := net.LookupByName("client0." + cfg.Orgs[0].Name)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: first org needs a client: %w", err)
+	}
+	drivers := make([]load.Submitter, opts.Clients)
+	for i := range drivers {
+		drivers[i] = client.NewDriver(clientID, endorsers, ord, w, cfg.Channel, opts.Seed+int64(100+i))
+	}
+
+	// Delivery service: every path is one per-peer pipe.
+	window := opts.Window
+	if window == 0 {
+		window = cfg.Delivery.Window
+	}
+	svc := delivery.NewService(delivery.Options{Window: window})
+	defer svc.Close()
+	for i, p := range peers {
+		tr, err := delivery.DialGossip(p.ln.Addr())
+		if err != nil {
+			return nil, err
+		}
+		po := delivery.PeerOptions{
+			Policy:     delivery.Disconnect,
+			Dial:       delivery.GossipDialer(p.ln.Addr()),
+			MaxRedials: cfg.Delivery.MaxRedials,
+		}
+		var t delivery.Transport = tr
+		if p.slow {
+			t = delivery.Slowed(tr, opts.SlowDelay)
+			po.Policy = slowPolicy
+			addr := p.ln.Addr()
+			po.Dial = func() (delivery.Transport, error) {
+				inner, err := delivery.DialGossip(addr)
+				if err != nil {
+					return nil, err
+				}
+				return delivery.Slowed(inner, opts.SlowDelay), nil
+			}
+		}
+		if err := svc.Register(peers[i].name, t, po); err != nil {
+			return nil, err
+		}
+	}
+	if sender != nil {
+		if err := svc.Register("bmac", delivery.NewBMacTransport(sender), delivery.PeerOptions{}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The orderer's only hook publishes into the delivery window (and
+	// records the block's tx ids for the hardware latency join); it never
+	// blocks on a peer.
+	var (
+		txMu     sync.Mutex
+		blockTxs = make(map[uint64][]string)
+	)
+	ord.OnDeliver(func(b *block.Block) error {
+		if opts.BMacPeer {
+			ids := make([]string, 0, len(b.Envelopes))
+			for i := range b.Envelopes {
+				if id, err := block.EnvelopeTxID(&b.Envelopes[i]); err == nil {
+					ids = append(ids, id)
+				}
+			}
+			txMu.Lock()
+			blockTxs[b.Header.Number] = ids
+			txMu.Unlock()
+		}
+		return svc.Publish(b)
+	})
+
+	// Peer commit loops. Peer 0 is the observer: it records end-to-end
+	// latency and plays the committer for the endorser world state.
+	for i, p := range peers {
+		p.started = true
+		go p.commitLoop(i == 0, gen, endorsers)
+	}
+	type hwObs struct {
+		txid string
+		at   time.Time
+	}
+	var (
+		hwMu      sync.Mutex
+		hwSamples metrics.Samples
+		hwBlocks  uint64
+		hwPending []hwObs // commits observed before the submit record landed
+	)
+	if bmacPeer != nil {
+		go func() {
+			for res := range bmacPeer.Results() {
+				at := time.Now()
+				txMu.Lock()
+				ids := blockTxs[res.BlockNum]
+				txMu.Unlock()
+				hwMu.Lock()
+				hwBlocks++
+				for _, id := range ids {
+					if t0, ok := gen.SubmitTime(id); ok {
+						hwSamples.Add(at.Sub(t0))
+					} else {
+						hwPending = append(hwPending, hwObs{id, at})
+					}
+				}
+				hwMu.Unlock()
+			}
+		}()
+	}
+
+	// Drive the load, then wait for the observer peer to commit every
+	// submitted transaction (valid or invalidated — each lands in a
+	// block either way).
+	start := time.Now()
+	runErr := gen.Run(drivers)
+	submitted, _, late := gen.Stats()
+	deadline := time.Now().Add(opts.Timeout)
+	for {
+		peers[0].mu.Lock()
+		committed := peers[0].txs
+		err := peers[0].err
+		peers[0].mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: observer peer: %w", err)
+		}
+		if committed >= submitted {
+			break
+		}
+		if oerr := ord.Err(); oerr != nil {
+			return nil, fmt.Errorf("cluster: orderer: %w", oerr)
+		}
+		// A dead pipe on a fast peer is fatal; a slow peer is allowed to
+		// die of its configured policy (that is the experiment).
+		for _, st := range svc.Stats() {
+			if st.Err != nil && !isSlowName(peers, st.Name) {
+				return nil, fmt.Errorf("cluster: delivery to %s: %w", st.Name, st.Err)
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: observer committed %d/%d txs after %v",
+				committed, submitted, opts.Timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Snapshot delivery stats now, while the contrast is visible: the
+	// observer has everything, so a fast peer's lag is ~0 while the slow
+	// peer still shows its backlog and drops.
+	stats := make(map[string]delivery.PeerStats, opts.Peers+1)
+	for _, st := range svc.Stats() {
+		stats[st.Name] = st
+	}
+	// Let the remaining (fast and slow) pipes finish their backlog; the
+	// slow peer's drop counter, not the drain, absorbs its overload.
+	drainErr := svc.Drain(opts.Timeout)
+	// Zero delivery lag only means the frames reached the sockets; wait
+	// for the fast peers' commit loops to drain their intake before
+	// reading their counters.
+	settleDeadline := time.Now().Add(opts.Timeout)
+	for _, p := range peers {
+		if p.slow {
+			continue
+		}
+		for {
+			p.mu.Lock()
+			settled := p.txs >= submitted || p.err != nil
+			p.mu.Unlock()
+			if settled || time.Now().After(settleDeadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if bmacPeer != nil {
+		// The protocol sender returned as soon as packets entered the
+		// link; wait for the hardware pipeline to finish the tail.
+		flushDeadline := time.Now().Add(opts.Timeout)
+		for {
+			hwMu.Lock()
+			done := hwBlocks >= svc.Height()
+			hwMu.Unlock()
+			if done || time.Now().After(flushDeadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Report.
+	res := &Result{
+		Mode:      opts.Mode,
+		RaftNodes: opts.RaftNodes,
+		Submitted: submitted,
+		Late:      late,
+		SWLatency: gen.Latency(),
+	}
+	peers[0].mu.Lock()
+	res.Blocks = peers[0].blocks
+	res.Txs = peers[0].txs
+	res.ValidTxs = peers[0].validTxs
+	res.Elapsed = peers[0].lastCommit.Sub(start)
+	peers[0].mu.Unlock()
+	if res.Elapsed > 0 {
+		res.TPS = metrics.Throughput(res.Txs, res.Elapsed)
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		res.Peers = append(res.Peers, PeerReport{
+			Name:     p.name,
+			Slow:     p.slow,
+			Blocks:   p.blocks,
+			Txs:      p.txs,
+			ValidTxs: p.validTxs,
+			Delivery: stats[p.name],
+		})
+		p.mu.Unlock()
+	}
+	if bmacPeer != nil {
+		res.BMacDelivery = stats["bmac"]
+		hwMu.Lock()
+		// Resolve commits that raced ahead of their submit record; every
+		// submission is recorded by now (gen.Run returned).
+		for _, o := range hwPending {
+			if t0, ok := gen.SubmitTime(o.txid); ok {
+				hwSamples.Add(o.at.Sub(t0))
+			}
+		}
+		hwPending = nil
+		res.HWLatency = hwSamples.Summary()
+		hwMu.Unlock()
+	}
+	if runErr != nil {
+		return res, fmt.Errorf("cluster: load: %w", runErr)
+	}
+	if drainErr != nil {
+		return res, drainErr
+	}
+	return res, nil
+}
+
+func isSlowName(peers []*swPeer, name string) bool {
+	for _, p := range peers {
+		if p.name == name {
+			return p.slow
+		}
+	}
+	return false
+}
+
+// newSWPeer builds one software peer for the selected validation path.
+func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, error) {
+	ln, err := gossip.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &swPeer{
+		name: fmt.Sprintf("peer%d", i),
+		slow: i >= opts.Peers-opts.SlowPeers,
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	switch opts.Mode {
+	case Sequential:
+		valCfg, err := cfg.ValidatorConfig(4)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		sw, err := peer.NewSWPeer(valCfg, dir)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		p.commit = sw.CommitBlock
+		p.close = sw.Close
+		p.store = sw.Validator.Store()
+	case Pipelined, Hybrid:
+		mcfg := *cfg
+		if opts.Mode == Hybrid {
+			mcfg.StateDB.Backend = config.BackendHybrid
+			mcfg.Pipeline.Prefetch = true
+		} else {
+			mcfg.StateDB.Backend = config.BackendMemory
+		}
+		pipeCfg, err := mcfg.PipelineConfig()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		kvs, err := mcfg.NewKVS()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		pp, err := peer.NewParallelPeerKVS(pipeCfg, kvs, dir)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		p.commit = pp.CommitBlock
+		p.close = pp.Close
+		p.store = pp.Engine.Store()
+	default:
+		ln.Close()
+		return nil, fmt.Errorf("cluster: unknown mode %q (valid: %v)", opts.Mode, Modes())
+	}
+	return p, nil
+}
+
+// commitLoop drains the peer's gossip intake, committing blocks in
+// delivery order. The observer additionally records end-to-end latency
+// and applies committed writes to the endorser stores (committer role).
+func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser) {
+	defer close(p.done)
+	next := uint64(0)
+	skipped := false
+	for b := range p.ln.Blocks() {
+		// Delivery is at-least-once: a redial resends from the
+		// unadvanced cursor, so a block already committed may arrive
+		// again (e.g. the first copy was flushed as the timed-out
+		// connection closed). Skip duplicates; gaps are possible for a
+		// DropBlocks slow peer but reordering is not.
+		if b.Header.Number < next {
+			continue
+		}
+		if b.Header.Number > next {
+			// A gap: a DropBlocks peer cannot MVCC-validate against a
+			// state missing the skipped writes, so it keeps counting
+			// delivery but stops committing.
+			skipped = true
+		}
+		next = b.Header.Number + 1
+		if skipped {
+			p.mu.Lock()
+			p.blocks++
+			p.txs += len(b.Envelopes)
+			p.lastCommit = time.Now()
+			p.mu.Unlock()
+			continue
+		}
+		res, err := p.commit(b)
+		if err != nil {
+			p.fail(fmt.Errorf("commit block %d: %w", b.Header.Number, err))
+			return
+		}
+		at := time.Now()
+		if observer {
+			for _, e := range endorsers {
+				if err := client.ApplyBlock(e.Store(), b, res.Flags); err != nil {
+					p.fail(err)
+					return
+				}
+			}
+			gen.ObserveBlock(b, at)
+		}
+		p.mu.Lock()
+		p.blocks++
+		p.txs += len(b.Envelopes)
+		p.validTxs += block.CountValid(res.Flags)
+		p.lastCommit = at
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"bmac/internal/config"
+)
+
+func testConfig() *config.Config {
+	cfg := config.Default()
+	cfg.Arch.MaxBlockTxs = 6 // several blocks per run
+	return cfg
+}
+
+// TestSlowPeerIsolation is the acceptance check of the delivery
+// subsystem: with one artificially slow peer among fast ones, the fast
+// peers' delivery is unaffected (zero lag when the observer finishes)
+// while the slow peer's own backlog shows up as lag/drops, and every
+// submitted transaction gets an end-to-end latency sample.
+func TestSlowPeerIsolation(t *testing.T) {
+	res, err := Run(testConfig(), Options{
+		Mode:      Sequential,
+		Peers:     3,
+		SlowPeers: 1,
+		SlowDelay: 100 * time.Millisecond,
+		Window:    4,
+		Txs:       24,
+		Clients:   2,
+		Seed:      11,
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Txs != 24 || res.Submitted != 24 {
+		t.Fatalf("committed %d/%d txs at the observer", res.Txs, res.Submitted)
+	}
+	if res.Blocks < 2 {
+		t.Fatalf("only %d blocks", res.Blocks)
+	}
+	if res.SWLatency.Count != 24 || res.SWLatency.P99 <= 0 {
+		t.Errorf("latency summary %+v, want 24 samples", res.SWLatency)
+	}
+	slow, fast := 0, 0
+	for _, p := range res.Peers {
+		if p.Slow {
+			slow++
+			if p.Delivery.Lag+p.Delivery.Dropped == 0 {
+				t.Errorf("slow peer %s shows no backlog: %+v", p.Name, p.Delivery)
+			}
+		} else {
+			fast++
+			if p.Delivery.Lag != 0 {
+				t.Errorf("fast peer %s lagging %d blocks behind a slow sibling: isolation broken",
+					p.Name, p.Delivery.Lag)
+			}
+			if p.Delivery.Err != nil {
+				t.Errorf("fast peer %s pipe error: %v", p.Name, p.Delivery.Err)
+			}
+			if p.Blocks != res.Blocks {
+				t.Errorf("fast peer %s committed %d/%d blocks", p.Name, p.Blocks, res.Blocks)
+			}
+		}
+	}
+	if slow != 1 || fast != 2 {
+		t.Fatalf("peer mix slow=%d fast=%d", slow, fast)
+	}
+}
+
+// TestThreeNodeRaftOrdering drives the full stack over a 3-node Raft
+// ordering service with leader submit: the observer peer's in-order
+// commit check (inside commitLoop) proves every block arrives exactly
+// once and in sequence, and every submitted transaction commits.
+func TestThreeNodeRaftOrdering(t *testing.T) {
+	res, err := Run(testConfig(), Options{
+		Mode:      Sequential,
+		Peers:     2,
+		RaftNodes: 3,
+		Txs:       18,
+		Clients:   2,
+		Seed:      13,
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaftNodes != 3 {
+		t.Fatalf("raft nodes = %d", res.RaftNodes)
+	}
+	if res.Txs != 18 {
+		t.Fatalf("committed %d/18 txs", res.Txs)
+	}
+	for _, p := range res.Peers {
+		if p.Blocks != res.Blocks || p.Txs != res.Txs {
+			t.Errorf("peer %s committed %d blocks / %d txs, observer saw %d/%d",
+				p.Name, p.Blocks, p.Txs, res.Blocks, res.Txs)
+		}
+	}
+}
+
+// TestPipelinedAndHybridPaths smoke-runs the two parallel validation
+// paths end to end through the delivery service.
+func TestPipelinedAndHybridPaths(t *testing.T) {
+	for _, mode := range []string{Pipelined, Hybrid} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.StateDB.Capacity = 16
+			cfg.StateDB.HostReadLatencyUS = 20
+			res, err := Run(cfg, Options{
+				Mode:    mode,
+				Peers:   2,
+				Txs:     12,
+				Clients: 1,
+				Seed:    17,
+			}, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Txs != 12 {
+				t.Fatalf("committed %d/12 txs", res.Txs)
+			}
+			if res.ValidTxs == 0 {
+				t.Error("no valid transactions committed")
+			}
+		})
+	}
+}
+
+// TestBMacPathLatency includes the hardware peer and checks the second
+// observation point produces its own tail-latency digest.
+func TestBMacPathLatency(t *testing.T) {
+	res, err := Run(testConfig(), Options{
+		Mode:     Sequential,
+		Peers:    2,
+		BMacPeer: true,
+		Txs:      12,
+		Clients:  1,
+		Seed:     19,
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HWLatency.Count != 12 {
+		t.Errorf("hardware path recorded %d latency samples, want 12", res.HWLatency.Count)
+	}
+	if res.BMacDelivery.Name != "bmac" || res.BMacDelivery.Err != nil {
+		t.Errorf("bmac delivery stats %+v", res.BMacDelivery)
+	}
+	if res.BMacDelivery.Blocks == 0 && res.BMacDelivery.Lag == 0 {
+		t.Error("bmac pipe shows no traffic")
+	}
+}
+
+func TestRejectsBadModeAndPeerMix(t *testing.T) {
+	if _, err := Run(testConfig(), Options{Mode: "warp", Txs: 4}, t.TempDir()); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Run(testConfig(), Options{Peers: 2, SlowPeers: 2, Txs: 4}, t.TempDir()); err == nil {
+		t.Error("all-slow peer mix accepted")
+	}
+}

@@ -88,6 +88,32 @@ type StateDBSpec struct {
 	HostReadLatencyUS int
 }
 
+// Delivery policy names accepted by DeliverySpec.Policy.
+const (
+	PolicyDisconnect = "disconnect" // kill the pipe of a peer that overruns the window
+	PolicyDrop       = "drop"       // skip the lost blocks, count them, keep the peer
+	PolicyWait       = "wait"       // lossless: block publication until the peer catches up
+)
+
+// DeliverySpec parameterizes the orderer's non-blocking block delivery
+// service (internal/delivery).
+type DeliverySpec struct {
+	// Window is the number of recent blocks retained for per-peer
+	// catch-up; it bounds every peer's backlog. 0 means the delivery
+	// default (256).
+	Window int
+	// Policy is the overrun policy for peers that fall off the window:
+	// disconnect (default), drop, or wait. Wait makes delivery lossless
+	// by blocking publication until the peer catches up — deliberate
+	// backpressure that lets the slowest such peer throttle block
+	// creation, so it suits in-process consumers rather than network
+	// peers.
+	Policy string
+	// MaxRedials bounds reconnect attempts after a peer send error; 0
+	// means the delivery default (3).
+	MaxRedials int
+}
+
 // Config is the parsed BMac configuration.
 type Config struct {
 	Channel    string
@@ -96,6 +122,7 @@ type Config struct {
 	Arch       ArchSpec
 	Pipeline   PipelineSpec
 	StateDB    StateDBSpec
+	Delivery   DeliverySpec
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -219,6 +246,18 @@ func Parse(raw []byte) (*Config, error) {
 		}
 	}
 
+	if del, ok := yamllite.GetMap(root, "delivery"); ok {
+		if v, ok := yamllite.GetInt(del, "window"); ok {
+			cfg.Delivery.Window = int(v)
+		}
+		if v, ok := yamllite.GetString(del, "policy"); ok {
+			cfg.Delivery.Policy = v
+		}
+		if v, ok := yamllite.GetInt(del, "max_redials"); ok {
+			cfg.Delivery.MaxRedials = int(v)
+		}
+	}
+
 	if sdb, ok := yamllite.GetMap(root, "statedb"); ok {
 		if v, ok := yamllite.GetString(sdb, "backend"); ok {
 			cfg.StateDB.Backend = v
@@ -267,6 +306,16 @@ func (c *Config) Validate() error {
 	if c.StateDB.Capacity < 0 || c.StateDB.Shards < 0 || c.StateDB.HostReadLatencyUS < 0 {
 		return fmt.Errorf("%w: statedb capacity=%d shards=%d host_read_latency_us=%d must be >= 0",
 			ErrInvalid, c.StateDB.Capacity, c.StateDB.Shards, c.StateDB.HostReadLatencyUS)
+	}
+	switch c.Delivery.Policy {
+	case "", PolicyDisconnect, PolicyDrop, PolicyWait:
+	default:
+		return fmt.Errorf("%w: delivery policy %q (valid: %s, %s, %s)",
+			ErrInvalid, c.Delivery.Policy, PolicyDisconnect, PolicyDrop, PolicyWait)
+	}
+	if c.Delivery.Window < 0 || c.Delivery.MaxRedials < 0 {
+		return fmt.Errorf("%w: delivery window=%d max_redials=%d must be >= 0",
+			ErrInvalid, c.Delivery.Window, c.Delivery.MaxRedials)
 	}
 	return nil
 }

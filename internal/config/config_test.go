@@ -40,6 +40,10 @@ statedb:
   capacity: 512
   shards: 8
   host_read_latency_us: 40
+delivery:
+  window: 128
+  policy: drop
+  max_redials: 5
 `
 
 func TestParseSample(t *testing.T) {
@@ -66,6 +70,22 @@ func TestParseSample(t *testing.T) {
 	if cfg.StateDB.Backend != BackendHybrid || cfg.StateDB.Capacity != 512 ||
 		cfg.StateDB.Shards != 8 || cfg.StateDB.HostReadLatencyUS != 40 {
 		t.Errorf("statedb = %+v", cfg.StateDB)
+	}
+	if cfg.Delivery.Window != 128 || cfg.Delivery.Policy != PolicyDrop || cfg.Delivery.MaxRedials != 5 {
+		t.Errorf("delivery = %+v", cfg.Delivery)
+	}
+}
+
+func TestDeliverySpecValidation(t *testing.T) {
+	bad := Default()
+	bad.Delivery.Policy = "teleport"
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("unknown delivery policy: err = %v, want ErrInvalid", err)
+	}
+	bad = Default()
+	bad.Delivery.Window = -1
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative delivery window: err = %v, want ErrInvalid", err)
 	}
 }
 

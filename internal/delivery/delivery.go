@@ -1,0 +1,546 @@
+// Package delivery implements the orderer's non-blocking block delivery
+// service: the fan-out layer between block creation and the peers
+// (paper §3.5's dual path — the same orderer feeds both software-only
+// peers over Gossip and BMac peers over the custom protocol).
+//
+// The service replaces the lock-step broadcaster (one mutex across every
+// peer's socket write, whole fan-out aborted by the first error) with one
+// independent pipeline per peer:
+//
+//   - Publish appends the block to a bounded retained window and returns
+//     immediately — the orderer never blocks on a peer.
+//   - Each peer owns a writer goroutine with a cursor into the window, so
+//     a slow or dead peer delays only itself (slow-peer isolation).
+//   - A peer that falls off the window's tail is handled by policy:
+//     Disconnect kills the pipe (the default — a blockchain peer must not
+//     silently miss blocks), DropBlocks skips the lost range and counts it
+//     (for lossy monitoring taps and overload experiments).
+//   - A peer whose transport fails can be redialed; after reconnecting it
+//     catches up from the retained window at its own pace.
+//
+// Per-peer lag, bytes, drops, redials and errors are exposed through
+// Stats, feeding the cluster experiment's isolation and tail-latency
+// reports.
+package delivery
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bmac/internal/block"
+)
+
+// Item is one published block plus its delivery sequence number. The
+// marshaled form is computed at most once and shared by every peer that
+// needs it (the Gossip path), so fan-out to N peers pays one Marshal.
+type Item struct {
+	Seq   uint64
+	Block *block.Block
+
+	once sync.Once
+	raw  []byte
+}
+
+// Marshaled returns the marshaled block, computing it on first use.
+func (it *Item) Marshaled() []byte {
+	it.once.Do(func() { it.raw = block.Marshal(it.Block) })
+	return it.raw
+}
+
+// Transport writes one block to one peer. Implementations must be safe
+// for use by a single writer goroutine (the pipe serializes sends).
+type Transport interface {
+	// Send delivers one item and reports the wire bytes written.
+	Send(it *Item) (int, error)
+	// Close releases the underlying connection.
+	Close() error
+}
+
+// Policy selects what happens to a peer that falls off the retained
+// window (its backlog exceeded the window size).
+type Policy int
+
+// Overrun policies.
+const (
+	// Disconnect records ErrOverrun and kills the peer's pipe: a
+	// validating peer must never silently skip blocks.
+	Disconnect Policy = iota
+	// DropBlocks skips the blocks that fell off the window, counts them
+	// in PeerStats.Dropped, and keeps delivering from the oldest retained
+	// block. For monitoring taps and overload experiments.
+	DropBlocks
+	// Wait applies backpressure instead: Publish blocks until the peer
+	// has slack in the window, so the peer is lossless and the producer
+	// self-throttles. For in-process consumers that must see every block
+	// (e.g. the testbed's cross-check pipe); a Wait network peer lets a
+	// remote stall the publisher, which is exactly the failure mode the
+	// other policies exist to avoid.
+	Wait
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Disconnect:
+		return "disconnect"
+	case DropBlocks:
+		return "drop"
+	case Wait:
+		return "wait"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name ("disconnect", "drop" or "wait").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "disconnect":
+		return Disconnect, nil
+	case "drop":
+		return DropBlocks, nil
+	case "wait":
+		return Wait, nil
+	default:
+		return 0, fmt.Errorf("delivery: unknown policy %q (valid: disconnect, drop, wait)", s)
+	}
+}
+
+// Errors reported through PeerStats.Err.
+var (
+	// ErrOverrun reports a Disconnect-policy peer that fell off the
+	// retained window.
+	ErrOverrun = errors.New("delivery: peer overran the retained block window")
+	// ErrClosed reports an operation on a closed service.
+	ErrClosed = errors.New("delivery: service closed")
+)
+
+// Options parameterize the service.
+type Options struct {
+	// Window is the number of recent blocks retained for catch-up; it is
+	// also each peer's maximum backlog. 0 means 256.
+	Window int
+}
+
+// PeerOptions parameterize one registered peer.
+type PeerOptions struct {
+	// Policy selects the overrun policy (default Disconnect).
+	Policy Policy
+	// Dial, when set, is used to reconnect after a transport send error;
+	// the peer then catches up from the retained window.
+	Dial func() (Transport, error)
+	// MaxRedials bounds consecutive reconnect attempts per send error
+	// (default 3; ignored without Dial).
+	MaxRedials int
+	// RedialWait is the pause before each reconnect attempt (default
+	// 10ms).
+	RedialWait time.Duration
+}
+
+// PeerStats is a point-in-time snapshot of one peer's pipeline.
+type PeerStats struct {
+	Name      string
+	Connected bool   // pipe alive and transport usable
+	Blocks    int64  // blocks delivered
+	Bytes     int64  // wire bytes delivered
+	Lag       uint64 // published blocks not yet delivered to this peer
+	Dropped   uint64 // blocks skipped by the DropBlocks policy
+	Redials   int    // successful reconnects
+	SendErrs  int    // send attempts that errored
+	Err       error  // terminal pipe error, if any
+}
+
+// Service is the delivery fan-out: a retained block window plus one pipe
+// per registered peer.
+type Service struct {
+	window int
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals Wait-policy slack to blocked Publish calls
+	ring   []*Item    // ring[seq%window], valid for [base, height)
+	base   uint64     // oldest retained sequence
+	height uint64     // next sequence to publish
+	peers  map[string]*pipe
+	closed bool
+}
+
+// NewService creates an empty delivery service.
+func NewService(opts Options) *Service {
+	w := opts.Window
+	if w <= 0 {
+		w = 256
+	}
+	s := &Service{
+		window: w,
+		ring:   make([]*Item, w),
+		peers:  make(map[string]*pipe),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Window reports the retained-window size.
+func (s *Service) Window() int { return s.window }
+
+// Height reports the number of blocks published.
+func (s *Service) Height() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.height
+}
+
+// Register adds a peer and starts its writer goroutine. The peer first
+// receives the oldest retained block (usually the next Publish when the
+// service is fresh). Registering a duplicate name is an error.
+func (s *Service) Register(name string, tr Transport, opts PeerOptions) error {
+	if opts.MaxRedials == 0 {
+		opts.MaxRedials = 3
+	}
+	if opts.RedialWait == 0 {
+		opts.RedialWait = 10 * time.Millisecond
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := s.peers[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("delivery: peer %q already registered", name)
+	}
+	p := &pipe{
+		name:   name,
+		tr:     tr,
+		opts:   opts,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		next:   s.base,
+		alive:  true,
+	}
+	s.peers[name] = p
+	s.mu.Unlock()
+	go p.run(s)
+	return nil
+}
+
+// Publish appends the block to the window and wakes every pipe. It never
+// blocks on a Disconnect or DropBlocks peer: those fall behind in the
+// window and are handled by their policy. A live Wait-policy peer at the
+// window's tail makes Publish block until that peer frees a slot — the
+// lossless backpressure mode.
+func (s *Service) Publish(b *block.Block) error {
+	s.mu.Lock()
+	for !s.closed && s.height-s.base >= uint64(s.window) && s.waitFloor() <= s.base {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	seq := s.height
+	s.ring[seq%uint64(s.window)] = &Item{Seq: seq, Block: b}
+	s.height = seq + 1
+	if s.height-s.base > uint64(s.window) {
+		// The wait loop guarantees this one-step advance never passes a
+		// live Wait-policy peer's cursor.
+		s.base = s.height - uint64(s.window)
+	}
+	peers := make([]*pipe, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		p.wake()
+	}
+	return nil
+}
+
+// waitFloor returns the lowest cursor among live Wait-policy peers
+// (effectively +inf when there are none). Called with s.mu held; the
+// s.mu -> p.mu lock order is safe because pipes never take s.mu while
+// holding their own lock.
+func (s *Service) waitFloor() uint64 {
+	floor := ^uint64(0)
+	for _, p := range s.peers {
+		if p.opts.Policy != Wait {
+			continue
+		}
+		p.mu.Lock()
+		if p.alive && p.next < floor {
+			floor = p.next
+		}
+		p.mu.Unlock()
+	}
+	return floor
+}
+
+// slack wakes Publish calls blocked on a Wait-policy peer.
+func (s *Service) slack() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fetch returns the item at seq. gap > 0 reports that seq fell off the
+// window's tail (gap blocks were lost); have=false with gap=0 means the
+// peer is fully caught up.
+func (s *Service) fetch(seq uint64) (it *Item, gap uint64, have bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq >= s.height {
+		return nil, 0, false
+	}
+	if seq < s.base {
+		return nil, s.base - seq, false
+	}
+	return s.ring[seq%uint64(s.window)], 0, true
+}
+
+// Stats snapshots every peer, sorted by name.
+func (s *Service) Stats() []PeerStats {
+	s.mu.Lock()
+	height := s.height
+	peers := make([]*pipe, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	out := make([]PeerStats, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, p.snapshot(height))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Err joins the terminal errors of every dead pipe (nil when all pipes
+// are healthy).
+func (s *Service) Err() error {
+	var errs []error
+	for _, st := range s.Stats() {
+		if st.Err != nil {
+			errs = append(errs, fmt.Errorf("peer %s: %w", st.Name, st.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Drain waits until every live peer has delivered all published blocks,
+// or the timeout expires (reporting the laggards).
+func (s *Service) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var lagging []string
+		for _, st := range s.Stats() {
+			if st.Err == nil && st.Connected && st.Lag > 0 {
+				lagging = append(lagging, fmt.Sprintf("%s(lag %d)", st.Name, st.Lag))
+			}
+		}
+		if len(lagging) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("delivery: drain timed out after %v: %v", timeout, lagging)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops every pipe, waits for in-flight sends, and closes the
+// transports. Registered peers' terminal errors remain readable through
+// Stats/Err.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast() // release Publish calls blocked on a Wait peer
+	peers := make([]*pipe, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		close(p.stop)
+	}
+	var firstErr error
+	for _, p := range peers {
+		<-p.done
+		if err := p.closeTransport(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// pipe is one peer's delivery pipeline: a cursor into the service window
+// plus the writer goroutine draining it.
+type pipe struct {
+	name   string
+	opts   PeerOptions
+	notify chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu       sync.Mutex
+	tr       Transport
+	next     uint64 // next sequence to deliver
+	alive    bool
+	blocks   int64
+	bytes    int64
+	dropped  uint64
+	redials  int
+	sendErrs int
+	err      error
+	trClosed bool
+}
+
+func (p *pipe) wake() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (p *pipe) snapshot(height uint64) PeerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lag := uint64(0)
+	if p.alive && height > p.next {
+		lag = height - p.next
+	}
+	return PeerStats{
+		Name:      p.name,
+		Connected: p.alive,
+		Blocks:    p.blocks,
+		Bytes:     p.bytes,
+		Lag:       lag,
+		Dropped:   p.dropped,
+		Redials:   p.redials,
+		SendErrs:  p.sendErrs,
+		Err:       p.err,
+	}
+}
+
+// fail records the terminal error and marks the pipe dead.
+func (p *pipe) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.alive = false
+	p.mu.Unlock()
+}
+
+func (p *pipe) closeTransport() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.trClosed || p.tr == nil {
+		return nil
+	}
+	p.trClosed = true
+	return p.tr.Close()
+}
+
+// run is the writer goroutine: it drains the window from the pipe's
+// cursor, applying the overrun policy and the redial loop. One goroutine
+// per peer — a stalled send here stalls only this peer.
+func (p *pipe) run(s *Service) {
+	defer close(p.done)
+	// A dead or advancing Wait-policy pipe changes the window floor;
+	// blocked Publish calls must hear about it.
+	backpressured := p.opts.Policy == Wait
+	if backpressured {
+		defer s.slack()
+	}
+	for {
+		p.mu.Lock()
+		next := p.next
+		p.mu.Unlock()
+		it, gap, have := s.fetch(next)
+		if gap > 0 {
+			// Unreachable for Wait pipes: Publish never advances the
+			// window base past a live Wait cursor.
+			if p.opts.Policy == Disconnect {
+				p.fail(fmt.Errorf("%w: %d blocks behind", ErrOverrun, gap))
+				p.closeTransport()
+				return
+			}
+			p.mu.Lock()
+			p.dropped += gap
+			p.next = next + gap
+			p.mu.Unlock()
+			continue
+		}
+		if !have {
+			select {
+			case <-p.notify:
+				continue
+			case <-p.stop:
+				return
+			}
+		}
+		n, err := p.send(it)
+		if err != nil {
+			if !p.redial(err) {
+				return
+			}
+			continue // retry the same cursor over the new transport
+		}
+		p.mu.Lock()
+		p.blocks++
+		p.bytes += int64(n)
+		p.next = it.Seq + 1
+		p.mu.Unlock()
+		if backpressured {
+			s.slack()
+		}
+	}
+}
+
+func (p *pipe) send(it *Item) (int, error) {
+	p.mu.Lock()
+	tr := p.tr
+	p.mu.Unlock()
+	return tr.Send(it)
+}
+
+// redial closes the failed transport and tries to reconnect; it reports
+// whether the pipe should keep running.
+func (p *pipe) redial(sendErr error) bool {
+	p.mu.Lock()
+	p.sendErrs++
+	p.mu.Unlock()
+	p.closeTransport()
+	if p.opts.Dial == nil {
+		p.fail(sendErr)
+		return false
+	}
+	for attempt := 0; attempt < p.opts.MaxRedials; attempt++ {
+		select {
+		case <-time.After(p.opts.RedialWait):
+		case <-p.stop:
+			p.fail(sendErr)
+			return false
+		}
+		tr, err := p.opts.Dial()
+		if err != nil {
+			continue
+		}
+		p.mu.Lock()
+		p.tr = tr
+		p.trClosed = false
+		p.redials++
+		p.mu.Unlock()
+		return true
+	}
+	p.fail(fmt.Errorf("delivery: redial failed after %d attempts: %w", p.opts.MaxRedials, sendErr))
+	return false
+}

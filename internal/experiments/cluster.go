@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bmac/internal/cluster"
+	"bmac/internal/config"
+	"bmac/internal/metrics"
+)
+
+// FigCluster drives the full delivery-side stack — open-loop load ->
+// raft-backed orderer -> non-blocking delivery service -> N gossip peers
+// plus a BMac peer — once per software validation path, with one
+// artificially slow peer. For each path it reports throughput and the
+// end-to-end p50/p95/p99 commit latency measured at a fast software peer
+// and at the BMac peer, plus the slow peer's backlog at the moment the
+// fast peers finished (the slow-peer isolation evidence: fast lag stays
+// 0 while the slow peer's lag/drops absorb its own overload).
+func FigCluster(opts Options) (*metrics.Table, error) {
+	o := opts.withDefaults()
+	dir, err := os.MkdirTemp("", "bmac-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := config.Default()
+	cfg.Arch.MaxBlockTxs = 8
+	// Give the hybrid path something to hide: a cache smaller than the
+	// account working set plus a modeled host read latency.
+	cfg.StateDB.Capacity = 32
+	cfg.StateDB.HostReadLatencyUS = 50
+
+	copts := cluster.Options{
+		Peers:     4,
+		SlowPeers: 1,
+		SlowDelay: 40 * time.Millisecond,
+		BMacPeer:  true,
+		Txs:       96,
+		Rate:      600,
+		Clients:   2,
+		Window:    8,
+		Accounts:  64,
+		Skew:      1.1,
+		Seed:      7,
+	}
+	if o.Quick {
+		copts.Peers = 3
+		copts.Txs = 32
+		copts.Rate = 400
+	}
+
+	tbl := &metrics.Table{Header: []string{
+		"path", "peers", "blocks", "txs", "valid", "tps",
+		"p50", "p95", "p99", "hw_p99", "slow_lag", "slow_drop", "fast_lag",
+	}}
+	for _, mode := range cluster.Modes() {
+		copts.Mode = mode
+		res, err := cluster.Run(cfg, copts, fmt.Sprintf("%s/%s", dir, mode))
+		if err != nil {
+			return nil, fmt.Errorf("cluster %s: %w", mode, err)
+		}
+		var slowLag, slowDrop, fastLag uint64
+		for _, p := range res.Peers {
+			if p.Slow {
+				slowLag += p.Delivery.Lag
+				slowDrop += p.Delivery.Dropped
+			} else if p.Delivery.Lag > fastLag {
+				fastLag = p.Delivery.Lag
+			}
+		}
+		tbl.AddRow(
+			mode,
+			fmt.Sprintf("%d", copts.Peers),
+			fmt.Sprintf("%d", res.Blocks),
+			fmt.Sprintf("%d", res.Txs),
+			fmt.Sprintf("%d", res.ValidTxs),
+			metrics.FormatTPS(res.TPS),
+			fmt.Sprintf("%v", res.SWLatency.P50.Round(time.Microsecond)),
+			fmt.Sprintf("%v", res.SWLatency.P95.Round(time.Microsecond)),
+			fmt.Sprintf("%v", res.SWLatency.P99.Round(time.Microsecond)),
+			fmt.Sprintf("%v", res.HWLatency.P99.Round(time.Microsecond)),
+			fmt.Sprintf("%d", slowLag),
+			fmt.Sprintf("%d", slowDrop),
+			fmt.Sprintf("%d", fastLag),
+		)
+	}
+	return tbl, nil
+}

@@ -98,18 +98,26 @@ func (g *Broadcaster) AddPeer(addr string) error {
 }
 
 // Broadcast sends the block to every peer. The block is marshaled once.
+// Every peer is attempted even when earlier ones fail; per-peer errors are
+// joined, and the sent counter only advances for fully written frames.
+//
+// Note that the whole fan-out still shares one mutex, so one slow peer
+// delays the rest; the orderer's delivery path uses internal/delivery's
+// per-peer pipelines instead. Broadcaster remains as the simple lock-step
+// baseline.
 func (g *Broadcaster) Broadcast(b *block.Block) error {
 	data := block.Marshal(b)
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	var errs []error
 	for _, c := range g.conns {
 		n, err := WriteRaw(c, data)
+		g.sent += int64(n) // 0 on a failed write
 		if err != nil {
-			return fmt.Errorf("broadcast to %s: %w", c.RemoteAddr(), err)
+			errs = append(errs, fmt.Errorf("broadcast to %s: %w", c.RemoteAddr(), err))
 		}
-		g.sent += int64(n)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // BytesSent reports cumulative bytes broadcast.
@@ -139,8 +147,9 @@ type Listener struct {
 	ln     net.Listener
 	blocks chan *block.Block
 
-	mu       sync.Mutex
-	received int64
+	mu         sync.Mutex
+	received   int64
+	decodeErrs int64
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -175,6 +184,14 @@ func (l *Listener) BytesReceived() int64 {
 	return l.received
 }
 
+// DecodeErrors reports connections torn down by a corrupt, truncated or
+// oversized stream (clean EOFs and listener shutdown are not counted).
+func (l *Listener) DecodeErrors() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decodeErrs
+}
+
 func (l *Listener) acceptLoop() {
 	defer l.wg.Done()
 	for {
@@ -194,7 +211,16 @@ func (l *Listener) serve(conn net.Conn) {
 	for {
 		b, n, err := ReadBlock(r)
 		if err != nil {
-			return // connection closed or corrupt stream
+			// A clean EOF is a peer hanging up between frames; anything
+			// else mid-stream is a decode failure worth surfacing —
+			// unless this listener is shutting down and tearing
+			// connections out from under its readers.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !l.stopping() {
+				l.mu.Lock()
+				l.decodeErrs++
+				l.mu.Unlock()
+			}
+			return
 		}
 		l.mu.Lock()
 		l.received += int64(n)
@@ -204,6 +230,15 @@ func (l *Listener) serve(conn net.Conn) {
 		case <-l.stop:
 			return
 		}
+	}
+}
+
+func (l *Listener) stopping() bool {
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -3,7 +3,9 @@ package gossip
 import (
 	"bytes"
 	"errors"
+	"net"
 	"testing"
+	"time"
 
 	"bmac/internal/block"
 	"bmac/internal/identity"
@@ -135,6 +137,97 @@ func TestSequentialBlocks(t *testing.T) {
 		if got.Header.Number != i {
 			t.Errorf("block %d arrived out of order as %d", i, got.Header.Number)
 		}
+	}
+}
+
+// TestBroadcastContinuesPastFailedPeer is the regression for the
+// first-error abort: a dead peer early in the set must not leave later
+// peers unsent, the per-peer error must be reported, and the sent counter
+// must only count fully delivered frames.
+func TestBroadcastContinuesPastFailedPeer(t *testing.T) {
+	lBad, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lBad.Close()
+	lGood, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lGood.Close()
+
+	g := NewBroadcaster()
+	defer g.Close()
+	if err := g.AddPeer(lBad.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddPeer(lGood.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the first peer's connection from the client side so its write
+	// fails deterministically.
+	g.conns[0].Close()
+
+	b := makeBlock(t, 7, 2)
+	err = g.Broadcast(b)
+	if err == nil {
+		t.Fatal("broadcast reported no error despite a dead peer")
+	}
+
+	got := <-lGood.Blocks()
+	if got.Header.Number != 7 || len(got.Envelopes) != 2 {
+		t.Errorf("healthy peer got block %d/%d envs", got.Header.Number, len(got.Envelopes))
+	}
+	if g.BytesSent() != lGood.BytesReceived() {
+		t.Errorf("sent counter %d != healthy peer's %d (failed frames must not count)",
+			g.BytesSent(), lGood.BytesReceived())
+	}
+}
+
+// TestListenerCountsDecodeErrors feeds garbage and oversized frames and
+// checks they are counted instead of silently swallowed.
+func TestListenerCountsDecodeErrors(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	send := func(frame []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	// A well-formed length prefix followed by bytes that do not decode as
+	// a block.
+	garbage := append([]byte{0, 0, 0, 8}, 0xde, 0xad, 0xbe, 0xef, 0xde, 0xad, 0xbe, 0xef)
+	send(garbage)
+	// A frame claiming 4 GiB.
+	send([]byte{0xff, 0xff, 0xff, 0xff})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for l.DecodeErrors() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("decode errors = %d, want 2", l.DecodeErrors())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A clean connect/disconnect must not count.
+	conn, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	if n := l.DecodeErrors(); n != 2 {
+		t.Errorf("decode errors = %d after clean disconnect, want 2", n)
 	}
 }
 

@@ -76,6 +76,37 @@ func (s *Samples) Max() time.Duration {
 	return s.values[len(s.values)-1]
 }
 
+// LatencySummary is the tail-latency digest reported by the load driver
+// and the cluster experiment: count, mean and the p50/p95/p99 tail.
+type LatencySummary struct {
+	Count              int
+	Mean               time.Duration
+	P50, P95, P99, Max time.Duration
+}
+
+// Summary digests the samples into a LatencySummary.
+func (s *Samples) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Len(),
+		Mean:  s.Mean(),
+		P50:   s.Percentile(50),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+		Max:   s.Max(),
+	}
+}
+
+// String renders the summary as one compact report line.
+func (l LatencySummary) String() string {
+	if l.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		l.Count, l.Mean.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+		l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond),
+		l.Max.Round(time.Microsecond))
+}
+
 // CDFPoint is one point of a cumulative distribution.
 type CDFPoint struct {
 	Value    time.Duration

@@ -59,7 +59,9 @@ type Orderer struct {
 	prevHash []byte
 	blocks   int
 	txs      int
+	fatalErr error
 
+	kick chan struct{} // a size-based cut happened: restart the batch timer
 	stop chan struct{}
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -73,6 +75,7 @@ func New(cfg Config, id *identity.Identity, raftNode *raft.Node) *Orderer {
 		cfg:      cfg.withDefaults(),
 		id:       id,
 		raftNode: raftNode,
+		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -106,7 +109,17 @@ func (o *Orderer) Submit(env *block.Envelope) error {
 	full := len(o.pending) >= o.cfg.BatchSize
 	o.mu.Unlock()
 	if full {
-		return o.cut()
+		if err := o.cut(); err != nil {
+			return err
+		}
+		// Restart the batch timer: a full-batch cut must not leave a
+		// nearly-expired timeout behind to fire immediately and emit a
+		// near-empty trailing block (Fabric resets the timer on every
+		// block cut).
+		select {
+		case o.kick <- struct{}{}:
+		default:
+		}
 	}
 	return nil
 }
@@ -135,17 +148,34 @@ func (o *Orderer) cut() error {
 
 func (o *Orderer) cutLoop() {
 	defer o.wg.Done()
-	ticker := time.NewTicker(o.cfg.BatchTimeout)
-	defer ticker.Stop()
+	timer := time.NewTimer(o.cfg.BatchTimeout)
+	defer timer.Stop()
+	reset := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(o.cfg.BatchTimeout)
+	}
 	for {
 		select {
 		case <-o.stop:
 			return
-		case <-ticker.C:
-			// Timeout-based cut; ErrNotLeader is expected on followers.
-			if err := o.cut(); err != nil && !errors.Is(err, raft.ErrNotLeader) {
+		case <-o.kick:
+			// A size-based cut emptied the batch; the timeout restarts
+			// from now.
+			reset()
+		case <-timer.C:
+			// Timeout-based cut; ErrNotLeader is expected on followers
+			// and ErrStopped during shutdown.
+			if err := o.cut(); err != nil &&
+				!errors.Is(err, raft.ErrNotLeader) && !errors.Is(err, raft.ErrStopped) {
+				o.fail(err)
 				return
 			}
+			reset()
 		}
 	}
 }
@@ -158,10 +188,31 @@ func (o *Orderer) applyLoop() {
 			return
 		case entry := <-o.raftNode.Apply():
 			if err := o.createBlock(entry.Data); err != nil {
-				return // delivery hook failure is fatal for this node
+				// A delivery-hook or decode failure is fatal for this
+				// node: record it so Err/Stop surface it instead of the
+				// node dying silently.
+				o.fail(err)
+				return
 			}
 		}
 	}
+}
+
+// fail records the first fatal loop error.
+func (o *Orderer) fail(err error) {
+	o.mu.Lock()
+	if o.fatalErr == nil {
+		o.fatalErr = err
+	}
+	o.mu.Unlock()
+}
+
+// Err reports the fatal error that killed a batching or delivery loop,
+// if any.
+func (o *Orderer) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fatalErr
 }
 
 // createBlock turns one committed raft entry (a batch) into the next block.
@@ -211,15 +262,17 @@ func (o *Orderer) Height() uint64 {
 	return o.height
 }
 
-// Stop shuts the orderer down (the raft node is stopped separately).
-func (o *Orderer) Stop() {
+// Stop shuts the orderer down (the raft node is stopped separately) and
+// reports the fatal error that killed a loop early, if any.
+func (o *Orderer) Stop() error {
 	select {
 	case <-o.stop:
-		return
+		return o.Err()
 	default:
 	}
 	close(o.stop)
 	<-o.done
+	return o.Err()
 }
 
 // marshalBatch encodes envelopes as repeated length-delimited fields.

@@ -1,6 +1,7 @@
 package orderer
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -198,6 +199,90 @@ func TestBatchRoundTrip(t *testing.T) {
 		if string(got[i].PayloadBytes) != string(envs[i].PayloadBytes) {
 			t.Errorf("envelope %d payload mismatch", i)
 		}
+	}
+}
+
+// TestSizeCutResetsBatchTimer is the regression for the ticker bug: a
+// full-batch cut must restart the batch timeout, so a transaction
+// arriving right after a size cut waits the full BatchTimeout instead of
+// being cut into a tiny trailing block by a nearly-expired timer.
+func TestSizeCutResetsBatchTimer(t *testing.T) {
+	f := newFixture(t)
+	col := newCollector()
+	const timeout = 300 * time.Millisecond
+	o := New(Config{BatchSize: 4, BatchTimeout: timeout, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	defer o.Stop()
+	o.OnDeliver(col.deliver)
+	env := f.envelope(t)
+
+	// Let most of the first timeout elapse, then cut a full batch: with
+	// the old free-running ticker the timeout fires ~50ms later and cuts
+	// whatever trickled in; with the reset it fires a full BatchTimeout
+	// after the size cut.
+	time.Sleep(timeout - 50*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if err := o.Submit(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks := col.wait(t, 1, 5*time.Second)
+	fullCutAt := time.Now()
+	if len(blocks[0].Envelopes) != 4 {
+		t.Fatalf("size-based cut produced %d envelopes, want 4", len(blocks[0].Envelopes))
+	}
+	if err := o.Submit(env); err != nil {
+		t.Fatal(err)
+	}
+	col.wait(t, 2, 5*time.Second)
+	gap := time.Since(fullCutAt)
+	if gap < timeout-60*time.Millisecond {
+		t.Fatalf("trailing 1-tx block cut %v after the full-batch cut; want >= ~%v (timer not reset)", gap, timeout)
+	}
+
+	// Steady full-batch load: no partial blocks anywhere in the stream.
+	for i := 0; i < 40; i++ {
+		if err := o.Submit(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := col.wait(t, 12, 10*time.Second)
+	for i, b := range all[2:12] {
+		if len(b.Envelopes) != 4 {
+			t.Errorf("block %d has %d envelopes under steady full-batch load, want 4", i+2, len(b.Envelopes))
+		}
+	}
+}
+
+// TestDeliveryHookFailureSurfaced: a failing delivery hook used to kill
+// the node silently; it must now be visible through Err and Stop.
+func TestDeliveryHookFailureSurfaced(t *testing.T) {
+	f := newFixture(t)
+	boom := errors.New("deliver hook exploded")
+	o := New(Config{BatchSize: 1, BatchTimeout: time.Hour, Channel: "ch"}, f.ordID, f.cluster.Nodes[0])
+	o.OnDeliver(func(*block.Block) error { return boom })
+	if err := o.Submit(f.envelope(t)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("fatal delivery error never surfaced through Err")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := o.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want wrapped %v", err, boom)
+	}
+	if err := o.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop() = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestStopWithoutErrorReturnsNil(t *testing.T) {
+	f := newFixture(t)
+	o := New(Config{BatchSize: 1}, f.ordID, f.cluster.Nodes[0])
+	if err := o.Stop(); err != nil {
+		t.Fatalf("clean Stop() = %v", err)
 	}
 }
 

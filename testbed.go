@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"bmac/internal/block"
 	"bmac/internal/bmacproto"
 	"bmac/internal/chaincode"
 	"bmac/internal/client"
+	"bmac/internal/delivery"
 	"bmac/internal/endorser"
 	"bmac/internal/identity"
 	"bmac/internal/orderer"
@@ -63,11 +65,15 @@ type Testbed struct {
 	BMacPeer  *peer.BMacPeer
 	Orderer   *orderer.Orderer
 
-	registry *chaincode.Registry
-	cluster  *raft.Cluster
-	sender   *bmacproto.Sender
-	clients  []*client.Driver
-	outcomes chan BlockOutcome
+	registry  *chaincode.Registry
+	cluster   *raft.Cluster
+	sender    *bmacproto.Sender
+	clients   []*client.Driver
+	delivery  *delivery.Service
+	outcomes  chan BlockOutcome
+	stop      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewTestbed builds and starts a network from cfg. Ledgers are created
@@ -85,6 +91,7 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 		Network:  net,
 		registry: chaincode.NewRegistry(chaincode.Smallbank{}, chaincode.DRM{}, chaincode.SplitPay{}),
 		outcomes: make(chan BlockOutcome, 256),
+		stop:     make(chan struct{}),
 	}
 
 	// Endorser peers: the first `Endorsers` peers of each org.
@@ -155,9 +162,25 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 		BatchTimeout: 50 * time.Millisecond,
 		Channel:      cfg.Channel,
 	}, ordID, tb.cluster.Nodes[0])
-	tb.Orderer.OnDeliver(tb.deliver)
+
+	// Blocks flow through the delivery service: the orderer appends to
+	// the retained window and any registered network peer rides its own
+	// non-blocking pipe. The three-way cross-check itself must see every
+	// block, so its pipe uses the Wait policy: once the cross-check falls
+	// a full window behind, Publish (and through raft's bounded apply
+	// channel, Submit) self-throttles instead of overrunning it.
+	tb.delivery = delivery.NewService(delivery.Options{Window: cfg.Delivery.Window})
+	if err := tb.delivery.Register("crosscheck", delivery.Func(tb.deliver),
+		delivery.PeerOptions{Policy: delivery.Wait}); err != nil {
+		return nil, err
+	}
+	tb.Orderer.OnDeliver(tb.delivery.Publish)
 	return tb, nil
 }
+
+// Delivery exposes the block delivery service, e.g. to register extra
+// gossip peers receiving every block of the run.
+func (tb *Testbed) Delivery() *delivery.Service { return tb.delivery }
 
 // deliver is the orderer's delivery hook: BMac protocol first (§3.5), then
 // the two software peers, then the three-way cross-check and committer
@@ -209,9 +232,17 @@ func (tb *Testbed) deliver(b *block.Block) error {
 			string(swRes.CommitHash) == string(parRes.CommitHash),
 	}
 	outcome.Match = outcome.HWMatch && outcome.ParMatch
-	tb.outcomes <- outcome
+	select {
+	case tb.outcomes <- outcome:
+	case <-tb.stop:
+		return errTestbedClosed
+	}
 	return nil
 }
+
+// errTestbedClosed unblocks the cross-check pipe when the testbed closes
+// with unconsumed outcomes; it is not a real delivery failure.
+var errTestbedClosed = errors.New("bmac: testbed closed")
 
 // Outcomes delivers one BlockOutcome per committed block, in order.
 func (tb *Testbed) Outcomes() <-chan BlockOutcome { return tb.outcomes }
@@ -278,19 +309,35 @@ func (tb *Testbed) AwaitBlocks(n int, timeout time.Duration) ([]BlockOutcome, er
 	return out, nil
 }
 
-// Close shuts the network down.
+// Close shuts the network down. It reports a fatal ordering error or a
+// delivery failure, if one occurred. Safe to call more than once; later
+// calls return the first call's result.
 func (tb *Testbed) Close() error {
-	tb.Orderer.Stop()
-	tb.cluster.Stop()
-	var firstErr error
-	if err := tb.BMacPeer.Close(); err != nil {
-		firstErr = err
-	}
-	if err := tb.ParPeer.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if err := tb.SWPeer.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
+	tb.closeOnce.Do(func() {
+		close(tb.stop)
+		firstErr := tb.Orderer.Stop()
+		if err := tb.delivery.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Surface dead delivery pipes, but not the cross-check pipe's
+		// own shutdown sentinel; filter per peer — errors.Is on the
+		// joined error would discard every real failure alongside it.
+		for _, st := range tb.delivery.Stats() {
+			if st.Err != nil && !errors.Is(st.Err, errTestbedClosed) && firstErr == nil {
+				firstErr = fmt.Errorf("delivery to %s: %w", st.Name, st.Err)
+			}
+		}
+		tb.cluster.Stop()
+		if err := tb.BMacPeer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := tb.ParPeer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := tb.SWPeer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		tb.closeErr = firstErr
+	})
+	return tb.closeErr
 }
