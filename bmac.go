@@ -101,6 +101,9 @@ type (
 	ClusterResult = cluster.Result
 	// ClusterPeerReport is one software peer's summary.
 	ClusterPeerReport = cluster.PeerReport
+	// ClusterChurnReport summarizes a churn scenario (kill, recovery
+	// height, ledger catch-up volume).
+	ClusterChurnReport = cluster.ChurnReport
 	// DeliveryPeerStats is a delivery pipe snapshot.
 	DeliveryPeerStats = delivery.PeerStats
 	// DeliveryPolicy selects what happens to a peer that overruns the

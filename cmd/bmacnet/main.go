@@ -11,12 +11,18 @@
 // artificially slow) and a BMac peer, reporting throughput, per-tx
 // p50/p95/p99 commit latency and per-peer delivery statistics.
 //
+// With -cluster -churn it additionally kills the last fast peer mid-run
+// and restarts it from its checkpoint + ledger replay, catching it up
+// through the orderer's ledger-backed delivery source; the run fails
+// unless every fast peer converges to an identical state hash.
+//
 // Usage:
 //
 //	bmacnet                          # smallbank, default config
 //	bmacnet -config bmac.yaml        # custom network/architecture
 //	bmacnet -workload drm -txs 500   # drm benchmark
 //	bmacnet -cluster -peers 4 -slow-peers 1 -rate 500 -path pipelined
+//	bmacnet -cluster -churn -rate 900 -txs 200 -no-bmac
 package main
 
 import (
@@ -60,6 +66,9 @@ func run() error {
 		window     = flag.Int("delivery-window", 0, "delivery retained-block window (0 = config/default)")
 		slowPolicy = flag.String("delivery-policy", "", "slow peers' overrun policy: drop, disconnect, or wait (lossless, throttles the orderer to the slow peer; default: config/drop)")
 		noBMac     = flag.Bool("no-bmac", false, "cluster: skip the BMac protocol peer")
+		churn      = flag.Bool("churn", false, "cluster: kill the last fast peer mid-run and restart it from checkpoint + ledger replay")
+		churnAfter = flag.Int("churn-after", 0, "cluster: blocks the churned peer commits before the kill (0 = default 2)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "peer state checkpoint cadence in blocks (0 = config durability.checkpoint_every)")
 	)
 	flag.Parse()
 
@@ -116,21 +125,24 @@ func run() error {
 			pol = cfg.Delivery.Policy
 		}
 		return runCluster(cfg, bmac.ClusterOptions{
-			Mode:       *path,
-			Peers:      *peers,
-			SlowPeers:  *slowPeers,
-			SlowDelay:  *slowDelay,
-			SlowPolicy: pol,
-			BMacPeer:   !*noBMac,
-			RaftNodes:  *raftNodes,
-			Txs:        *txs,
-			Rate:       *rate,
-			Arrival:    *arrival,
-			Clients:    *clients,
-			Window:     *window,
-			Accounts:   *accounts,
-			Skew:       *skew,
-			Seed:       time.Now().UnixNano(),
+			Mode:            *path,
+			Peers:           *peers,
+			SlowPeers:       *slowPeers,
+			SlowDelay:       *slowDelay,
+			SlowPolicy:      pol,
+			BMacPeer:        !*noBMac,
+			RaftNodes:       *raftNodes,
+			Txs:             *txs,
+			Rate:            *rate,
+			Arrival:         *arrival,
+			Clients:         *clients,
+			Window:          *window,
+			Accounts:        *accounts,
+			Skew:            *skew,
+			Seed:            time.Now().UnixNano(),
+			Churn:           *churn,
+			ChurnAfter:      *churnAfter,
+			CheckpointEvery: *ckptEvery,
 		}, workdir)
 	}
 
@@ -245,17 +257,27 @@ func runCluster(cfg *bmac.Config, opts bmac.ClusterOptions, dir string) error {
 	}
 
 	fmt.Println("\nper-peer delivery (snapshot at fast-path completion):")
-	fmt.Printf("  %-8s %-5s %8s %10s %6s %6s %8s %8s %7s\n",
-		"peer", "slow", "blocks", "bytes", "lag", "drops", "redials", "senderrs", "commits")
+	fmt.Printf("  %-8s %-5s %8s %10s %6s %6s %8s %8s %8s %7s %6s\n",
+		"peer", "slow", "blocks", "bytes", "lag", "drops", "catchup", "redials", "senderrs", "commits", "height")
 	for _, p := range res.Peers {
 		d := p.Delivery
-		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %7d\n",
-			p.Name, p.Slow, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.Redials, d.SendErrs, p.Blocks)
+		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %8d %7d %6d\n",
+			p.Name, p.Slow, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.CaughtUp, d.Redials, d.SendErrs, p.Blocks, p.Height)
 	}
 	if res.BMacDelivery.Name != "" {
 		d := res.BMacDelivery
-		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %7s\n",
-			d.Name, false, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.Redials, d.SendErrs, "-")
+		fmt.Printf("  %-8s %-5v %8d %10d %6d %6d %8d %8d %8d %7s %6s\n",
+			d.Name, false, d.Blocks, d.Bytes, d.Lag, d.Dropped, d.CaughtUp, d.Redials, d.SendErrs, "-", "-")
+	}
+	if res.Churn != nil {
+		fmt.Printf("\nchurn: %s killed at height %d, recovered from %d (checkpoint + ledger replay), "+
+			"%d blocks caught up through the orderer ledger, %d restart(s)\n",
+			res.Churn.Peer, res.Churn.KillHeight, res.Churn.RecoveredAt, res.Churn.CaughtUp, res.Churn.Restarts)
+	}
+	if res.Converged {
+		fmt.Println("fast peers converged: identical height, state hash and commit-hash chain")
+	} else {
+		return fmt.Errorf("fast peers did NOT converge (heights/state hashes differ)")
 	}
 	return nil
 }

@@ -9,9 +9,18 @@
 // and the harness reports throughput, per-tx end-to-end commit latency
 // (p50/p95/p99) and per-peer delivery statistics, including the
 // isolation of an artificially slow peer.
+//
+// Peers are durable: every block lands in a per-peer disk ledger before it
+// counts as committed, state checkpoints bound recovery replay, and the
+// orderer keeps its own ledger that backs the delivery service's catch-up
+// source. The churn scenario (Options.Churn) exercises the whole recovery
+// story: one fast peer is killed mid-run, restarted from its checkpoint +
+// ledger replay, caught up through the orderer's ledger, and must finish
+// with a state hash bit-identical to the peers that never died.
 package cluster
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -27,6 +36,7 @@ import (
 	"bmac/internal/endorser"
 	"bmac/internal/gossip"
 	"bmac/internal/identity"
+	"bmac/internal/ledger"
 	"bmac/internal/load"
 	"bmac/internal/metrics"
 	"bmac/internal/orderer"
@@ -86,6 +96,18 @@ type Options struct {
 	Seed int64
 	// Timeout bounds the whole run (default 60s).
 	Timeout time.Duration
+	// Churn kills the last fast peer after it commits ChurnAfter blocks,
+	// restarts it from checkpoint + ledger replay once its delivery cursor
+	// has fallen off the retained window, and lets the delivery service
+	// stream the lost range from the orderer's ledger. Requires at least
+	// two fast peers (the observer never churns).
+	Churn bool
+	// ChurnAfter is how many blocks the churned peer commits before the
+	// kill (default 2).
+	ChurnAfter int
+	// CheckpointEvery overrides the peers' state checkpoint cadence in
+	// blocks (default: the config's durability.checkpoint_every).
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,6 +138,9 @@ func (o Options) withDefaults() Options {
 	if o.Timeout == 0 {
 		o.Timeout = 60 * time.Second
 	}
+	if o.Churn && o.ChurnAfter == 0 {
+		o.ChurnAfter = 2
+	}
 	return o
 }
 
@@ -127,6 +152,26 @@ type PeerReport struct {
 	Txs      int // envelopes committed
 	ValidTxs int
 	Delivery delivery.PeerStats
+	// Height is the peer's final ledger height.
+	Height uint64
+	// StateHash is the hex digest of the peer's final state database
+	// (statedb.SnapshotHash) — equal across peers iff their states are
+	// bit-identical.
+	StateHash string
+	// CommitHash is the hex commit-hash chain value of the peer's last
+	// ledger block.
+	CommitHash string
+	// Restarts counts churn kills this peer recovered from.
+	Restarts int
+}
+
+// ChurnReport summarizes the churn scenario of one run.
+type ChurnReport struct {
+	Peer        string
+	KillHeight  uint64 // the peer's ledger height at the moment of the kill
+	RecoveredAt uint64 // height the restarted peer resumed from (checkpoint + replay)
+	CaughtUp    uint64 // blocks the delivery pipe streamed from the orderer's ledger
+	Restarts    int
 }
 
 // Result is the cluster run report.
@@ -149,25 +194,70 @@ type Result struct {
 	// BMacDelivery is the hardware path's delivery pipe (zero value
 	// without a BMac peer).
 	BMacDelivery delivery.PeerStats
+	// Converged reports whether every fast peer finished with the same
+	// ledger height, state hash and commit hash (slow peers may lag or
+	// drop by design and are excluded).
+	Converged bool
+	// Churn is the churn scenario summary (nil when Options.Churn is off).
+	Churn *ChurnReport
 }
 
 // swPeer is one software gossip peer: listener, commit engine, counters.
 type swPeer struct {
 	name    string
 	slow    bool
+	dir     string
 	ln      *gossip.Listener
 	commit  func(*block.Block) (peer.CommitResult, error)
 	close   func() error
+	ckpt    func() error // write a state checkpoint at the current height
 	store   statedb.KVS
-	started bool // commitLoop launched (done will be closed)
+	led     *ledger.Ledger
+	next    uint64 // first block the commit loop expects (recovered height)
+	started bool   // commitLoop launched (done will be closed)
 	done    chan struct{}
 
 	mu         sync.Mutex
 	blocks     int
 	txs        int
 	validTxs   int
+	restarts   int
 	lastCommit time.Time
 	err        error
+}
+
+// peerAddr is a mutable gossip dial target: a restarted peer comes back on
+// a fresh listener, and the delivery pipe's redial must follow it there.
+type peerAddr struct {
+	mu   sync.Mutex
+	addr string
+}
+
+func (a *peerAddr) get() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.addr
+}
+
+func (a *peerAddr) set(s string) {
+	a.mu.Lock()
+	a.addr = s
+	a.mu.Unlock()
+}
+
+// gossipDialer dials the peer's current address, wrapping the transport
+// with the artificial slow-peer delay when one is configured.
+func gossipDialer(a *peerAddr, slowDelay time.Duration) func() (delivery.Transport, error) {
+	return func() (delivery.Transport, error) {
+		tr, err := delivery.DialGossip(a.get())
+		if err != nil {
+			return nil, err
+		}
+		if slowDelay > 0 {
+			return delivery.Slowed(tr, slowDelay), nil
+		}
+		return tr, nil
+	}
 }
 
 func (p *swPeer) fail(err error) {
@@ -184,6 +274,10 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.SlowPeers >= opts.Peers {
 		return nil, fmt.Errorf("cluster: %d slow peers need at least %d peers", opts.SlowPeers, opts.SlowPeers+1)
+	}
+	if opts.Churn && opts.Peers-opts.SlowPeers < 2 {
+		return nil, fmt.Errorf("cluster: churn needs at least 2 fast peers (have %d peers, %d slow)",
+			opts.Peers, opts.SlowPeers)
 	}
 	slowPolicy, err := delivery.ParsePolicy(opts.SlowPolicy)
 	if err != nil {
@@ -228,6 +322,15 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		Channel:      cfg.Channel,
 	}, ordID, leader)
 	defer ord.Stop()
+	// The orderer's own block ledger: every created block is appended here
+	// before it enters the delivery window, so the delivery service can
+	// stream arbitrarily old blocks to a peer that fell off the window
+	// (the ledger-backed catch-up source).
+	ordLed, err := ledger.Open(filepath.Join(dir, "orderer"), ledger.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: orderer ledger: %w", err)
+	}
+	defer ordLed.Close()
 
 	// Software peers behind real gossip TCP listeners.
 	peers := make([]*swPeer, 0, opts.Peers)
@@ -286,6 +389,14 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Genesis checkpoint: the bootstrap state exists in no ledger block,
+	// so a peer restarted before its first periodic checkpoint must find
+	// it on disk.
+	for _, p := range peers {
+		if err := p.ckpt(); err != nil {
+			return nil, fmt.Errorf("cluster: genesis checkpoint for %s: %w", p.name, err)
+		}
+	}
 
 	// Open-loop load.
 	gen, err := load.New(load.Options{
@@ -306,35 +417,45 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		drivers[i] = client.NewDriver(clientID, endorsers, ord, w, cfg.Channel, opts.Seed+int64(100+i))
 	}
 
-	// Delivery service: every path is one per-peer pipe.
+	// Delivery service: every path is one per-peer pipe, with the
+	// orderer's ledger as the catch-up source behind the window. Dial
+	// targets are mutable so a churned peer's pipe follows it to the
+	// listener it restarts on.
 	window := opts.Window
 	if window == 0 {
 		window = cfg.Delivery.Window
 	}
-	svc := delivery.NewService(delivery.Options{Window: window})
+	churnIdx := -1
+	if opts.Churn {
+		churnIdx = opts.Peers - opts.SlowPeers - 1 // last fast peer; observer (0) never churns
+	}
+	svc := delivery.NewService(delivery.Options{
+		Window:  window,
+		History: delivery.LedgerSource(ordLed),
+	})
 	defer svc.Close()
+	addrs := make([]*peerAddr, opts.Peers)
 	for i, p := range peers {
-		tr, err := delivery.DialGossip(p.ln.Addr())
-		if err != nil {
-			return nil, err
-		}
+		addrs[i] = &peerAddr{addr: p.ln.Addr()}
+		slowDelay := time.Duration(0)
 		po := delivery.PeerOptions{
 			Policy:     delivery.Disconnect,
-			Dial:       delivery.GossipDialer(p.ln.Addr()),
 			MaxRedials: cfg.Delivery.MaxRedials,
 		}
-		var t delivery.Transport = tr
 		if p.slow {
-			t = delivery.Slowed(tr, opts.SlowDelay)
+			slowDelay = opts.SlowDelay
 			po.Policy = slowPolicy
-			addr := p.ln.Addr()
-			po.Dial = func() (delivery.Transport, error) {
-				inner, err := delivery.DialGossip(addr)
-				if err != nil {
-					return nil, err
-				}
-				return delivery.Slowed(inner, opts.SlowDelay), nil
-			}
+		}
+		if i == churnIdx {
+			// The churned peer is down for a while; give its pipe a long
+			// redial budget so it survives until the restart.
+			po.MaxRedials = 4000
+			po.RedialWait = 5 * time.Millisecond
+		}
+		po.Dial = gossipDialer(addrs[i], slowDelay)
+		t, err := po.Dial()
+		if err != nil {
+			return nil, err
 		}
 		if err := svc.Register(peers[i].name, t, po); err != nil {
 			return nil, err
@@ -346,14 +467,18 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		}
 	}
 
-	// The orderer's only hook publishes into the delivery window (and
-	// records the block's tx ids for the hardware latency join); it never
-	// blocks on a peer.
+	// The orderer's only hook appends the block to the orderer ledger
+	// (feeding the catch-up source), records the block's tx ids for the
+	// hardware latency join, and publishes into the delivery window; it
+	// never blocks on a peer.
 	var (
 		txMu     sync.Mutex
 		blockTxs = make(map[uint64][]string)
 	)
 	ord.OnDeliver(func(b *block.Block) error {
+		if _, err := ordLed.Commit(b); err != nil {
+			return fmt.Errorf("orderer ledger: %w", err)
+		}
 		if opts.BMacPeer {
 			ids := make([]string, 0, len(b.Envelopes))
 			for i := range b.Envelopes {
@@ -405,14 +530,104 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		}()
 	}
 
-	// Drive the load, then wait for the observer peer to commit every
-	// submitted transaction (valid or invalidated — each lands in a
-	// block either way).
+	// The churn scenario, driven from the wait loop below: (1) once the
+	// victim has committed ChurnAfter blocks, kill it — close its
+	// listener, drain its commit loop, release its ledger; (2) once its
+	// delivery cursor has fallen off the retained window (so the restart
+	// must stream from the orderer's ledger), reopen the same directory:
+	// checkpoint + ledger replay rebuild its state, the delivery pipe is
+	// rewound to the recovered height, and the peer rejoins.
+	var (
+		churnPhase  = 0 // 0 armed, 1 down, 2 rejoined (or no churn)
+		killHeight  uint64
+		recoveredAt uint64
+	)
+	if churnIdx < 0 {
+		churnPhase = 2
+	}
+	churnStep := func(runOver bool) error {
+		if churnPhase == 2 {
+			return nil
+		}
+		cp := peers[churnIdx]
+		if churnPhase == 0 {
+			cp.mu.Lock()
+			blocks := cp.blocks
+			cp.mu.Unlock()
+			if blocks < opts.ChurnAfter && !runOver {
+				return nil
+			}
+			cp.ln.Close()
+			if cp.started {
+				<-cp.done // commit loop drains its intake, then exits
+			}
+			killHeight = cp.led.Height()
+			if err := cp.close(); err != nil {
+				return fmt.Errorf("cluster: churn kill %s: %w", cp.name, err)
+			}
+			churnPhase = 1
+			return nil
+		}
+		// Phase 1: hold the peer down until catching up needs the ledger,
+		// not just the window (unless the run is already over).
+		if !runOver && svc.Height() < killHeight+uint64(window)+2 {
+			return nil
+		}
+		np, err := newSWPeer(cfg, opts, churnIdx, cp.dir)
+		if err != nil {
+			return fmt.Errorf("cluster: churn restart %s: %w", cp.name, err)
+		}
+		recoveredAt = np.next
+		// Carry the pre-crash counters so the report covers the peer's
+		// whole run.
+		cp.mu.Lock()
+		np.blocks, np.txs, np.validTxs = cp.blocks, cp.txs, cp.validTxs
+		np.restarts = cp.restarts + 1
+		np.lastCommit = cp.lastCommit
+		cp.mu.Unlock()
+		peers[churnIdx] = np
+		// The deliver protocol's catch-up request: resume this peer's pipe
+		// from the height it recovered to. Rewind MUST land before the new
+		// address is published — a pipe that reconnected first would
+		// deliver from its stale pre-kill cursor, the recovered peer would
+		// see a gap and stop committing, and a racing send could clobber
+		// the moved cursor.
+		if err := svc.Rewind(np.name, np.next); err != nil {
+			return fmt.Errorf("cluster: churn restart %s: %w", np.name, err)
+		}
+		addrs[churnIdx].set(np.ln.Addr())
+		np.started = true
+		go np.commitLoop(false, gen, endorsers)
+		churnPhase = 2
+		return nil
+	}
+
+	// Drive the load concurrently with the wait loop (so churn can strike
+	// mid-submission), then wait for the observer peer to commit every
+	// submitted transaction (valid or invalidated — each lands in a block
+	// either way).
 	start := time.Now()
-	runErr := gen.Run(drivers)
-	submitted, _, late := gen.Stats()
+	loadErr := make(chan error, 1)
+	go func() { loadErr <- gen.Run(drivers) }()
+	var (
+		runErr    error
+		loadDone  bool
+		submitted int
+		late      int
+	)
 	deadline := time.Now().Add(opts.Timeout)
 	for {
+		if !loadDone {
+			select {
+			case runErr = <-loadErr:
+				loadDone = true
+				submitted, _, late = gen.Stats()
+			default:
+			}
+		}
+		if err := churnStep(false); err != nil {
+			return nil, err
+		}
 		peers[0].mu.Lock()
 		committed := peers[0].txs
 		err := peers[0].err
@@ -420,7 +635,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: observer peer: %w", err)
 		}
-		if committed >= submitted {
+		if loadDone && committed >= submitted {
 			break
 		}
 		if oerr := ord.Err(); oerr != nil {
@@ -438,6 +653,16 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 				committed, submitted, opts.Timeout)
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Finish the churn scenario if the run completed before it played out
+	// (tiny runs): kill + immediate restart still exercises recovery.
+	for churnPhase != 2 {
+		if err := churnStep(true); err != nil {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("cluster: churn scenario did not complete in time")
+		}
 	}
 	// Snapshot delivery stats now, while the contrast is visible: the
 	// observer has everything, so a fast peer's lag is ~0 while the slow
@@ -499,17 +724,56 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if res.Elapsed > 0 {
 		res.TPS = metrics.Throughput(res.Txs, res.Elapsed)
 	}
+	// Final per-peer delivery stats (the early snapshot preserved the
+	// slow-peer contrast; catch-up counters only settle after the drain).
+	finalStats := make(map[string]delivery.PeerStats, opts.Peers+1)
+	for _, st := range svc.Stats() {
+		finalStats[st.Name] = st
+	}
 	for _, p := range peers {
 		p.mu.Lock()
-		res.Peers = append(res.Peers, PeerReport{
+		pr := PeerReport{
 			Name:     p.name,
 			Slow:     p.slow,
 			Blocks:   p.blocks,
 			Txs:      p.txs,
 			ValidTxs: p.validTxs,
 			Delivery: stats[p.name],
-		})
+			Restarts: p.restarts,
+		}
 		p.mu.Unlock()
+		pr.Delivery.CaughtUp = finalStats[p.name].CaughtUp
+		pr.Height = p.led.Height()
+		pr.StateHash = hex.EncodeToString(statedb.SnapshotHash(p.store.Snapshot()))
+		pr.CommitHash = hex.EncodeToString(p.led.LastCommitHash())
+		res.Peers = append(res.Peers, pr)
+	}
+	// Convergence: every fast peer must have reached an identical chain
+	// and state; slow peers may lag or drop by design.
+	res.Converged = true
+	ref := -1
+	for i := range res.Peers {
+		if res.Peers[i].Slow {
+			continue
+		}
+		if ref < 0 {
+			ref = i
+			continue
+		}
+		if res.Peers[i].Height != res.Peers[ref].Height ||
+			res.Peers[i].StateHash != res.Peers[ref].StateHash ||
+			res.Peers[i].CommitHash != res.Peers[ref].CommitHash {
+			res.Converged = false
+		}
+	}
+	if churnIdx >= 0 {
+		res.Churn = &ChurnReport{
+			Peer:        peers[churnIdx].name,
+			KillHeight:  killHeight,
+			RecoveredAt: recoveredAt,
+			CaughtUp:    finalStats[peers[churnIdx].name].CaughtUp,
+			Restarts:    peers[churnIdx].restarts,
+		}
 	}
 	if bmacPeer != nil {
 		res.BMacDelivery = stats["bmac"]
@@ -543,7 +807,9 @@ func isSlowName(peers []*swPeer, name string) bool {
 	return false
 }
 
-// newSWPeer builds one software peer for the selected validation path.
+// newSWPeer builds one durable software peer for the selected validation
+// path. Opening an existing dir recovers: checkpoint + ledger replay seed
+// the state, and p.next reports the height the peer resumes from.
 func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, error) {
 	ln, err := gossip.Listen("127.0.0.1:0")
 	if err != nil {
@@ -552,8 +818,16 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 	p := &swPeer{
 		name: fmt.Sprintf("peer%d", i),
 		slow: i >= opts.Peers-opts.SlowPeers,
+		dir:  dir,
 		ln:   ln,
 		done: make(chan struct{}),
+	}
+	dopts := peer.DurableOptions{
+		CheckpointEvery: opts.CheckpointEvery,
+		SyncEachBlock:   cfg.Durability.SyncEachBlock,
+	}
+	if dopts.CheckpointEvery == 0 {
+		dopts.CheckpointEvery = cfg.Durability.CheckpointEvery
 	}
 	switch opts.Mode {
 	case Sequential:
@@ -562,14 +836,17 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 			ln.Close()
 			return nil, err
 		}
-		sw, err := peer.NewSWPeer(valCfg, dir)
+		sw, err := peer.NewDurableSWPeer(valCfg, statedb.NewStore(), dir, dopts)
 		if err != nil {
 			ln.Close()
 			return nil, err
 		}
 		p.commit = sw.CommitBlock
 		p.close = sw.Close
+		p.ckpt = sw.Checkpoint
 		p.store = sw.Validator.Store()
+		p.led = sw.Ledger
+		p.next = sw.Height()
 	case Pipelined, Hybrid:
 		mcfg := *cfg
 		if opts.Mode == Hybrid {
@@ -588,14 +865,17 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 			ln.Close()
 			return nil, err
 		}
-		pp, err := peer.NewParallelPeerKVS(pipeCfg, kvs, dir)
+		pp, err := peer.NewDurableParallelPeer(pipeCfg, kvs, dir, dopts)
 		if err != nil {
 			ln.Close()
 			return nil, err
 		}
 		p.commit = pp.CommitBlock
 		p.close = pp.Close
+		p.ckpt = pp.Checkpoint
 		p.store = pp.Engine.Store()
+		p.led = pp.Ledger
+		p.next = pp.Height()
 	default:
 		ln.Close()
 		return nil, fmt.Errorf("cluster: unknown mode %q (valid: %v)", opts.Mode, Modes())
@@ -608,7 +888,7 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 // and applies committed writes to the endorser stores (committer role).
 func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser) {
 	defer close(p.done)
-	next := uint64(0)
+	next := p.next // 0 on a fresh peer, the recovered height after a restart
 	skipped := false
 	for b := range p.ln.Blocks() {
 		// Delivery is at-least-once: a redial resends from the

@@ -158,3 +158,116 @@ func TestRejectsBadModeAndPeerMix(t *testing.T) {
 		t.Error("all-slow peer mix accepted")
 	}
 }
+
+// TestChurnConvergence is the acceptance check of the durability
+// subsystem: a fast peer is killed mid-run after a few committed blocks,
+// restarted from its genesis/periodic checkpoints plus ledger replay,
+// caught up through the orderer's ledger-backed delivery source, and must
+// finish bit-identical — same height, state hash and commit-hash chain —
+// to the peers that never died.
+func TestChurnConvergence(t *testing.T) {
+	cfg := config.Default()
+	cfg.Arch.MaxBlockTxs = 4 // many small blocks, so the window moves on
+	cfg.Durability.CheckpointEvery = 3
+	res, err := Run(cfg, Options{
+		Mode:       Sequential,
+		Peers:      3,
+		SlowPeers:  0,
+		Window:     4,
+		Txs:        80,
+		Rate:       900, // paced, so the kill lands mid-submission
+		Clients:    2,
+		Churn:      true,
+		ChurnAfter: 2,
+		Seed:       17,
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Churn == nil {
+		t.Fatal("no churn report")
+	}
+	if res.Churn.Restarts != 1 {
+		t.Errorf("churned peer restarted %d times, want 1", res.Churn.Restarts)
+	}
+	if res.Churn.RecoveredAt == 0 || res.Churn.RecoveredAt > res.Churn.KillHeight {
+		t.Errorf("recovered at height %d after a kill at %d", res.Churn.RecoveredAt, res.Churn.KillHeight)
+	}
+	if !res.Converged {
+		for _, p := range res.Peers {
+			t.Logf("%s: height %d state %.16s commit %.16s restarts %d",
+				p.Name, p.Height, p.StateHash, p.CommitHash, p.Restarts)
+		}
+		t.Fatal("peers did not converge after churn")
+	}
+	var churned *PeerReport
+	for i := range res.Peers {
+		if res.Peers[i].Restarts > 0 {
+			churned = &res.Peers[i]
+		}
+	}
+	if churned == nil {
+		t.Fatal("no peer reports a restart")
+	}
+	if churned.Name == res.Peers[0].Name {
+		t.Fatal("the observer must never churn")
+	}
+	if churned.StateHash != res.Peers[0].StateHash {
+		t.Errorf("churned peer state hash %.16s != observer %.16s", churned.StateHash, res.Peers[0].StateHash)
+	}
+	if churned.Height != res.Peers[0].Height {
+		t.Errorf("churned peer height %d != observer %d", churned.Height, res.Peers[0].Height)
+	}
+	if churned.Txs != res.Submitted {
+		t.Errorf("churned peer committed %d/%d txs across its two lives", churned.Txs, res.Submitted)
+	}
+	// The restart waited until the cursor fell off the window, so part of
+	// the lost range must have been streamed from the orderer's ledger.
+	if churned.Delivery.CaughtUp == 0 {
+		t.Errorf("churned peer caught up without the ledger source: %+v (kill %d, recovered %d)",
+			churned.Delivery, res.Churn.KillHeight, res.Churn.RecoveredAt)
+	}
+}
+
+// TestChurnPipelinedPath runs the churn scenario over the parallel
+// pipelined commit engine, proving recovery is backend- and
+// engine-agnostic.
+func TestChurnPipelinedPath(t *testing.T) {
+	cfg := config.Default()
+	cfg.Arch.MaxBlockTxs = 4
+	cfg.Durability.CheckpointEvery = 4
+	res, err := Run(cfg, Options{
+		Mode:    Pipelined,
+		Peers:   3,
+		Window:  4,
+		Txs:     48,
+		Rate:    900,
+		Clients: 2,
+		Churn:   true,
+		Seed:    23,
+	}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("pipelined peers did not converge after churn")
+	}
+	if res.Churn == nil || res.Churn.Restarts != 1 {
+		t.Fatalf("churn report %+v", res.Churn)
+	}
+}
+
+// TestChurnRejectsTooFewFastPeers pins the option validation: the
+// observer must survive, so churn needs a second fast peer.
+func TestChurnRejectsTooFewFastPeers(t *testing.T) {
+	_, err := Run(testConfig(), Options{
+		Mode:      Sequential,
+		Peers:     2,
+		SlowPeers: 1,
+		Churn:     true,
+		Txs:       6,
+	}, t.TempDir())
+	if err == nil {
+		t.Fatal("churn with a single fast peer accepted")
+	}
+}

@@ -114,6 +114,19 @@ type DeliverySpec struct {
 	MaxRedials int
 }
 
+// DurabilitySpec parameterizes the software peers' crash-recovery story
+// (internal/peer durable mode): the ledger fsync policy and the state
+// checkpoint cadence that bounds how much ledger a restarted peer replays.
+type DurabilitySpec struct {
+	// CheckpointEvery writes a peer state checkpoint after every N
+	// committed blocks; 0 disables periodic checkpoints (recovery then
+	// replays the whole ledger on top of the genesis checkpoint).
+	CheckpointEvery int
+	// SyncEachBlock fsyncs the peer ledger after every block commit,
+	// trading commit latency for zero-block-loss crash durability.
+	SyncEachBlock bool
+}
+
 // Config is the parsed BMac configuration.
 type Config struct {
 	Channel    string
@@ -123,6 +136,7 @@ type Config struct {
 	Pipeline   PipelineSpec
 	StateDB    StateDBSpec
 	Delivery   DeliverySpec
+	Durability DurabilitySpec
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -258,6 +272,15 @@ func Parse(raw []byte) (*Config, error) {
 		}
 	}
 
+	if dur, ok := yamllite.GetMap(root, "durability"); ok {
+		if v, ok := yamllite.GetInt(dur, "checkpoint_every"); ok {
+			cfg.Durability.CheckpointEvery = int(v)
+		}
+		if v, ok := yamllite.GetBool(dur, "sync_each_block"); ok {
+			cfg.Durability.SyncEachBlock = v
+		}
+	}
+
 	if sdb, ok := yamllite.GetMap(root, "statedb"); ok {
 		if v, ok := yamllite.GetString(sdb, "backend"); ok {
 			cfg.StateDB.Backend = v
@@ -316,6 +339,10 @@ func (c *Config) Validate() error {
 	if c.Delivery.Window < 0 || c.Delivery.MaxRedials < 0 {
 		return fmt.Errorf("%w: delivery window=%d max_redials=%d must be >= 0",
 			ErrInvalid, c.Delivery.Window, c.Delivery.MaxRedials)
+	}
+	if c.Durability.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: durability checkpoint_every=%d must be >= 0",
+			ErrInvalid, c.Durability.CheckpointEvery)
 	}
 	return nil
 }

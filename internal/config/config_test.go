@@ -44,6 +44,9 @@ delivery:
   window: 128
   policy: drop
   max_redials: 5
+durability:
+  checkpoint_every: 16
+  sync_each_block: true
 `
 
 func TestParseSample(t *testing.T) {
@@ -73,6 +76,17 @@ func TestParseSample(t *testing.T) {
 	}
 	if cfg.Delivery.Window != 128 || cfg.Delivery.Policy != PolicyDrop || cfg.Delivery.MaxRedials != 5 {
 		t.Errorf("delivery = %+v", cfg.Delivery)
+	}
+	if cfg.Durability.CheckpointEvery != 16 || !cfg.Durability.SyncEachBlock {
+		t.Errorf("durability = %+v", cfg.Durability)
+	}
+}
+
+func TestDurabilitySpecValidation(t *testing.T) {
+	bad := Default()
+	bad.Durability.CheckpointEvery = -3
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative checkpoint cadence: err = %v, want ErrInvalid", err)
 	}
 }
 

@@ -15,12 +15,18 @@
 //     Disconnect kills the pipe (the default — a blockchain peer must not
 //     silently miss blocks), DropBlocks skips the lost range and counts it
 //     (for lossy monitoring taps and overload experiments).
+//   - With a History source configured (normally the orderer's own block
+//     ledger, via LedgerSource), a peer that fell off the window is not
+//     disconnected: the lost range is streamed from history until the
+//     cursor is back inside the window — the catch-up path a crashed and
+//     restarted peer takes after Rewind moves its cursor to the height it
+//     recovered to.
 //   - A peer whose transport fails can be redialed; after reconnecting it
-//     catches up from the retained window at its own pace.
+//     catches up from the retained window (or history) at its own pace.
 //
-// Per-peer lag, bytes, drops, redials and errors are exposed through
-// Stats, feeding the cluster experiment's isolation and tail-latency
-// reports.
+// Per-peer lag, bytes, drops, redials, catch-up counts and errors are
+// exposed through Stats, feeding the cluster experiment's isolation,
+// tail-latency and churn reports.
 package delivery
 
 import (
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"bmac/internal/block"
+	"bmac/internal/ledger"
 )
 
 // Item is one published block plus its delivery sequence number. The
@@ -118,11 +125,34 @@ var (
 	ErrClosed = errors.New("delivery: service closed")
 )
 
+// Source serves historical blocks that have fallen off the retained
+// window, keyed by delivery sequence number. Implementations must be safe
+// for concurrent use (every pipe may fetch).
+type Source interface {
+	// BlockAt returns the block published with the given sequence number.
+	BlockAt(seq uint64) (*block.Block, error)
+}
+
+// LedgerSource adapts a block ledger to a catch-up Source. Delivery
+// sequence numbers must coincide with ledger block numbers, which holds
+// whenever every published block is appended to the ledger first (as the
+// cluster orderer does) and publication started from sequence 0.
+func LedgerSource(l *ledger.Ledger) Source { return ledgerSource{l} }
+
+type ledgerSource struct{ l *ledger.Ledger }
+
+func (s ledgerSource) BlockAt(seq uint64) (*block.Block, error) { return s.l.Get(seq) }
+
 // Options parameterize the service.
 type Options struct {
 	// Window is the number of recent blocks retained for catch-up; it is
 	// also each peer's maximum backlog. 0 means 256.
 	Window int
+	// History, when set, serves blocks that fell off the window: instead
+	// of being disconnected, an overrun Disconnect-policy peer streams the
+	// lost range from History (counted in PeerStats.CaughtUp). DropBlocks
+	// peers still drop — their policy asks for it.
+	History Source
 }
 
 // PeerOptions parameterize one registered peer.
@@ -148,15 +178,17 @@ type PeerStats struct {
 	Bytes     int64  // wire bytes delivered
 	Lag       uint64 // published blocks not yet delivered to this peer
 	Dropped   uint64 // blocks skipped by the DropBlocks policy
+	CaughtUp  uint64 // blocks streamed from the History source
 	Redials   int    // successful reconnects
 	SendErrs  int    // send attempts that errored
 	Err       error  // terminal pipe error, if any
 }
 
 // Service is the delivery fan-out: a retained block window plus one pipe
-// per registered peer.
+// per registered peer, with an optional history source behind the window.
 type Service struct {
-	window int
+	window  int
+	history Source
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signals Wait-policy slack to blocked Publish calls
@@ -174,9 +206,10 @@ func NewService(opts Options) *Service {
 		w = 256
 	}
 	s := &Service{
-		window: w,
-		ring:   make([]*Item, w),
-		peers:  make(map[string]*pipe),
+		window:  w,
+		history: opts.History,
+		ring:    make([]*Item, w),
+		peers:   make(map[string]*pipe),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -301,6 +334,34 @@ func (s *Service) fetch(seq uint64) (it *Item, gap uint64, have bool) {
 	return s.ring[seq%uint64(s.window)], 0, true
 }
 
+// Rewind moves a peer's cursor back to seq, so delivery resumes from an
+// earlier position — the deliver protocol's "start from block N" request a
+// peer makes after recovering from a crash at height N. Blocks below the
+// retained window are served from the History source. Rewinding forward
+// is a no-op. A pipe that already died (redial budget exhausted, overrun)
+// cannot resume; Rewind reports its terminal error instead of pretending
+// catch-up is underway.
+func (s *Service) Rewind(name string, seq uint64) error {
+	s.mu.Lock()
+	p, ok := s.peers[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("delivery: rewind: unknown peer %q", name)
+	}
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return fmt.Errorf("delivery: rewind %q: pipe already failed: %w", name, err)
+	}
+	if seq < p.next {
+		p.next = seq
+	}
+	p.mu.Unlock()
+	p.wake()
+	return nil
+}
+
 // Stats snapshots every peer, sorted by name.
 func (s *Service) Stats() []PeerStats {
 	s.mu.Lock()
@@ -396,6 +457,7 @@ type pipe struct {
 	blocks   int64
 	bytes    int64
 	dropped  uint64
+	caughtUp uint64
 	redials  int
 	sendErrs int
 	err      error
@@ -423,6 +485,7 @@ func (p *pipe) snapshot(height uint64) PeerStats {
 		Bytes:     p.bytes,
 		Lag:       lag,
 		Dropped:   p.dropped,
+		CaughtUp:  p.caughtUp,
 		Redials:   p.redials,
 		SendErrs:  p.sendErrs,
 		Err:       p.err,
@@ -465,21 +528,34 @@ func (p *pipe) run(s *Service) {
 		next := p.next
 		p.mu.Unlock()
 		it, gap, have := s.fetch(next)
+		fromHistory := false
 		if gap > 0 {
-			// Unreachable for Wait pipes: Publish never advances the
-			// window base past a live Wait cursor.
-			if p.opts.Policy == Disconnect {
+			// Unreachable for Wait pipes, unless rewound: Publish never
+			// advances the window base past a live Wait cursor.
+			switch {
+			case s.history != nil && p.opts.Policy != DropBlocks:
+				// Stream the lost range from history until the cursor is
+				// back inside the window.
+				b, err := s.history.BlockAt(next)
+				if err != nil {
+					p.fail(fmt.Errorf("%w: %d blocks behind, catch-up failed: %v", ErrOverrun, gap, err))
+					p.closeTransport()
+					return
+				}
+				it = &Item{Seq: next, Block: b}
+				fromHistory = true
+			case p.opts.Policy == Disconnect:
 				p.fail(fmt.Errorf("%w: %d blocks behind", ErrOverrun, gap))
 				p.closeTransport()
 				return
+			default:
+				p.mu.Lock()
+				p.dropped += gap
+				p.next = next + gap
+				p.mu.Unlock()
+				continue
 			}
-			p.mu.Lock()
-			p.dropped += gap
-			p.next = next + gap
-			p.mu.Unlock()
-			continue
-		}
-		if !have {
+		} else if !have {
 			select {
 			case <-p.notify:
 				continue
@@ -497,7 +573,12 @@ func (p *pipe) run(s *Service) {
 		p.mu.Lock()
 		p.blocks++
 		p.bytes += int64(n)
-		p.next = it.Seq + 1
+		if fromHistory {
+			p.caughtUp++
+		}
+		if it.Seq+1 > p.next {
+			p.next = it.Seq + 1
+		}
 		p.mu.Unlock()
 		if backpressured {
 			s.slack()

@@ -10,6 +10,7 @@ import (
 	"bmac/internal/block"
 	"bmac/internal/gossip"
 	"bmac/internal/identity"
+	"bmac/internal/ledger"
 )
 
 func makeBlock(t testing.TB, num uint64) *block.Block {
@@ -448,5 +449,197 @@ func TestConcurrentPublishAndStats(t *testing.T) {
 	st := s.Stats()[0]
 	if st.Blocks+int64(st.Dropped) != 200 {
 		t.Errorf("blocks %d + dropped %d != 200", st.Blocks, st.Dropped)
+	}
+}
+
+// makeChain builds n blocks chained by previous hash and commits them to
+// a fresh ledger (the orderer's ledger of the catch-up path).
+func makeChain(t *testing.T, n int) (*ledger.Ledger, []*block.Block) {
+	t.Helper()
+	net := identity.NewNetwork()
+	if _, err := net.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	orderer, err := net.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := ledger.Open(t.TempDir(), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	var blocks []*block.Block
+	var prev []byte
+	for i := 0; i < n; i++ {
+		b, err := block.NewBlock(uint64(i), prev, nil, orderer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = block.HeaderHash(&b.Header)
+		if _, err := led.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	return led, blocks
+}
+
+func waitDelivered(t *testing.T, tr *mockTransport, n int) []uint64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		seqs := tr.delivered()
+		if len(seqs) >= n {
+			return seqs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d blocks delivered: %v", len(seqs), n, seqs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLedgerCatchUpAfterRewind is the recovery delivery path: ten blocks
+// are published through a window of four, a peer registers late (cursor at
+// the window base) and then — like a restarted peer resuming from its
+// recovered height — rewinds to sequence 0. The range below the window
+// must stream from the ledger source, in order, without disconnecting.
+func TestLedgerCatchUpAfterRewind(t *testing.T) {
+	led, blocks := makeChain(t, 10)
+	s := NewService(Options{Window: 4, History: LedgerSource(led)})
+	defer s.Close()
+	for _, b := range blocks {
+		if err := s.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := &mockTransport{}
+	if err := s.Register("p", tr, PeerOptions{Policy: Disconnect}); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, tr, 4) // window tail: 6..9
+
+	if err := s.Rewind("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	seqs := waitDelivered(t, tr, 14)
+	want := []uint64{6, 7, 8, 9, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(seqs) != len(want) {
+		t.Fatalf("delivered %v", seqs)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", seqs, want)
+		}
+	}
+	st := s.Stats()[0]
+	if st.Err != nil {
+		t.Fatalf("pipe error: %v", st.Err)
+	}
+	if st.CaughtUp != 6 {
+		t.Errorf("CaughtUp = %d, want 6 (blocks 0..5 from the ledger)", st.CaughtUp)
+	}
+	if st.Lag != 0 {
+		t.Errorf("lag = %d after catch-up", st.Lag)
+	}
+	if err := s.Rewind("ghost", 0); err == nil {
+		t.Error("rewind of unknown peer accepted")
+	}
+}
+
+// TestDropPolicyIgnoresHistory pins that a DropBlocks peer keeps its
+// semantics even when a history source exists: drops are what its policy
+// asks for.
+func TestDropPolicyIgnoresHistory(t *testing.T) {
+	led, blocks := makeChain(t, 8)
+	s := NewService(Options{Window: 2, History: LedgerSource(led)})
+	defer s.Close()
+	for _, b := range blocks {
+		if err := s.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := &mockTransport{}
+	if err := s.Register("p", tr, PeerOptions{Policy: DropBlocks}); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, tr, 2)
+	if err := s.Rewind("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()[0]
+		if st.Dropped >= 6 && st.CaughtUp == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drop peer stats after rewind: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCatchUpFailureDisconnects: a Disconnect peer that falls behind a
+// history source missing the needed block dies with ErrOverrun context
+// instead of looping.
+func TestCatchUpFailureDisconnects(t *testing.T) {
+	led, _ := makeChain(t, 3) // ledger holds 0..2 only
+	s := NewService(Options{Window: 2, History: LedgerSource(led)})
+	defer s.Close()
+	// Publish 8 blocks; seq 3.. are not in the ledger (history is stale).
+	for i := 0; i < 8; i++ {
+		b := makeBlock(t, uint64(i))
+		if err := s.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := &mockTransport{}
+	if err := s.Register("p", tr, PeerOptions{Policy: Disconnect}); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, tr, 2)
+	if err := s.Rewind("p", 3); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()[0]
+		if st.Err != nil {
+			if !errors.Is(st.Err, ErrOverrun) {
+				t.Fatalf("err = %v, want ErrOverrun", st.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale history never surfaced as a pipe error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRewindDeadPipeReportsError pins the review fix: rewinding a pipe
+// whose redial budget is exhausted must surface the terminal error, not
+// pretend catch-up is underway.
+func TestRewindDeadPipeReportsError(t *testing.T) {
+	s := NewService(Options{Window: 4})
+	defer s.Close()
+	tr := &mockTransport{failNext: 100}
+	if err := s.Register("p", tr, PeerOptions{Policy: Disconnect, RedialWait: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(makeBlock(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats()[0].Err == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("pipe never died")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Rewind("p", 0); err == nil {
+		t.Fatal("rewind of a dead pipe reported success")
 	}
 }

@@ -43,7 +43,7 @@ func Names() []string {
 	return []string{
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
-		"headline", "ablations", "pipeline", "hybrid", "cluster",
+		"headline", "ablations", "pipeline", "hybrid", "cluster", "churn",
 	}
 }
 
@@ -64,6 +64,7 @@ var Titles = map[string]string{
 	"pipeline":  "Pipeline: parallel commit engine speedup vs block size and conflict rate",
 	"hybrid":    "Hybrid: §5 hardware/host database — hit rate and prefetch latency hiding vs capacity and Zipf skew",
 	"cluster":   "Cluster: open-loop load through the non-blocking delivery service — throughput, tail latency and slow-peer isolation per validation path",
+	"churn":     "Churn: kill a peer mid-run, restart from checkpoint + ledger replay, catch up through the orderer ledger — convergence per validation path",
 }
 
 // Run executes one experiment by id.
@@ -99,6 +100,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return FigHybrid(r.env, r.opts)
 	case "cluster":
 		return FigCluster(r.opts)
+	case "churn":
+		return FigChurn(r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

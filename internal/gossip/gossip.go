@@ -150,9 +150,12 @@ type Listener struct {
 	mu         sync.Mutex
 	received   int64
 	decodeErrs int64
+	conns      map[net.Conn]struct{} // live accepted connections
 
-	wg   sync.WaitGroup
-	stop chan struct{}
+	wg        sync.WaitGroup
+	stop      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Listen binds addr ("127.0.0.1:0" for ephemeral) and starts accepting.
@@ -164,6 +167,7 @@ func Listen(addr string) (*Listener, error) {
 	l := &Listener{
 		ln:     ln,
 		blocks: make(chan *block.Block, 16),
+		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
 	l.wg.Add(1)
@@ -204,9 +208,31 @@ func (l *Listener) acceptLoop() {
 	}
 }
 
+// addConn registers a live connection so Close can tear it down; it
+// reports false when the listener is already stopping.
+func (l *Listener) addConn(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopping() {
+		return false
+	}
+	l.conns[c] = struct{}{}
+	return true
+}
+
+func (l *Listener) removeConn(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
 func (l *Listener) serve(conn net.Conn) {
 	defer l.wg.Done()
 	defer conn.Close()
+	if !l.addConn(conn) {
+		return
+	}
+	defer l.removeConn(conn)
 	r := bufio.NewReaderSize(conn, 1<<20)
 	for {
 		b, n, err := ReadBlock(r)
@@ -242,11 +268,23 @@ func (l *Listener) stopping() bool {
 	}
 }
 
-// Close stops accepting, closes connections and the block channel.
+// Close stops accepting, closes connections and the block channel. Live
+// connections are torn down too: a reader blocked on an idle-but-open
+// socket must not park Close forever (the churn kill path closes a
+// listener while its delivery connection sits idle). Safe to call more
+// than once (error-path cleanup may close a peer's listener twice);
+// later calls return the first call's result.
 func (l *Listener) Close() error {
-	close(l.stop)
-	err := l.ln.Close()
-	l.wg.Wait()
-	close(l.blocks)
-	return err
+	l.closeOnce.Do(func() {
+		close(l.stop)
+		l.closeErr = l.ln.Close()
+		l.mu.Lock()
+		for c := range l.conns {
+			c.Close()
+		}
+		l.mu.Unlock()
+		l.wg.Wait()
+		close(l.blocks)
+	})
+	return l.closeErr
 }

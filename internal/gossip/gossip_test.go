@@ -246,3 +246,19 @@ func BenchmarkGossipRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// TestListenerDoubleClose pins the review fix: error-path cleanup may
+// close a peer's listener twice; the second call must be a no-op, not a
+// close-of-closed-channel panic.
+func TestListenerDoubleClose(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -47,6 +48,7 @@ type Ledger struct {
 
 	bytesWritten int64
 	syncEach     bool
+	warnings     []string
 }
 
 type indexEntry struct {
@@ -62,15 +64,30 @@ type Options struct {
 }
 
 // Open creates or opens a ledger in dir. An existing block file is replayed
-// to rebuild the index.
+// to rebuild the index; a torn or undecodable final record (a crash mid-
+// append) is truncated away with a warning instead of failing the open,
+// and a freshly created block file is made durable by fsyncing dir.
 func Open(dir string, opts Options) (*Ledger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger dir: %w", err)
 	}
 	path := filepath.Join(dir, "blockfile_000000")
+	created := false
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		created = true
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("open block file: %w", err)
+	}
+	if created {
+		// The file's directory entry must survive a crash too, or a
+		// post-crash replay could find an empty directory where a ledger
+		// (and its fsynced blocks) used to be.
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	l := &Ledger{
 		file:     f,
@@ -98,7 +115,17 @@ func Open(dir string, opts Options) (*Ledger, error) {
 }
 
 // replay scans the block file to rebuild the index, height and hash chain.
+// A partial or undecodable final record — the footprint of a crash mid-
+// append — is logically truncated with a warning; corruption that is NOT
+// confined to the tail (a broken record with valid data after it) still
+// fails the open, because silently skipping committed blocks would fork
+// the chain.
 func (l *Ledger) replay() error {
+	info, err := l.file.Stat()
+	if err != nil {
+		return fmt.Errorf("stat block file: %w", err)
+	}
+	size := info.Size()
 	r := bufio.NewReader(l.file)
 	var off int64
 	var lenBuf [8]byte
@@ -108,18 +135,48 @@ func (l *Ledger) replay() error {
 				break
 			}
 			if errors.Is(err, io.ErrUnexpectedEOF) {
-				break // torn tail write; truncate logically
+				l.warnf("torn length prefix at offset %d (%d trailing bytes); truncating", off, size-off)
+				break
 			}
 			return fmt.Errorf("replay length: %w", err)
 		}
 		n := int64(binary.BigEndian.Uint64(lenBuf[:]))
+		if n <= 0 {
+			// A zero or nonsense length with nothing after it is a torn
+			// prefix; with data following it is mid-file corruption, and
+			// truncating would destroy committed blocks.
+			if off+8 == size {
+				l.warnf("torn zero-length record at offset %d; truncating", off)
+				break
+			}
+			return fmt.Errorf("replay block at offset %d: invalid record length %d with %d bytes following",
+				off, n, size-off-8)
+		}
+		if n > size-off-8 {
+			// The prefix promises more bytes than the file holds: only a
+			// torn final write can look like this.
+			l.warnf("torn record at offset %d: length %d with %d bytes left; truncating", off, n, size-off-8)
+			break
+		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(r, data); err != nil {
-			break // torn write at tail
+			l.warnf("torn record body at offset %d; truncating", off)
+			break
 		}
 		b, err := block.Unmarshal(data)
 		if err != nil {
+			if off+8+n == size {
+				l.warnf("undecodable final record at offset %d (%v); truncating", off, err)
+				break
+			}
 			return fmt.Errorf("replay block at offset %d: %w", off, err)
+		}
+		if len(l.index) > 0 && b.Header.Number != l.height {
+			if off+8+n == size {
+				l.warnf("final record has block %d where %d was expected; truncating", b.Header.Number, l.height)
+				break
+			}
+			return fmt.Errorf("replay block at offset %d: got block %d, expected %d", off, b.Header.Number, l.height)
 		}
 		l.index[b.Header.Number] = indexEntry{offset: off, length: 8 + n}
 		l.height = b.Header.Number + 1
@@ -128,6 +185,34 @@ func (l *Ledger) replay() error {
 		off += 8 + n
 	}
 	l.offset = off
+	return nil
+}
+
+// warnf records a recovery notice (readable via Warnings) and logs it.
+func (l *Ledger) warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	l.warnings = append(l.warnings, msg)
+	log.Printf("ledger: %s", msg)
+}
+
+// Warnings returns the recovery notices emitted while opening the ledger
+// (e.g. a truncated torn tail write). Empty on a clean open.
+func (l *Ledger) Warnings() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.warnings...)
+}
+
+// syncDir fsyncs a directory so a just-created entry in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open ledger dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync ledger dir: %w", err)
+	}
 	return nil
 }
 

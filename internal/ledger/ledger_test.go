@@ -309,3 +309,197 @@ func TestTornTailWriteRecovered(t *testing.T) {
 		t.Errorf("commit after recovery: %v", err)
 	}
 }
+
+// TestUndecodableFinalRecordTruncated covers the second torn-write shape:
+// the length prefix is intact but the record bytes are garbage (a crash
+// landed mid-way through the data). The trailing record is truncated with
+// a warning; the chain continues from the last good block.
+func TestUndecodableFinalRecordTruncated(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := f.block(t, 0, nil)
+	if _, err := l.Commit(b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a well-framed but undecodable record.
+	path := filepath.Join(dir, "blockfile_000000")
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := bytes.Repeat([]byte{0xff}, 64)
+	var lenBuf [8]byte
+	lenBuf[7] = 64
+	if _, err := fh.Write(append(lenBuf[:], garbage...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := fileSize(t, path)
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after undecodable tail: %v", err)
+	}
+	defer l2.Close()
+	if l2.Height() != 1 {
+		t.Errorf("height = %d, want 1", l2.Height())
+	}
+	if len(l2.Warnings()) == 0 {
+		t.Error("no recovery warning recorded")
+	}
+	if got := fileSize(t, path); got >= sizeBefore {
+		t.Errorf("torn tail not physically truncated: %d >= %d bytes", got, sizeBefore)
+	}
+	b1 := f.block(t, 1, block.HeaderHash(&b0.Header))
+	if _, err := l2.Commit(b1); err != nil {
+		t.Errorf("commit after recovery: %v", err)
+	}
+}
+
+// TestMidFileCorruptionStillFails pins the boundary of the tail-repair
+// logic: a broken record with valid blocks after it is NOT a torn write,
+// and silently skipping committed blocks would fork the chain — Open must
+// fail.
+func TestMidFileCorruptionStillFails(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := f.block(t, 0, nil)
+	if _, err := l.Commit(b0); err != nil {
+		t.Fatal(err)
+	}
+	b1 := f.block(t, 1, block.HeaderHash(&b0.Header))
+	if _, err := l.Commit(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite block 0's record body (not the length prefix) in place:
+	// the first record is garbage, the second is intact.
+	path := filepath.Join(dir, "blockfile_000000")
+	fh, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteAt(bytes.Repeat([]byte{0xff}, 32), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+}
+
+// TestAbsurdLengthPrefixTruncated guards the replay allocator: a torn
+// length prefix that decodes to an absurd size (larger than the file)
+// must be treated as a torn tail, not as an allocation request.
+func TestAbsurdLengthPrefixTruncated(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := f.block(t, 0, nil)
+	if _, err := l.Commit(b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blockfile_000000")
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := []byte{0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xaa}
+	if _, err := fh.Write(huge); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after absurd length prefix: %v", err)
+	}
+	defer l2.Close()
+	if l2.Height() != 1 || len(l2.Warnings()) == 0 {
+		t.Errorf("height=%d warnings=%v", l2.Height(), l2.Warnings())
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// TestZeroLengthRecordMidFileFails pins the review fix: a zero-length
+// record with valid data after it is mid-file corruption, not a torn
+// tail — truncating would destroy committed blocks, so Open must fail.
+// The same zero prefix at the very end IS a torn tail and is truncated.
+func TestZeroLengthRecordMidFileFails(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := f.block(t, 0, nil)
+	if _, err := l.Commit(b0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "blockfile_000000")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-length prefix followed by the valid block again: mid-file.
+	var zero [8]byte
+	bad := append(append(append([]byte{}, good...), zero[:]...), good...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("zero-length record mid-file silently truncated")
+	}
+
+	// The same zero prefix as the last bytes of the file: torn tail.
+	if err := os.WriteFile(path, append(append([]byte{}, good...), zero[:]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("trailing zero prefix: %v", err)
+	}
+	defer l2.Close()
+	if l2.Height() != 1 || len(l2.Warnings()) == 0 {
+		t.Errorf("height=%d warnings=%v", l2.Height(), l2.Warnings())
+	}
+}

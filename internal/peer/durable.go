@@ -1,0 +1,174 @@
+// Durability: the ledger-backed crash-recovery path of the software peers.
+//
+// A peer's state database is in-memory; what survives a crash is the
+// append-only ledger (internal/ledger) and, optionally, a periodic state
+// checkpoint (internal/statedb checkpoint files). Recovery composes the
+// two: load the newest checkpoint if one exists, then replay only the
+// ledger suffix past it, re-deriving state through the validator's own
+// transaction parser and the validation flags recorded at commit time.
+// A peer restarted this way resumes at its ledger height with a state
+// database bit-identical to one that never crashed.
+
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bmac/internal/block"
+	"bmac/internal/ledger"
+	"bmac/internal/pipeline"
+	"bmac/internal/statedb"
+	"bmac/internal/validator"
+)
+
+// CheckpointFile is the name of the state checkpoint inside a peer's
+// directory (next to the ledger's block file).
+const CheckpointFile = "checkpoint"
+
+// DurableOptions configure ledger-backed durability for a software peer.
+type DurableOptions struct {
+	// CheckpointEvery writes a state checkpoint after every N committed
+	// blocks (through CommitBlock); 0 disables periodic checkpoints, so
+	// recovery replays the whole ledger (plus whatever checkpoint was
+	// written explicitly, e.g. the genesis checkpoint).
+	CheckpointEvery int
+	// SyncEachBlock fsyncs the ledger after every block commit.
+	SyncEachBlock bool
+}
+
+// NewDurableSWPeer opens (or reopens) a sequential software peer in dir
+// over the given state-database backend. An existing ledger is replayed on
+// top of the newest checkpoint, so a restarted peer resumes from its last
+// committed block; Height reports where that is.
+func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*SWPeer, error) {
+	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock})
+	if err != nil {
+		return nil, fmt.Errorf("sw peer ledger: %w", err)
+	}
+	if _, err := RecoverState(kvs, led, dir); err != nil {
+		led.Close()
+		return nil, err
+	}
+	return &SWPeer{
+		Validator: validator.New(cfg, kvs, led),
+		Ledger:    led,
+		dir:       dir,
+		ckptEvery: opts.CheckpointEvery,
+	}, nil
+}
+
+// NewDurableParallelPeer opens (or reopens) a parallel pipelined peer in
+// dir over the given state-database backend, with the same recovery
+// semantics as NewDurableSWPeer.
+func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*ParallelPeer, error) {
+	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock})
+	if err != nil {
+		return nil, fmt.Errorf("parallel peer ledger: %w", err)
+	}
+	if _, err := RecoverState(kvs, led, dir); err != nil {
+		led.Close()
+		return nil, err
+	}
+	return &ParallelPeer{
+		Engine:    pipeline.New(cfg, kvs, led),
+		Ledger:    led,
+		dir:       dir,
+		ckptEvery: opts.CheckpointEvery,
+	}, nil
+}
+
+// RecoverState rebuilds a peer's state database from dir: the checkpoint
+// file (if present) seeds kvs with the state as of its recorded height,
+// and the ledger blocks past that height are replayed by applying the
+// write sets their recorded validation flags admitted. Returns the
+// recovered height — the next block number the peer expects. kvs must be
+// empty.
+//
+// A corrupt checkpoint is an error rather than a silent full replay: the
+// ledger alone cannot reproduce state that predates block 0 (bootstrap
+// genesis data lives only in checkpoints).
+func RecoverState(kvs statedb.KVS, led *ledger.Ledger, dir string) (uint64, error) {
+	start := uint64(0)
+	snap, h, err := statedb.LoadCheckpoint(filepath.Join(dir, CheckpointFile))
+	switch {
+	case err == nil:
+		if h > led.Height() {
+			return 0, fmt.Errorf("peer: checkpoint at height %d is ahead of ledger height %d in %s",
+				h, led.Height(), dir)
+		}
+		statedb.RestoreSnapshot(kvs, snap)
+		start = h
+	case errors.Is(err, os.ErrNotExist):
+		// No checkpoint: replay the whole ledger into the empty store.
+	default:
+		return 0, fmt.Errorf("peer: load checkpoint: %w", err)
+	}
+	for n := start; n < led.Height(); n++ {
+		b, err := led.Get(n)
+		if err != nil {
+			return 0, fmt.Errorf("peer: recovery replay block %d: %w", n, err)
+		}
+		if err := replayBlock(kvs, b); err != nil {
+			return 0, err
+		}
+	}
+	return led.Height(), nil
+}
+
+// replayBlock re-derives the state effects of one committed block: the
+// write sets of transactions whose recorded validation flag is Valid,
+// decoded through the validator's own transaction parser (the same code
+// path the live commit used), applied at the same versions.
+func replayBlock(kvs statedb.KVS, b *block.Block) error {
+	flags := b.Metadata.ValidationFlags
+	for i := range b.Envelopes {
+		if i >= len(flags) || block.ValidationCode(flags[i]) != block.Valid {
+			continue
+		}
+		pt := validator.ParseTx(b.Envelopes[i].PayloadBytes)
+		if pt.Err != nil {
+			return fmt.Errorf("peer: replay block %d tx %d: %w", b.Header.Number, i, pt.Err)
+		}
+		kvs.WriteBatch(pt.RW.Writes, block.Version{BlockNum: b.Header.Number, TxNum: uint64(i)})
+	}
+	return nil
+}
+
+// Height reports the peer's ledger height — the next block number it
+// expects to commit (equal to the recovered height right after a restart).
+func (p *SWPeer) Height() uint64 { return p.Ledger.Height() }
+
+// Height reports the peer's ledger height — the next block number it
+// expects to commit (equal to the recovered height right after a restart).
+func (p *ParallelPeer) Height() uint64 { return p.Ledger.Height() }
+
+// Checkpoint writes a state checkpoint at the current ledger height
+// (atomic rename; the previous checkpoint survives a crash mid-write).
+// Call it after bootstrap to capture genesis state that no ledger block
+// carries.
+func (p *SWPeer) Checkpoint() error {
+	return statedb.SaveCheckpoint(filepath.Join(p.dir, CheckpointFile), p.Validator.Store(), p.Ledger.Height())
+}
+
+// Checkpoint writes a state checkpoint at the current ledger height
+// (atomic rename; the previous checkpoint survives a crash mid-write).
+// Call it after bootstrap to capture genesis state that no ledger block
+// carries.
+func (p *ParallelPeer) Checkpoint() error {
+	return statedb.SaveCheckpoint(filepath.Join(p.dir, CheckpointFile), p.Engine.Store(), p.Ledger.Height())
+}
+
+// maybeCheckpoint runs the periodic checkpoint policy after a successful
+// commit of blockNum.
+func maybeCheckpoint(every int, blockNum uint64, ckpt func() error) error {
+	if every <= 0 || (blockNum+1)%uint64(every) != 0 {
+		return nil
+	}
+	if err := ckpt(); err != nil {
+		return fmt.Errorf("peer: checkpoint after block %d: %w", blockNum, err)
+	}
+	return nil
+}

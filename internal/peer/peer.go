@@ -14,6 +14,12 @@
 //     from the reg_map and committing blocks to the disk ledger. Hardware
 //     validation of block n+1 overlaps with the CPU's ledger commit of
 //     block n (paper §3.1).
+//
+// The software peers are durable: every validated block is appended to the
+// disk ledger before its result is reported, reopening a peer directory
+// replays the ledger (on top of the newest state checkpoint) so a
+// restarted peer resumes at its previous height, and a checkpoint cadence
+// can bound how much of the ledger a restart has to replay (durable.go).
 package peer
 
 import (
@@ -48,26 +54,31 @@ type CommitResult struct {
 type SWPeer struct {
 	Validator *validator.Validator
 	Ledger    *ledger.Ledger
+
+	dir       string
+	ckptEvery int
 }
 
-// NewSWPeer creates a software peer with a fresh state database and a
-// ledger in dir.
+// NewSWPeer creates a software peer with an in-memory state database and a
+// ledger in dir. Reopening an existing dir recovers: the ledger is
+// replayed (on top of any checkpoint) so the peer resumes at its previous
+// height. See NewDurableSWPeer to choose the backend and checkpoint
+// cadence.
 func NewSWPeer(cfg validator.Config, dir string) (*SWPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("sw peer ledger: %w", err)
-	}
-	return &SWPeer{
-		Validator: validator.New(cfg, statedb.NewStore(), led),
-		Ledger:    led,
-	}, nil
+	return NewDurableSWPeer(cfg, statedb.NewStore(), dir, DurableOptions{})
 }
 
 // CommitBlock validates and commits one received block (the gossip path
-// hands blocks here in order).
+// hands blocks here in order). When a checkpoint cadence is configured,
+// the block's commit may be followed by a state checkpoint; a checkpoint
+// failure is returned even though the block itself committed, because the
+// peer's durability contract is broken.
 func (p *SWPeer) CommitBlock(b *block.Block) (CommitResult, error) {
 	res, err := p.Validator.ValidateAndCommit(block.Marshal(b))
 	if err != nil {
+		return CommitResult{}, err
+	}
+	if err := maybeCheckpoint(p.ckptEvery, res.BlockNum, p.Checkpoint); err != nil {
 		return CommitResult{}, err
 	}
 	return CommitResult{
@@ -87,33 +98,37 @@ func (p *SWPeer) Close() error { return p.Ledger.Close() }
 type ParallelPeer struct {
 	Engine *pipeline.Engine
 	Ledger *ledger.Ledger
+
+	dir       string
+	ckptEvery int
 }
 
-// NewParallelPeer creates a parallel peer with a fresh in-memory state
-// database and a ledger in dir.
+// NewParallelPeer creates a parallel peer with an in-memory state database
+// and a ledger in dir. Reopening an existing dir recovers, as with
+// NewSWPeer.
 func NewParallelPeer(cfg pipeline.Config, dir string) (*ParallelPeer, error) {
 	return NewParallelPeerKVS(cfg, statedb.NewStore(), dir)
 }
 
 // NewParallelPeerKVS creates a parallel peer over the given state-database
 // backend (plain, sharded or hybrid hardware/host) and a ledger in dir.
+// Reopening an existing dir recovers: the ledger is replayed (on top of
+// any checkpoint) into kvs, which must be empty. See NewDurableParallelPeer
+// to also set the checkpoint cadence.
 func NewParallelPeerKVS(cfg pipeline.Config, kvs statedb.KVS, dir string) (*ParallelPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("parallel peer ledger: %w", err)
-	}
-	return &ParallelPeer{
-		Engine: pipeline.New(cfg, kvs, led),
-		Ledger: led,
-	}, nil
+	return NewDurableParallelPeer(cfg, kvs, dir, DurableOptions{})
 }
 
 // CommitBlock validates and commits one received block. The engine still
 // parallelizes the stages internally; use Submit/Results on the Engine
-// directly for inter-block pipelining.
+// directly for inter-block pipelining (the periodic checkpoint policy only
+// runs on this synchronous path).
 func (p *ParallelPeer) CommitBlock(b *block.Block) (CommitResult, error) {
 	res, err := p.Engine.ValidateAndCommit(block.Marshal(b))
 	if err != nil {
+		return CommitResult{}, err
+	}
+	if err := maybeCheckpoint(p.ckptEvery, res.BlockNum, p.Checkpoint); err != nil {
 		return CommitResult{}, err
 	}
 	return CommitResult{

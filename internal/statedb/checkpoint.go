@@ -1,0 +1,249 @@
+package statedb
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bmac/internal/block"
+)
+
+// Checkpoint file layout (all integers big-endian):
+//
+//	magic   [8]byte  "BMACCKP1"
+//	height  uint64   blocks [0, height) are reflected in the state
+//	count   uint64   number of entries
+//	entry*  keyLen uint32, key, valLen uint32, value, verBlock uint64, verTx uint64
+//	sum     [32]byte sha256 of everything above
+//
+// The trailer checksum turns any torn or bit-rotted checkpoint into a clean
+// load error instead of silently corrupt state; writers publish via
+// write-to-temp + fsync + atomic rename, so a crash mid-save leaves the
+// previous checkpoint intact.
+var ckptMagic = [8]byte{'B', 'M', 'A', 'C', 'C', 'K', 'P', '1'}
+
+// ErrCorruptCheckpoint reports a checkpoint file that failed structural or
+// checksum validation.
+var ErrCorruptCheckpoint = errors.New("statedb: corrupt checkpoint")
+
+// SaveCheckpoint atomically serializes the database snapshot plus the state
+// height (number of blocks applied) to path. The write goes to a temporary
+// file in the same directory, is fsynced, and is renamed over path; the
+// directory is fsynced afterwards so the rename itself is durable.
+func SaveCheckpoint(path string, kvs KVS, height uint64) error {
+	return SaveSnapshot(path, kvs.Snapshot(), height)
+}
+
+// SaveSnapshot is SaveCheckpoint over an already-taken snapshot (so callers
+// can capture state at a precise block boundary and write it out later).
+func SaveSnapshot(path string, snap map[string]VersionedValue, height uint64) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("statedb: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+
+	sum := sha256.New()
+	w := bufio.NewWriterSize(io.MultiWriter(tmp, sum), 1<<16)
+
+	if _, err := w.Write(ckptMagic[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	var u64 [8]byte
+	writeU64 := func(v uint64) error {
+		binary.BigEndian.PutUint64(u64[:], v)
+		_, err := w.Write(u64[:])
+		return err
+	}
+	var u32 [4]byte
+	writeBytes := func(b []byte) error {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(b)))
+		if _, err := w.Write(u32[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(b)
+		return err
+	}
+	// Deterministic order: the same state always produces the same file, so
+	// checkpoint bytes (and their hashes) are comparable across peers.
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	werr := writeU64(height)
+	if werr == nil {
+		werr = writeU64(uint64(len(keys)))
+	}
+	for _, k := range keys {
+		if werr != nil {
+			break
+		}
+		v := snap[k]
+		if werr = writeBytes([]byte(k)); werr == nil {
+			if werr = writeBytes(v.Value); werr == nil {
+				if werr = writeU64(v.Version.BlockNum); werr == nil {
+					werr = writeU64(v.Version.TxNum)
+				}
+			}
+		}
+	}
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr != nil {
+		tmp.Close()
+		return fmt.Errorf("statedb: checkpoint write: %w", werr)
+	}
+	if _, err := tmp.Write(sum.Sum(nil)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("statedb: checkpoint sum: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("statedb: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("statedb: checkpoint rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file, returning the state
+// snapshot and the height it was taken at. A missing file reports an error
+// wrapping os.ErrNotExist; any structural or checksum failure reports
+// ErrCorruptCheckpoint.
+func LoadCheckpoint(path string) (map[string]VersionedValue, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < len(ckptMagic)+16+sha256.Size {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrCorruptCheckpoint, len(raw))
+	}
+	body, tail := raw[:len(raw)-sha256.Size], raw[len(raw)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], tail) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptCheckpoint)
+	}
+	if !bytes.Equal(body[:len(ckptMagic)], ckptMagic[:]) {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorruptCheckpoint)
+	}
+	r := body[len(ckptMagic):]
+	readU64 := func() (uint64, bool) {
+		if len(r) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(r[:8])
+		r = r[8:]
+		return v, true
+	}
+	readBytes := func() ([]byte, bool) {
+		if len(r) < 4 {
+			return nil, false
+		}
+		n := int(binary.BigEndian.Uint32(r[:4]))
+		r = r[4:]
+		if n < 0 || len(r) < n {
+			return nil, false
+		}
+		b := r[:n]
+		r = r[n:]
+		return b, true
+	}
+	height, ok := readU64()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorruptCheckpoint)
+	}
+	count, ok := readU64()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrCorruptCheckpoint)
+	}
+	snap := make(map[string]VersionedValue, count)
+	for i := uint64(0); i < count; i++ {
+		key, ok := readBytes()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated entry %d", ErrCorruptCheckpoint, i)
+		}
+		val, ok := readBytes()
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: truncated entry %d", ErrCorruptCheckpoint, i)
+		}
+		vb, ok1 := readU64()
+		vt, ok2 := readU64()
+		if !ok1 || !ok2 {
+			return nil, 0, fmt.Errorf("%w: truncated entry %d", ErrCorruptCheckpoint, i)
+		}
+		v := make([]byte, len(val))
+		copy(v, val)
+		snap[string(key)] = VersionedValue{Value: v, Version: block.Version{BlockNum: vb, TxNum: vt}}
+	}
+	if len(r) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorruptCheckpoint, len(r))
+	}
+	return snap, height, nil
+}
+
+// RestoreSnapshot loads a snapshot into an empty database. Works against
+// every KVS backend (Put writes through the hybrid cache to its host store).
+func RestoreSnapshot(kvs KVS, snap map[string]VersionedValue) {
+	for k, v := range snap {
+		kvs.Put(k, v.Value, v.Version)
+	}
+}
+
+// SnapshotHash returns a deterministic digest of a state snapshot: keys in
+// sorted order, each with its value and version. Two databases hold the
+// same state iff their snapshot hashes are equal, which is how the cluster
+// churn scenario proves a recovered peer converged.
+func SnapshotHash(snap map[string]VersionedValue) []byte {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var u64 [8]byte
+	var u32 [4]byte
+	put := func(b []byte) {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(b)))
+		h.Write(u32[:])
+		h.Write(b)
+	}
+	for _, k := range keys {
+		v := snap[k]
+		put([]byte(k))
+		put(v.Value)
+		binary.BigEndian.PutUint64(u64[:], v.Version.BlockNum)
+		h.Write(u64[:])
+		binary.BigEndian.PutUint64(u64[:], v.Version.TxNum)
+		h.Write(u64[:])
+	}
+	return h.Sum(nil)
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in it
+// survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("statedb: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("statedb: sync dir: %w", err)
+	}
+	return nil
+}

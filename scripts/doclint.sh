@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# doclint.sh — fail when a Go package is missing its doc comment.
+#
+# Library packages (the root bmac package and everything under internal/)
+# must have a file opening with the canonical `// Package <name> ...`
+# header. Command packages (cmd/, examples/) must open with a doc comment
+# too (`// Command ...` or a scenario description). go vet does not
+# enforce either, so CI runs this check alongside it — the README points
+# readers at `go doc`, and empty docs defeat that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+dirs=$(find . -name '*.go' ! -name '*_test.go' ! -path './.git/*' -exec dirname {} \; | sort -u)
+for d in $dirs; do
+  case "$d" in
+  ./cmd/*|./examples/*)
+    # package main: any leading doc comment counts.
+    if ! head -1 "$d"/*.go | grep -q '^// '; then
+      echo "doclint: no leading doc comment in $d" >&2
+      fail=1
+    fi
+    ;;
+  *)
+    if ! grep -l -E '^// Package [a-zA-Z0-9_]+' "$d"/*.go >/dev/null 2>&1; then
+      echo "doclint: no '// Package ...' comment in $d" >&2
+      fail=1
+    fi
+    ;;
+  esac
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doclint: add a package comment (see ARCHITECTURE.md for each package's role)" >&2
+  exit 1
+fi
+echo "doclint: every package documented"

@@ -108,12 +108,18 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 		return nil, errors.New("bmac: configuration declares no endorser peers")
 	}
 
-	// Validator peers.
+	// Validator peers, durable per the config: reopening a testbed
+	// directory replays each peer's ledger (on top of its checkpoints) so
+	// the peers resume at their previous height.
+	dopts := peer.DurableOptions{
+		CheckpointEvery: cfg.Durability.CheckpointEvery,
+		SyncEachBlock:   cfg.Durability.SyncEachBlock,
+	}
 	valCfg, err := cfg.ValidatorConfig(4)
 	if err != nil {
 		return nil, err
 	}
-	tb.SWPeer, err = peer.NewSWPeer(valCfg, filepath.Join(dir, "sw_validator"))
+	tb.SWPeer, err = peer.NewDurableSWPeer(valCfg, statedb.NewStore(), filepath.Join(dir, "sw_validator"), dopts)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +134,7 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	tb.ParPeer, err = peer.NewParallelPeerKVS(pipeCfg, parKVS, filepath.Join(dir, "par_validator"))
+	tb.ParPeer, err = peer.NewDurableParallelPeer(pipeCfg, parKVS, filepath.Join(dir, "par_validator"), dopts)
 	if err != nil {
 		return nil, err
 	}
