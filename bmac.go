@@ -91,6 +91,30 @@ func RunExperiment(name string, opts ExperimentOptions) (*metrics.Table, error) 
 // Table is a printable experiment result.
 type Table = metrics.Table
 
+// HotpathRecord is the machine-readable result of the hotpath benchmark
+// suite — the tracked perf trajectory written to BENCH_hotpath.json.
+type HotpathRecord = experiments.HotpathRecord
+
+// RunHotpathRecord runs the hotpath suite once, returning both the
+// printable table and the machine-readable record (so `bmacbench -exp
+// hotpath -json` measures once, not twice).
+func RunHotpathRecord(opts ExperimentOptions) (*Table, *HotpathRecord, error) {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := experiments.MeasureHotpath(env, experiments.Options{Rounds: opts.Rounds, Quick: opts.Quick})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.Table(), rec, nil
+}
+
+// LoadHotpathRecord reads a BENCH_hotpath.json baseline.
+func LoadHotpathRecord(path string) (*HotpathRecord, error) {
+	return experiments.LoadHotpathRecord(path)
+}
+
 // Cluster harness: the open-loop load driver + non-blocking delivery
 // service stack (orderer -> raft -> delivery -> N peers), reporting
 // throughput, per-tx tail latency and per-peer delivery statistics.

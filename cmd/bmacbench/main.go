@@ -8,6 +8,13 @@
 //	bmacbench -quick          # shrunk sweeps (smoke test)
 //	bmacbench -rounds 5       # more measurement rounds per point
 //	bmacbench -list           # list experiment ids
+//
+// The hotpath suite additionally supports a machine-readable record and a
+// regression gate against a committed baseline:
+//
+//	bmacbench -exp hotpath -json BENCH_hotpath.json   # write the record
+//	bmacbench -exp hotpath -quick -gate BENCH_hotpath.json
+//	                          # fail (exit 1) if allocs/op regressed
 package main
 
 import (
@@ -29,10 +36,13 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "", "experiment id (default: all)")
-		rounds = flag.Int("rounds", 3, "measurement rounds per data point")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id (default: all)")
+		rounds   = flag.Int("rounds", 3, "measurement rounds per data point")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.String("json", "", "hotpath only: write the benchmark record to this path")
+		gatePath = flag.String("gate", "", "hotpath only: compare allocs/op against this baseline record, exit 1 on regression")
+		gateTol  = flag.Float64("gate-tolerance", 0.25, "relative allocs/op headroom for -gate")
 	)
 	flag.Parse()
 
@@ -50,13 +60,41 @@ func run() error {
 	opts := bmac.ExperimentOptions{Rounds: *rounds, Quick: *quick}
 	for _, name := range names {
 		start := time.Now()
-		tbl, err := bmac.RunExperiment(name, opts)
+		var (
+			tbl *bmac.Table
+			rec *bmac.HotpathRecord
+			err error
+		)
+		if name == "hotpath" && (*jsonOut != "" || *gatePath != "") {
+			// Measure once, then reuse the record for -json and -gate.
+			tbl, rec, err = bmac.RunHotpathRecord(opts)
+		} else {
+			tbl, err = bmac.RunExperiment(name, opts)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("=== %s ===\n", bmac.ExperimentTitle(name))
 		fmt.Println(tbl.String())
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		if rec != nil {
+			if *jsonOut != "" {
+				if err := rec.WriteJSON(*jsonOut); err != nil {
+					return fmt.Errorf("write %s: %w", *jsonOut, err)
+				}
+				fmt.Printf("wrote %s\n", *jsonOut)
+			}
+			if *gatePath != "" {
+				baseline, err := bmac.LoadHotpathRecord(*gatePath)
+				if err != nil {
+					return err
+				}
+				if err := rec.Gate(baseline, *gateTol); err != nil {
+					return err
+				}
+				fmt.Printf("gate: allocs/op within %.0f%% of %s\n", *gateTol*100, *gatePath)
+			}
+		}
 	}
 	return nil
 }

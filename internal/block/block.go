@@ -21,6 +21,25 @@
 //
 // Retrieving any inner value requires decoding every outer layer first —
 // the unmarshaling bottleneck the paper measures at ~10% of validation time.
+//
+// # Aliasing contract (zero-copy decode)
+//
+// Unmarshal, UnmarshalTransactionPayload, UnmarshalProposalResponsePayload
+// and the other decoders return structures whose byte-slice fields ALIAS the
+// input buffer instead of copying it: decoding a block costs one pass and no
+// per-field allocations. Two obligations follow for callers:
+//
+//   - The input buffer must not be mutated or recycled (e.g. returned to a
+//     pool) while the decoded structures — or anything derived from them,
+//     such as a cached ParsedTx — are live. Network receive paths allocate a
+//     fresh buffer per block, so this holds naturally on the commit path.
+//   - Callers that need detached structures (to reuse their read buffer)
+//     use UnmarshalCopy, which pays one up-front copy of the input.
+//
+// Marshaling is the mirror image: every message size is precomputed exactly
+// (Size), so Marshal performs a single allocation, and AppendBlock lets
+// owners of a buffer's lifetime (ledger append, wire frames) marshal into a
+// pooled buffer for zero steady-state allocations.
 package block
 
 import (
@@ -361,7 +380,7 @@ func unmarshalKVWrite(data []byte, kw *KVWrite) error {
 		case fWriteKey:
 			kw.Key = r.String()
 		case fWriteValue:
-			kw.Value = append([]byte(nil), r.Bytes()...)
+			kw.Value = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -401,7 +420,7 @@ func UnmarshalChaincodeAction(data []byte) (*ChaincodeAction, error) {
 		case fCCARespCode:
 			a.ResponseCode = r.Uint()
 		case fCCARespData:
-			a.ResponseData = append([]byte(nil), r.Bytes()...)
+			a.ResponseData = r.Bytes()
 		case fCCAName:
 			a.ChaincodeName = r.String()
 		default:
@@ -434,7 +453,7 @@ func UnmarshalProposalResponsePayload(data []byte) (*ProposalResponsePayload, er
 		}
 		switch num {
 		case fPRPHash:
-			p.ProposalHash = append([]byte(nil), r.Bytes()...)
+			p.ProposalHash = r.Bytes()
 		case fPRPExtension:
 			ext, err := UnmarshalChaincodeAction(r.Bytes())
 			if err != nil {
@@ -468,9 +487,9 @@ func unmarshalEndorsement(data []byte) (Endorsement, error) {
 		}
 		switch num {
 		case fEndorserCert:
-			e.Endorser = append([]byte(nil), r.Bytes()...)
+			e.Endorser = r.Bytes()
 		case fEndorserSig:
-			e.Signature = append([]byte(nil), r.Bytes()...)
+			e.Signature = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -500,7 +519,7 @@ func unmarshalEndorsedAction(data []byte) (*EndorsedAction, error) {
 		}
 		switch num {
 		case fEAProposalResponse:
-			a.ProposalResponseBytes = append([]byte(nil), r.Bytes()...)
+			a.ProposalResponseBytes = r.Bytes()
 		case fEAEndorsement:
 			e, err := unmarshalEndorsement(r.Bytes())
 			if err != nil {
@@ -534,7 +553,7 @@ func unmarshalChaincodeActionPayload(data []byte) (*ChaincodeActionPayload, erro
 		}
 		switch num {
 		case fCAPProposal:
-			p.ProposalPayload = append([]byte(nil), r.Bytes()...)
+			p.ProposalPayload = r.Bytes()
 		case fCAPAction:
 			a, err := unmarshalEndorsedAction(r.Bytes())
 			if err != nil {
@@ -611,9 +630,9 @@ func UnmarshalSignatureHeader(data []byte) (*SignatureHeader, error) {
 		}
 		switch num {
 		case fSigHdrCreator:
-			h.Creator = append([]byte(nil), r.Bytes()...)
+			h.Creator = r.Bytes()
 		case fSigHdrNonce:
-			h.Nonce = append([]byte(nil), r.Bytes()...)
+			h.Nonce = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -723,12 +742,27 @@ func UnmarshalTransactionPayload(data []byte) (*Transaction, error) {
 	return tx, nil
 }
 
-// MarshalEnvelope encodes a signed envelope.
+// MarshalEnvelope encodes a signed envelope in a single exact-size
+// allocation.
 func MarshalEnvelope(e *Envelope) []byte {
-	var b []byte
-	b = wire.AppendBytes(b, fEnvelopePayload, e.PayloadBytes)
-	b = wire.AppendBytes(b, fEnvelopeSig, e.Signature)
-	return b
+	return appendEnvelope(make([]byte, 0, sizeEnvelope(e)), e)
+}
+
+func sizeEnvelope(e *Envelope) int {
+	n := 0
+	if len(e.PayloadBytes) > 0 {
+		n += wire.SizeBytesField(fEnvelopePayload, len(e.PayloadBytes))
+	}
+	if len(e.Signature) > 0 {
+		n += wire.SizeBytesField(fEnvelopeSig, len(e.Signature))
+	}
+	return n
+}
+
+func appendEnvelope(dst []byte, e *Envelope) []byte {
+	dst = wire.AppendBytes(dst, fEnvelopePayload, e.PayloadBytes)
+	dst = wire.AppendBytes(dst, fEnvelopeSig, e.Signature)
+	return dst
 }
 
 // UnmarshalEnvelope decodes a signed envelope.
@@ -742,9 +776,9 @@ func UnmarshalEnvelope(data []byte) (*Envelope, error) {
 		}
 		switch num {
 		case fEnvelopePayload:
-			e.PayloadBytes = append([]byte(nil), r.Bytes()...)
+			e.PayloadBytes = r.Bytes()
 		case fEnvelopeSig:
-			e.Signature = append([]byte(nil), r.Bytes()...)
+			e.Signature = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -757,11 +791,25 @@ func UnmarshalEnvelope(data []byte) (*Envelope, error) {
 
 // MarshalHeader encodes a block header; its digest is the block hash.
 func MarshalHeader(h *Header) []byte {
-	var b []byte
-	b = wire.AppendUint(b, fHdrNumber, h.Number)
-	b = wire.AppendBytes(b, fHdrPrevHash, h.PreviousHash)
-	b = wire.AppendBytes(b, fHdrDataHash, h.DataHash)
-	return b
+	return appendHeader(make([]byte, 0, sizeHeader(h)), h)
+}
+
+func sizeHeader(h *Header) int {
+	n := wire.SizeUintField(fHdrNumber, h.Number)
+	if len(h.PreviousHash) > 0 {
+		n += wire.SizeBytesField(fHdrPrevHash, len(h.PreviousHash))
+	}
+	if len(h.DataHash) > 0 {
+		n += wire.SizeBytesField(fHdrDataHash, len(h.DataHash))
+	}
+	return n
+}
+
+func appendHeader(dst []byte, h *Header) []byte {
+	dst = wire.AppendUint(dst, fHdrNumber, h.Number)
+	dst = wire.AppendBytes(dst, fHdrPrevHash, h.PreviousHash)
+	dst = wire.AppendBytes(dst, fHdrDataHash, h.DataHash)
+	return dst
 }
 
 // UnmarshalHeader decodes a block header.
@@ -777,9 +825,9 @@ func UnmarshalHeader(data []byte) (*Header, error) {
 		case fHdrNumber:
 			h.Number = r.Uint()
 		case fHdrPrevHash:
-			h.PreviousHash = append([]byte(nil), r.Bytes()...)
+			h.PreviousHash = r.Bytes()
 		case fHdrDataHash:
-			h.DataHash = append([]byte(nil), r.Bytes()...)
+			h.DataHash = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -790,16 +838,45 @@ func UnmarshalHeader(data []byte) (*Header, error) {
 	return h, nil
 }
 
-func marshalMetadata(m *Metadata) []byte {
-	var sig []byte
-	sig = wire.AppendBytes(sig, fMetaSigCreator, m.Signature.Creator)
-	sig = wire.AppendBytes(sig, fMetaSigNonce, m.Signature.Nonce)
-	sig = wire.AppendBytes(sig, fMetaSigValue, m.Signature.Signature)
-	var b []byte
-	b = wire.AppendBytes(b, fMetaSig, sig)
-	b = wire.AppendBytes(b, fMetaFlags, m.ValidationFlags)
-	b = wire.AppendBytes(b, fMetaCommit, m.CommitHash)
-	return b
+func sizeMetadataSig(ms *MetadataSignature) int {
+	n := 0
+	if len(ms.Creator) > 0 {
+		n += wire.SizeBytesField(fMetaSigCreator, len(ms.Creator))
+	}
+	if len(ms.Nonce) > 0 {
+		n += wire.SizeBytesField(fMetaSigNonce, len(ms.Nonce))
+	}
+	if len(ms.Signature) > 0 {
+		n += wire.SizeBytesField(fMetaSigValue, len(ms.Signature))
+	}
+	return n
+}
+
+func sizeMetadata(m *Metadata) int {
+	n := 0
+	if s := sizeMetadataSig(&m.Signature); s > 0 {
+		n += wire.SizeBytesField(fMetaSig, s)
+	}
+	if len(m.ValidationFlags) > 0 {
+		n += wire.SizeBytesField(fMetaFlags, len(m.ValidationFlags))
+	}
+	if len(m.CommitHash) > 0 {
+		n += wire.SizeBytesField(fMetaCommit, len(m.CommitHash))
+	}
+	return n
+}
+
+func appendMetadata(dst []byte, m *Metadata) []byte {
+	if s := sizeMetadataSig(&m.Signature); s > 0 {
+		dst = wire.AppendTag(dst, fMetaSig, wire.TypeBytes)
+		dst = wire.AppendVarint(dst, uint64(s))
+		dst = wire.AppendBytes(dst, fMetaSigCreator, m.Signature.Creator)
+		dst = wire.AppendBytes(dst, fMetaSigNonce, m.Signature.Nonce)
+		dst = wire.AppendBytes(dst, fMetaSigValue, m.Signature.Signature)
+	}
+	dst = wire.AppendBytes(dst, fMetaFlags, m.ValidationFlags)
+	dst = wire.AppendBytes(dst, fMetaCommit, m.CommitHash)
+	return dst
 }
 
 func unmarshalMetadata(data []byte) (*Metadata, error) {
@@ -820,11 +897,11 @@ func unmarshalMetadata(data []byte) (*Metadata, error) {
 				}
 				switch sn {
 				case fMetaSigCreator:
-					m.Signature.Creator = append([]byte(nil), sr.Bytes()...)
+					m.Signature.Creator = sr.Bytes()
 				case fMetaSigNonce:
-					m.Signature.Nonce = append([]byte(nil), sr.Bytes()...)
+					m.Signature.Nonce = sr.Bytes()
 				case fMetaSigValue:
-					m.Signature.Signature = append([]byte(nil), sr.Bytes()...)
+					m.Signature.Signature = sr.Bytes()
 				default:
 					sr.Skip(swt)
 				}
@@ -833,9 +910,9 @@ func unmarshalMetadata(data []byte) (*Metadata, error) {
 				return nil, fmt.Errorf("%w: metadata signature: %v", ErrMalformed, err)
 			}
 		case fMetaFlags:
-			m.ValidationFlags = append([]byte(nil), r.Bytes()...)
+			m.ValidationFlags = r.Bytes()
 		case fMetaCommit:
-			m.CommitHash = append([]byte(nil), r.Bytes()...)
+			m.CommitHash = r.Bytes()
 		default:
 			r.Skip(wt)
 		}
@@ -846,36 +923,99 @@ func unmarshalMetadata(data []byte) (*Metadata, error) {
 	return m, nil
 }
 
-// Marshal encodes a complete block.
-func Marshal(b *Block) []byte {
-	var out []byte
-	out = wire.AppendBytes(out, fBlockHeader, MarshalHeader(&b.Header))
-	var data []byte
-	for i := range b.Envelopes {
-		data = wire.AppendBytesAlways(data, 1, MarshalEnvelope(&b.Envelopes[i]))
+func sizeBlockData(envelopes []Envelope) int {
+	n := 0
+	for i := range envelopes {
+		n += wire.SizeBytesField(1, sizeEnvelope(&envelopes[i]))
 	}
-	out = wire.AppendBytes(out, fBlockData, data)
-	out = wire.AppendBytes(out, fBlockMeta, marshalMetadata(&b.Metadata))
-	return out
+	return n
 }
 
-// Unmarshal decodes a complete block.
+// Size reports the exact marshaled size of a block, letting callers
+// allocate (or pool) the output buffer once.
+func Size(b *Block) int {
+	n := 0
+	if h := sizeHeader(&b.Header); h > 0 {
+		n += wire.SizeBytesField(fBlockHeader, h)
+	}
+	if d := sizeBlockData(b.Envelopes); d > 0 {
+		n += wire.SizeBytesField(fBlockData, d)
+	}
+	if m := sizeMetadata(&b.Metadata); m > 0 {
+		n += wire.SizeBytesField(fBlockMeta, m)
+	}
+	return n
+}
+
+// AppendBlock appends the marshaled block to dst and returns the extended
+// slice. Sub-message sizes are precomputed, so marshaling into a buffer of
+// capacity Size(b) performs no allocation at all — the pooled fast path for
+// callers that own the buffer's lifetime (ledger append, wire frames).
+func AppendBlock(dst []byte, b *Block) []byte {
+	if h := sizeHeader(&b.Header); h > 0 {
+		dst = wire.AppendTag(dst, fBlockHeader, wire.TypeBytes)
+		dst = wire.AppendVarint(dst, uint64(h))
+		dst = appendHeader(dst, &b.Header)
+	}
+	if d := sizeBlockData(b.Envelopes); d > 0 {
+		dst = wire.AppendTag(dst, fBlockData, wire.TypeBytes)
+		dst = wire.AppendVarint(dst, uint64(d))
+		for i := range b.Envelopes {
+			e := &b.Envelopes[i]
+			dst = wire.AppendTag(dst, 1, wire.TypeBytes)
+			dst = wire.AppendVarint(dst, uint64(sizeEnvelope(e)))
+			dst = appendEnvelope(dst, e)
+		}
+	}
+	if m := sizeMetadata(&b.Metadata); m > 0 {
+		dst = wire.AppendTag(dst, fBlockMeta, wire.TypeBytes)
+		dst = wire.AppendVarint(dst, uint64(m))
+		dst = appendMetadata(dst, &b.Metadata)
+	}
+	return dst
+}
+
+// Marshal encodes a complete block in one exact-size allocation.
+func Marshal(b *Block) []byte {
+	return AppendBlock(make([]byte, 0, Size(b)), b)
+}
+
+// Unmarshal decodes a complete block. The result aliases data (see the
+// package comment); use UnmarshalCopy when the buffer will be reused.
+//
+// The top-level block message is a closed format: exactly the header, data
+// and metadata fields, each at most once. Anything else — in particular
+// trailing bytes that happen to look like additional fields — is rejected
+// as malformed rather than silently skipped, so a block record followed by
+// garbage can never decode cleanly.
 func Unmarshal(data []byte) (*Block, error) {
 	b := &Block{}
 	r := wire.NewReader(data)
+	var seenHeader, seenData, seenMeta bool
 	for {
 		num, wt, ok := r.Next()
 		if !ok {
 			break
 		}
+		if wt != wire.TypeBytes {
+			return nil, fmt.Errorf("%w: block field %d has wire type %d", ErrMalformed, num, wt)
+		}
 		switch num {
 		case fBlockHeader:
+			if seenHeader {
+				return nil, fmt.Errorf("%w: duplicate block header field", ErrMalformed)
+			}
+			seenHeader = true
 			h, err := UnmarshalHeader(r.Bytes())
 			if err != nil {
 				return nil, err
 			}
 			b.Header = *h
 		case fBlockData:
+			if seenData {
+				return nil, fmt.Errorf("%w: duplicate block data field", ErrMalformed)
+			}
+			seenData = true
 			dr := wire.NewReader(r.Bytes())
 			for {
 				dn, dwt, dok := dr.Next()
@@ -896,13 +1036,17 @@ func Unmarshal(data []byte) (*Block, error) {
 				return nil, fmt.Errorf("%w: block data: %v", ErrMalformed, err)
 			}
 		case fBlockMeta:
+			if seenMeta {
+				return nil, fmt.Errorf("%w: duplicate block metadata field", ErrMalformed)
+			}
+			seenMeta = true
 			m, err := unmarshalMetadata(r.Bytes())
 			if err != nil {
 				return nil, err
 			}
 			b.Metadata = *m
 		default:
-			r.Skip(wt)
+			return nil, fmt.Errorf("%w: unknown top-level block field %d", ErrMalformed, num)
 		}
 	}
 	if err := r.Err(); err != nil {
@@ -911,16 +1055,31 @@ func Unmarshal(data []byte) (*Block, error) {
 	return b, nil
 }
 
+// UnmarshalCopy decodes a complete block into structures that do NOT alias
+// data: the input is copied once up front, so the caller may mutate or
+// recycle its buffer immediately. This is the copy-on-write escape hatch of
+// the zero-copy contract; the hot commit path uses Unmarshal.
+func UnmarshalCopy(data []byte) (*Block, error) {
+	return Unmarshal(append([]byte(nil), data...))
+}
+
 // --- hashing and signing contracts ---
 
 // DataHash computes the block data hash: SHA-256 over the concatenation of
-// the marshaled envelopes, as Fabric hashes BlockData.
+// the marshaled envelopes, as Fabric hashes BlockData. The marshal staging
+// buffer is pooled — it never escapes this function.
 func DataHash(envelopes []Envelope) []byte {
-	var h fabcrypto.StreamHasher
+	n := 0
 	for i := range envelopes {
-		h.Write(MarshalEnvelope(&envelopes[i]))
+		n += sizeEnvelope(&envelopes[i])
 	}
-	return h.Sum()
+	buf := wire.GetBuf(n)
+	for i := range envelopes {
+		buf = appendEnvelope(buf, &envelopes[i])
+	}
+	d := fabcrypto.HashSlice(buf)
+	wire.PutBuf(buf)
+	return d
 }
 
 // HeaderHash computes the block hash (digest of the marshaled header).

@@ -43,6 +43,7 @@ import (
 	"bmac/internal/peer"
 	"bmac/internal/raft"
 	"bmac/internal/statedb"
+	"bmac/internal/wire"
 )
 
 // Validation path modes for the software peers.
@@ -194,6 +195,14 @@ type Result struct {
 	// BMacDelivery is the hardware path's delivery pipe (zero value
 	// without a BMac peer).
 	BMacDelivery delivery.PeerStats
+	// SigCacheHitRate and ParseCacheHitRate report THIS run's traffic on
+	// the shared hot-path caches (crypto.sig_cache_size /
+	// hotpath.parse_cache_size), computed from stat deltas so reusing one
+	// Config across several runs does not blend their rates. Every peer in
+	// the process shares the caches, so repeated signatures and envelopes
+	// across the fan-out cost their decode once.
+	SigCacheHitRate   float64
+	ParseCacheHitRate float64
 	// Converged reports whether every fast peer finished with the same
 	// ledger height, state hash and commit hash (slow peers may lag or
 	// drop by design and are excluded).
@@ -268,6 +277,14 @@ func (p *swPeer) fail(err error) {
 	p.mu.Unlock()
 }
 
+// deltaRate is hits/(hits+misses) over a counter delta, 0 when idle.
+func deltaRate(hits, misses int64) float64 {
+	if hits+misses <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // Run executes one cluster experiment: build, bootstrap, drive, drain,
 // report. dir receives the peers' ledgers.
 func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
@@ -283,6 +300,17 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The load-driving hot path never reads the statedb access counters,
+	// so they are pure per-access overhead here: run the cluster with
+	// counting off (the experiment harness keeps them on, it reports them).
+	hot := *cfg
+	hot.StateDB.NoCountAccesses = true
+	cfg = &hot
+	wire.SetBufferPooling(!cfg.Hotpath.NoMarshalPool)
+	// Snapshot the shared caches' counters so the report reflects this
+	// run's traffic, not whatever a previous run on the same Config did.
+	sigH0, sigM0, _ := cfg.SigCache().Stats()
+	parH0, parM0 := cfg.ParseCache().Stats()
 	net, err := cfg.BuildNetwork()
 	if err != nil {
 		return nil, err
@@ -708,12 +736,16 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	}
 
 	// Report.
+	sigH1, sigM1, _ := cfg.SigCache().Stats()
+	parH1, parM1 := cfg.ParseCache().Stats()
 	res := &Result{
-		Mode:      opts.Mode,
-		RaftNodes: opts.RaftNodes,
-		Submitted: submitted,
-		Late:      late,
-		SWLatency: gen.Latency(),
+		Mode:              opts.Mode,
+		RaftNodes:         opts.RaftNodes,
+		Submitted:         submitted,
+		Late:              late,
+		SWLatency:         gen.Latency(),
+		SigCacheHitRate:   deltaRate(sigH1-sigH0, sigM1-sigM0),
+		ParseCacheHitRate: deltaRate(parH1-parH0, parM1-parM0),
 	}
 	peers[0].mu.Lock()
 	res.Blocks = peers[0].blocks
@@ -836,7 +868,11 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 			ln.Close()
 			return nil, err
 		}
-		sw, err := peer.NewDurableSWPeer(valCfg, statedb.NewStore(), dir, dopts)
+		store := statedb.NewStore()
+		if cfg.StateDB.NoCountAccesses {
+			store.SetCountAccesses(false)
+		}
+		sw, err := peer.NewDurableSWPeer(valCfg, store, dir, dopts)
 		if err != nil {
 			ln.Close()
 			return nil, err

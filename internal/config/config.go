@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"bmac/internal/core"
+	"bmac/internal/fabcrypto"
 	"bmac/internal/hwsim"
 	"bmac/internal/identity"
 	"bmac/internal/pipeline"
@@ -72,6 +74,37 @@ const (
 	BackendSharded = "sharded" // lock-striped ShardedStore
 )
 
+// CryptoSpec parameterizes the process-wide verification accelerators of
+// the commit hot path.
+type CryptoSpec struct {
+	// SigCacheSize bounds the shared signature-verification cache
+	// (fabcrypto.SigCache) in verdicts; 0 disables it. Every validation
+	// path built from one Config shares one cache, so a signature is
+	// ECDSA-verified once per process no matter how many peers see it.
+	SigCacheSize int
+	// BatchVerifyWorkers > 1 fans each transaction's endorsement checks
+	// across a worker pool (fabcrypto.VerifyBatch); 0 or 1 verifies
+	// sequentially.
+	BatchVerifyWorkers int
+	// CertCacheSize bounds the shared parsed-certificate cache
+	// (fabcrypto.CertCache) in certificates; 0 disables it. The same
+	// handful of identity certs recurs in every transaction, and parsing
+	// them rivals the ECDSA math in allocations.
+	CertCacheSize int
+}
+
+// HotpathSpec parameterizes the remaining hot-path optimizations.
+type HotpathSpec struct {
+	// ParseCacheSize bounds the parse-once envelope interning table
+	// (validator.ParseCache) in envelopes; 0 disables it. Shared across
+	// every validation path built from one Config.
+	ParseCacheSize int
+	// NoMarshalPool disables the process-wide pooled marshal buffers
+	// (wire.SetBufferPooling); pooling is on by default and the knob
+	// exists for differential testing and benchmarking.
+	NoMarshalPool bool
+}
+
 // StateDBSpec selects and parameterizes the parallel peer's state-database
 // backend (paper §5's database-scaling proposal).
 type StateDBSpec struct {
@@ -86,6 +119,11 @@ type StateDBSpec struct {
 	// HostReadLatencyUS models the host/PCIe access cost, in microseconds,
 	// paid by a hybrid cache-miss read; 0 disables the model.
 	HostReadLatencyUS int
+	// NoCountAccesses disables the backend's read/write access counters
+	// (statedb.KVS.SetCountAccesses). Counting defaults to on — the
+	// experiments report the counters — and load-driving cluster runs
+	// turn it off because the per-access atomics are pure overhead there.
+	NoCountAccesses bool
 }
 
 // Delivery policy names accepted by DeliverySpec.Policy.
@@ -137,6 +175,57 @@ type Config struct {
 	StateDB    StateDBSpec
 	Delivery   DeliverySpec
 	Durability DurabilitySpec
+	Crypto     CryptoSpec
+	Hotpath    HotpathSpec
+
+	// caches memoizes the shared verification/parse caches behind a
+	// pointer, so copying a Config (the cluster harness derives per-peer
+	// variants that way) shares the same instances instead of copying
+	// lock state. Every validator/pipeline configuration materialized
+	// from this Config — sequential, pipelined, BMac cross-check — uses
+	// the same caches, which is what makes a signature or envelope cost
+	// its decode exactly once per process.
+	caches *hotCaches
+}
+
+type hotCaches struct {
+	sigOnce   sync.Once
+	sig       *fabcrypto.SigCache
+	certOnce  sync.Once
+	cert      *fabcrypto.CertCache
+	parseOnce sync.Once
+	parse     *validator.ParseCache
+}
+
+func (c *Config) ensureCaches() *hotCaches {
+	if c.caches == nil {
+		c.caches = &hotCaches{}
+	}
+	return c.caches
+}
+
+// SigCache returns the Config's shared signature-verification cache,
+// creating it on first use; nil when crypto.sig_cache_size is 0.
+func (c *Config) SigCache() *fabcrypto.SigCache {
+	h := c.ensureCaches()
+	h.sigOnce.Do(func() { h.sig = fabcrypto.NewSigCache(c.Crypto.SigCacheSize) })
+	return h.sig
+}
+
+// CertCache returns the Config's shared parsed-certificate cache,
+// creating it on first use; nil when crypto.cert_cache_size is 0.
+func (c *Config) CertCache() *fabcrypto.CertCache {
+	h := c.ensureCaches()
+	h.certOnce.Do(func() { h.cert = fabcrypto.NewCertCache(c.Crypto.CertCacheSize) })
+	return h.cert
+}
+
+// ParseCache returns the Config's shared parse-once interning table,
+// creating it on first use; nil when hotpath.parse_cache_size is 0.
+func (c *Config) ParseCache() *validator.ParseCache {
+	h := c.ensureCaches()
+	h.parseOnce.Do(func() { h.parse = validator.NewParseCache(c.Hotpath.ParseCacheSize) })
+	return h.parse
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -157,6 +246,9 @@ func Default() *Config {
 			DBCapacity:   8192,
 			MaxBlockTxs:  256,
 		},
+		Crypto:  CryptoSpec{SigCacheSize: 16384, CertCacheSize: 4096},
+		Hotpath: HotpathSpec{ParseCacheSize: 8192},
+		caches:  &hotCaches{},
 	}
 }
 
@@ -175,7 +267,7 @@ func Parse(raw []byte) (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := &Config{}
+	cfg := &Config{caches: &hotCaches{}}
 	if s, ok := yamllite.GetString(root, "channel"); ok {
 		cfg.Channel = s
 	} else {
@@ -281,6 +373,27 @@ func Parse(raw []byte) (*Config, error) {
 		}
 	}
 
+	if cr, ok := yamllite.GetMap(root, "crypto"); ok {
+		if v, ok := yamllite.GetInt(cr, "sig_cache_size"); ok {
+			cfg.Crypto.SigCacheSize = int(v)
+		}
+		if v, ok := yamllite.GetInt(cr, "batch_verify_workers"); ok {
+			cfg.Crypto.BatchVerifyWorkers = int(v)
+		}
+		if v, ok := yamllite.GetInt(cr, "cert_cache_size"); ok {
+			cfg.Crypto.CertCacheSize = int(v)
+		}
+	}
+
+	if hp, ok := yamllite.GetMap(root, "hotpath"); ok {
+		if v, ok := yamllite.GetInt(hp, "parse_cache_size"); ok {
+			cfg.Hotpath.ParseCacheSize = int(v)
+		}
+		if v, ok := yamllite.GetBool(hp, "marshal_pool"); ok {
+			cfg.Hotpath.NoMarshalPool = !v
+		}
+	}
+
 	if sdb, ok := yamllite.GetMap(root, "statedb"); ok {
 		if v, ok := yamllite.GetString(sdb, "backend"); ok {
 			cfg.StateDB.Backend = v
@@ -293,6 +406,9 @@ func Parse(raw []byte) (*Config, error) {
 		}
 		if v, ok := yamllite.GetInt(sdb, "host_read_latency_us"); ok {
 			cfg.StateDB.HostReadLatencyUS = int(v)
+		}
+		if v, ok := yamllite.GetBool(sdb, "count_accesses"); ok {
+			cfg.StateDB.NoCountAccesses = !v
 		}
 	}
 	return cfg, cfg.Validate()
@@ -344,17 +460,27 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("%w: durability checkpoint_every=%d must be >= 0",
 			ErrInvalid, c.Durability.CheckpointEvery)
 	}
+	if c.Crypto.SigCacheSize < 0 || c.Crypto.BatchVerifyWorkers < 0 || c.Crypto.CertCacheSize < 0 {
+		return fmt.Errorf("%w: crypto sig_cache_size=%d batch_verify_workers=%d cert_cache_size=%d must be >= 0",
+			ErrInvalid, c.Crypto.SigCacheSize, c.Crypto.BatchVerifyWorkers, c.Crypto.CertCacheSize)
+	}
+	if c.Hotpath.ParseCacheSize < 0 {
+		return fmt.Errorf("%w: hotpath parse_cache_size=%d must be >= 0",
+			ErrInvalid, c.Hotpath.ParseCacheSize)
+	}
 	return nil
 }
 
 // NewKVS materializes the configured state-database backend for a software
-// peer. Every call returns a fresh, empty database.
+// peer. Every call returns a fresh, empty database with the configured
+// access-counting mode applied.
 func (c *Config) NewKVS() (statedb.KVS, error) {
+	var kvs statedb.KVS
 	switch c.StateDB.Backend {
 	case "", BackendMemory:
-		return statedb.NewStore(), nil
+		kvs = statedb.NewStore()
 	case BackendSharded:
-		return statedb.NewShardedStore(c.StateDB.Shards), nil
+		kvs = statedb.NewShardedStore(c.StateDB.Shards)
 	case BackendHybrid:
 		capacity := c.StateDB.Capacity
 		if capacity == 0 {
@@ -362,10 +488,14 @@ func (c *Config) NewKVS() (statedb.KVS, error) {
 		}
 		h := statedb.NewHybridKVS(capacity, statedb.NewStore())
 		h.SetHostReadLatency(time.Duration(c.StateDB.HostReadLatencyUS) * time.Microsecond)
-		return h, nil
+		kvs = h
 	default:
 		return nil, fmt.Errorf("%w: statedb backend %q", ErrInvalid, c.StateDB.Backend)
 	}
+	if c.StateDB.NoCountAccesses {
+		kvs.SetCountAccesses(false)
+	}
+	return kvs, nil
 }
 
 // Policies compiles the sequential (software) policy table.
@@ -415,7 +545,14 @@ func (c *Config) ValidatorConfig(workers int) (validator.Config, error) {
 	if err != nil {
 		return validator.Config{}, err
 	}
-	return validator.Config{Workers: workers, Policies: pols}, nil
+	return validator.Config{
+		Workers:            workers,
+		Policies:           pols,
+		SigCache:           c.SigCache(),
+		CertCache:          c.CertCache(),
+		BatchVerifyWorkers: c.Crypto.BatchVerifyWorkers,
+		ParseCache:         c.ParseCache(),
+	}, nil
 }
 
 // PipelineConfig materializes the parallel commit engine configuration from
@@ -426,11 +563,15 @@ func (c *Config) PipelineConfig() (pipeline.Config, error) {
 		return pipeline.Config{}, err
 	}
 	return pipeline.Config{
-		Workers:         c.Pipeline.Workers,
-		Depth:           c.Pipeline.Depth,
-		Policies:        pols,
-		Prefetch:        c.Pipeline.Prefetch,
-		PrefetchWorkers: c.Pipeline.PrefetchWorkers,
+		Workers:            c.Pipeline.Workers,
+		Depth:              c.Pipeline.Depth,
+		Policies:           pols,
+		Prefetch:           c.Pipeline.Prefetch,
+		PrefetchWorkers:    c.Pipeline.PrefetchWorkers,
+		SigCache:           c.SigCache(),
+		CertCache:          c.CertCache(),
+		BatchVerifyWorkers: c.Crypto.BatchVerifyWorkers,
+		ParseCache:         c.ParseCache(),
 	}, nil
 }
 

@@ -55,6 +55,7 @@ func FigCluster(opts Options) (*metrics.Table, error) {
 	tbl := &metrics.Table{Header: []string{
 		"path", "peers", "blocks", "txs", "valid", "tps",
 		"p50", "p95", "p99", "hw_p99", "slow_lag", "slow_drop", "fast_lag",
+		"sig$%", "parse$%",
 	}}
 	for _, mode := range cluster.Modes() {
 		copts.Mode = mode
@@ -85,6 +86,8 @@ func FigCluster(opts Options) (*metrics.Table, error) {
 			fmt.Sprintf("%d", slowLag),
 			fmt.Sprintf("%d", slowDrop),
 			fmt.Sprintf("%d", fastLag),
+			fmt.Sprintf("%.0f%%", res.SigCacheHitRate*100),
+			fmt.Sprintf("%.0f%%", res.ParseCacheHitRate*100),
 		)
 	}
 	return tbl, nil

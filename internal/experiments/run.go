@@ -44,6 +44,7 @@ func Names() []string {
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
 		"headline", "ablations", "pipeline", "hybrid", "cluster", "churn",
+		"hotpath",
 	}
 }
 
@@ -65,6 +66,7 @@ var Titles = map[string]string{
 	"hybrid":    "Hybrid: §5 hardware/host database — hit rate and prefetch latency hiding vs capacity and Zipf skew",
 	"cluster":   "Cluster: open-loop load through the non-blocking delivery service — throughput, tail latency and slow-peer isolation per validation path",
 	"churn":     "Churn: kill a peer mid-run, restart from checkpoint + ledger replay, catch up through the orderer ledger — convergence per validation path",
+	"hotpath":   "Hotpath: commit hot-path micro/macro benchmarks — verify cache, batch ECDSA, parse-once, pooled marshal — each vs its off baseline (ns/op, allocs/op, hit rates)",
 }
 
 // Run executes one experiment by id.
@@ -102,6 +104,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return FigCluster(r.opts)
 	case "churn":
 		return FigChurn(r.opts)
+	case "hotpath":
+		return FigHotpath(r.env, r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

@@ -283,9 +283,13 @@ func PublicKeyFromCert(der []byte) (*ecdsa.PublicKey, error) {
 	}
 	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
 	if !ok {
-		return nil, fmt.Errorf("certificate %q: not an ECDSA key", cert.Subject.CommonName)
+		return nil, errNotECDSA(cert)
 	}
 	return pub, nil
+}
+
+func errNotECDSA(cert *x509.Certificate) error {
+	return fmt.Errorf("certificate %q: not an ECDSA key", cert.Subject.CommonName)
 }
 
 // MarshalPublicKey encodes an ECDSA public key in uncompressed point form

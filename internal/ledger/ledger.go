@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"bmac/internal/block"
+	"bmac/internal/wire"
 )
 
 var (
@@ -252,7 +253,11 @@ func (l *Ledger) Commit(b *block.Block) ([]byte, error) {
 
 	b.Metadata.CommitHash = block.CommitHash(l.commitHash, b.Header.DataHash, b.Metadata.ValidationFlags)
 
-	data := block.Marshal(b)
+	// The marshal buffer's lifetime is exactly this append (bufio.Write
+	// consumes the bytes before returning), so it comes from the pool:
+	// steady-state ledger commits allocate nothing for marshaling.
+	data := block.AppendBlock(wire.GetBuf(block.Size(b)), b)
+	defer wire.PutBuf(data)
 	var lenBuf [8]byte
 	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(data)))
 	if _, err := l.w.Write(lenBuf[:]); err != nil {

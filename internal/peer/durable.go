@@ -48,7 +48,7 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 	if err != nil {
 		return nil, fmt.Errorf("sw peer ledger: %w", err)
 	}
-	if _, err := RecoverState(kvs, led, dir); err != nil {
+	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
 		led.Close()
 		return nil, err
 	}
@@ -68,7 +68,7 @@ func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, op
 	if err != nil {
 		return nil, fmt.Errorf("parallel peer ledger: %w", err)
 	}
-	if _, err := RecoverState(kvs, led, dir); err != nil {
+	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
 		led.Close()
 		return nil, err
 	}
@@ -91,6 +91,13 @@ func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, op
 // ledger alone cannot reproduce state that predates block 0 (bootstrap
 // genesis data lives only in checkpoints).
 func RecoverState(kvs statedb.KVS, led *ledger.Ledger, dir string) (uint64, error) {
+	return recoverState(kvs, led, dir, nil)
+}
+
+// recoverState is RecoverState with an optional parse-once cache: a replay
+// in a process whose live paths share the cache both reuses their work and
+// pre-warms it for the blocks still to come.
+func recoverState(kvs statedb.KVS, led *ledger.Ledger, dir string, pc *validator.ParseCache) (uint64, error) {
 	start := uint64(0)
 	snap, h, err := statedb.LoadCheckpoint(filepath.Join(dir, CheckpointFile))
 	switch {
@@ -111,7 +118,7 @@ func RecoverState(kvs statedb.KVS, led *ledger.Ledger, dir string) (uint64, erro
 		if err != nil {
 			return 0, fmt.Errorf("peer: recovery replay block %d: %w", n, err)
 		}
-		if err := replayBlock(kvs, b); err != nil {
+		if err := replayBlock(kvs, b, pc); err != nil {
 			return 0, err
 		}
 	}
@@ -122,13 +129,13 @@ func RecoverState(kvs statedb.KVS, led *ledger.Ledger, dir string) (uint64, erro
 // write sets of transactions whose recorded validation flag is Valid,
 // decoded through the validator's own transaction parser (the same code
 // path the live commit used), applied at the same versions.
-func replayBlock(kvs statedb.KVS, b *block.Block) error {
+func replayBlock(kvs statedb.KVS, b *block.Block, pc *validator.ParseCache) error {
 	flags := b.Metadata.ValidationFlags
 	for i := range b.Envelopes {
 		if i >= len(flags) || block.ValidationCode(flags[i]) != block.Valid {
 			continue
 		}
-		pt := validator.ParseTx(b.Envelopes[i].PayloadBytes)
+		pt, _ := pc.ParseTx(b.Envelopes[i].PayloadBytes)
 		if pt.Err != nil {
 			return fmt.Errorf("peer: replay block %d tx %d: %w", b.Header.Number, i, pt.Err)
 		}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bmac/internal/block"
+	"bmac/internal/fabcrypto"
 	"bmac/internal/ledger"
 	"bmac/internal/policy"
 	"bmac/internal/statedb"
@@ -33,6 +35,26 @@ type Config struct {
 	Prefetch bool
 	// PrefetchWorkers bounds the warm-up reader pool (default Workers).
 	PrefetchWorkers int
+	// SigCache memoizes signature verdicts across blocks and across every
+	// path sharing the cache (see validator.Config.SigCache). Optional.
+	SigCache *fabcrypto.SigCache
+	// CertCache interns parsed X.509 identity certificates (see
+	// validator.Config.CertCache). Optional.
+	CertCache *fabcrypto.CertCache
+	// BatchVerifyWorkers > 1 fans each transaction's endorsement checks
+	// across a worker pool in the vscc stage.
+	BatchVerifyWorkers int
+	// ParseCache interns ParseTx results by payload hash (parse-once, see
+	// validator.Config.ParseCache). Optional.
+	ParseCache *validator.ParseCache
+}
+
+func (c *Config) verifyOpts() validator.VerifyOpts {
+	return validator.VerifyOpts{
+		SigCache:     c.SigCache,
+		CertCache:    c.CertCache,
+		BatchWorkers: c.BatchVerifyWorkers,
+	}
 }
 
 // Result is the outcome of one block, identical in content to the
@@ -185,10 +207,18 @@ func (e *Engine) parseStage(in <-chan *job, next chan<- *job) {
 		j.b = b
 		j.txs = make([]validator.ParsedTx, len(b.Envelopes))
 		// Fan the per-transaction payload decoding out across workers —
-		// the sequential validator decodes one transaction at a time.
+		// the sequential validator decodes one transaction at a time. With
+		// a ParseCache, payloads any sharing path already decoded are
+		// served from the interning table instead of re-walked.
+		var parseHits atomic.Int64
 		parallelFor(len(j.txs), e.cfg.Workers, func(i int) {
-			j.txs[i] = validator.ParseTx(b.Envelopes[i].PayloadBytes)
+			var hit bool
+			j.txs[i], hit = e.cfg.ParseCache.ParseTx(b.Envelopes[i].PayloadBytes)
+			if hit {
+				parseHits.Add(1)
+			}
 		})
+		j.bd.ParseCacheHits += int(parseHits.Load())
 		j.bd.Unmarshal = time.Since(t)
 		// Read sets are known now: kick off the async warm-up so backend
 		// misses resolve while this block is in the vscc stage.
@@ -211,7 +241,7 @@ func (e *Engine) verifyStage(in <-chan *job, next chan<- *job) {
 		j.res = &Result{BlockNum: j.b.Header.Number, Flags: make([]byte, len(j.txs))}
 
 		t := time.Now()
-		blockErr := validator.VerifyOrderer(j.b, &j.bd)
+		blockErr := validator.VerifyOrdererOpts(j.b, e.cfg.verifyOpts(), &j.bd)
 		j.bd.BlockVerify = time.Since(t)
 		if blockErr != nil {
 			for i := range j.res.Flags {
@@ -227,13 +257,15 @@ func (e *Engine) verifyStage(in <-chan *job, next chan<- *job) {
 		t = time.Now()
 		locals := make([]validator.Breakdown, len(j.txs))
 		parallelFor(len(j.txs), e.cfg.Workers, func(i int) {
-			j.res.Flags[i] = byte(validator.VSCCOne(&j.b.Envelopes[i], &j.txs[i], e.cfg.Policies, &locals[i]))
+			j.res.Flags[i] = byte(validator.VSCCOneOpts(&j.b.Envelopes[i], &j.txs[i], e.cfg.Policies, e.cfg.verifyOpts(), &locals[i]))
 		})
 		for i := range locals {
 			j.bd.ECDSATime += locals[i].ECDSATime
 			j.bd.ECDSACount += locals[i].ECDSACount
 			j.bd.SHA256Time += locals[i].SHA256Time
 			j.bd.SHA256Count += locals[i].SHA256Count
+			j.bd.SigCacheHits += locals[i].SigCacheHits
+			j.bd.SigCacheTime += locals[i].SigCacheTime
 		}
 		j.bd.VerifyVSCC = time.Since(t)
 		next <- j

@@ -66,6 +66,11 @@ func (h *HybridKVS) SetHostReadLatency(d time.Duration) { h.hostLatency = d }
 // Capacity returns the configured in-hardware entry capacity.
 func (h *HybridKVS) Capacity() int { return h.capacity }
 
+// SetCountAccesses is a no-op: the hybrid database's hit/miss/host counters
+// double as its cache telemetry and are maintained under a mutex it already
+// holds, so disabling them would save nothing.
+func (h *HybridKVS) SetCountAccesses(bool) {}
+
 // Host returns the backing host store.
 func (h *HybridKVS) Host() *Store { return h.host }
 

@@ -34,6 +34,14 @@ type KVS interface {
 	// AccessCounts reports cumulative reads and writes (experiment
 	// metrics).
 	AccessCounts() (reads, writes int)
+	// SetCountAccesses enables or disables the access counters feeding
+	// AccessCounts. Counting defaults to on (the experiment-friendly
+	// setting); load-driving hot paths that never read the counters turn
+	// it off, reducing each access's accounting cost to one predicted
+	// branch. Backends whose counters are free by construction (e.g.
+	// HybridKVS, which counts under a mutex it already holds) may treat
+	// this as a no-op.
+	SetCountAccesses(on bool)
 	// Snapshot returns a copy of the authoritative database contents.
 	Snapshot() map[string]VersionedValue
 }

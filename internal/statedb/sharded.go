@@ -21,6 +21,8 @@ import (
 type ShardedStore struct {
 	shards []shardedStripe
 
+	// count gates the access counters (see Store.SetCountAccesses).
+	count  atomic.Bool
 	reads  atomic.Int64
 	writes atomic.Int64
 }
@@ -40,11 +42,17 @@ func NewShardedStore(n int) *ShardedStore {
 		n = DefaultShards
 	}
 	s := &ShardedStore{shards: make([]shardedStripe, n)}
+	s.count.Store(true)
 	for i := range s.shards {
 		s.shards[i].data = make(map[string]VersionedValue)
 	}
 	return s
 }
+
+// SetCountAccesses enables or disables the read/write access counters
+// (enabled by default); disabled counters are one predicted branch per
+// access.
+func (s *ShardedStore) SetCountAccesses(on bool) { s.count.Store(on) }
 
 // ShardCount reports the number of lock stripes.
 func (s *ShardedStore) ShardCount() int { return len(s.shards) }
@@ -73,7 +81,9 @@ func (s *ShardedStore) Get(key string) (VersionedValue, error) {
 	sh.mu.RLock()
 	v, ok := sh.data[key]
 	sh.mu.RUnlock()
-	s.reads.Add(1)
+	if s.count.Load() {
+		s.reads.Add(1)
+	}
 	if !ok {
 		return VersionedValue{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
@@ -86,7 +96,9 @@ func (s *ShardedStore) Version(key string) (block.Version, bool) {
 	sh.mu.RLock()
 	v, ok := sh.data[key]
 	sh.mu.RUnlock()
-	s.reads.Add(1)
+	if s.count.Load() {
+		s.reads.Add(1)
+	}
 	return v.Version, ok
 }
 
@@ -110,7 +122,9 @@ func (s *ShardedStore) WriteBatch(writes []block.KVWrite, ver block.Version) {
 		sh.mu.Lock()
 		sh.data[w.Key] = VersionedValue{Value: val, Version: ver}
 		sh.mu.Unlock()
-		s.writes.Add(1)
+		if s.count.Load() {
+			s.writes.Add(1)
+		}
 		return
 	}
 	byShard := make(map[int][]block.KVWrite)
@@ -127,7 +141,9 @@ func (s *ShardedStore) WriteBatch(writes []block.KVWrite, ver block.Version) {
 			sh.data[w.Key] = VersionedValue{Value: val, Version: ver}
 		}
 		sh.mu.Unlock()
-		s.writes.Add(int64(len(ws)))
+		if s.count.Load() {
+			s.writes.Add(int64(len(ws)))
+		}
 	}
 }
 

@@ -134,6 +134,17 @@ func SizeBytesField(num, payloadLen int) int {
 	return SizeVarint(uint64(num)<<3) + SizeVarint(uint64(payloadLen)) + payloadLen
 }
 
+// SizeUintField reports the full encoded size of a varint field, honoring
+// AppendUint's zero-elision (0 bytes for v == 0). Together with
+// SizeBytesField it lets marshalers precompute an exact message size and
+// allocate once instead of append-growing.
+func SizeUintField(num int, v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return SizeVarint(uint64(num)<<3) + SizeVarint(v)
+}
+
 // Reader iterates over the fields of a single marshaled message. The zero
 // value is an exhausted reader; construct with NewReader.
 type Reader struct {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# benchgate.sh — benchmark-regression smoke gate for the commit hot path.
+#
+# Re-measures the hotpath suite in quick mode and compares allocs/op
+# against the committed baseline record (BENCH_hotpath.json at the repo
+# root), failing when any benchmark's allocations regress past the
+# tolerance. Wall time is deliberately NOT gated — only allocation counts
+# are stable enough across CI machines.
+#
+# Usage: scripts/benchgate.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_hotpath.json}"
+if [ ! -f "$baseline" ]; then
+    echo "benchgate: baseline $baseline not found" >&2
+    echo "benchgate: regenerate with: go run ./cmd/bmacbench -exp hotpath -json $baseline" >&2
+    exit 1
+fi
+
+exec go run ./cmd/bmacbench -exp hotpath -quick -gate "$baseline"

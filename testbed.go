@@ -18,6 +18,7 @@ import (
 	"bmac/internal/peer"
 	"bmac/internal/raft"
 	"bmac/internal/statedb"
+	"bmac/internal/wire"
 )
 
 // Workload generates benchmark transactions; the concrete workloads mirror
@@ -82,6 +83,9 @@ func NewTestbed(cfg *Config, dir string) (*Testbed, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Hot-path marshal pooling is a process-wide switch; apply the config's
+	// choice before any block is built or delivered.
+	wire.SetBufferPooling(!cfg.Hotpath.NoMarshalPool)
 	net, err := cfg.BuildNetwork()
 	if err != nil {
 		return nil, err
