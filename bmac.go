@@ -28,6 +28,7 @@ import (
 	"bmac/internal/delivery"
 	"bmac/internal/experiments"
 	"bmac/internal/metrics"
+	"bmac/internal/telemetry"
 	"bmac/internal/validator"
 )
 
@@ -166,4 +167,33 @@ func ParseDeliveryPolicy(s string) (DeliveryPolicy, error) { return delivery.Par
 // their ledgers under dir.
 func RunCluster(cfg *Config, opts ClusterOptions, dir string) (*ClusterResult, error) {
 	return cluster.Run(cfg, opts, dir)
+}
+
+// Telemetry plane: the unified metrics registry, the per-block lifecycle
+// flight recorder and the live /metrics + /debug/pprof + /trace HTTP server
+// (internal/telemetry). A Config's TelemetrySpec turns the plane on; every
+// instrument is nil-safe, so a disabled plane costs one predicted branch
+// per hot-path event.
+type (
+	// TelemetrySpec is the `telemetry:` configuration section.
+	TelemetrySpec = config.TelemetrySpec
+	// TelemetryRegistry is the process metrics registry.
+	TelemetryRegistry = telemetry.Registry
+	// TraceRecorder is the per-block lifecycle flight recorder.
+	TraceRecorder = telemetry.Recorder
+	// TraceBudget is the per-stage latency budget aggregated from a trace.
+	TraceBudget = telemetry.Budget
+	// TelemetryServer serves /metrics, /debug/pprof/* and /trace.
+	TelemetryServer = telemetry.Server
+)
+
+// NewTraceRecorder creates a flight recorder (inject via
+// ClusterOptions.Recorder to trace a cluster run and serve /trace live).
+func NewTraceRecorder() *TraceRecorder { return telemetry.NewRecorder() }
+
+// ServeTelemetry binds addr and serves the registry's /metrics exposition,
+// Go's /debug/pprof/* handlers and the recorder's /trace JSONL dump (either
+// may be nil). Close the returned server when done.
+func ServeTelemetry(addr string, reg *TelemetryRegistry, rec *TraceRecorder) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg, rec)
 }

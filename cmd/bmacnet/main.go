@@ -69,6 +69,9 @@ func run() error {
 		churn      = flag.Bool("churn", false, "cluster: kill the last fast peer mid-run and restart it from checkpoint + ledger replay")
 		churnAfter = flag.Int("churn-after", 0, "cluster: blocks the churned peer commits before the kill (0 = default 2)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "peer state checkpoint cadence in blocks (0 = config durability.checkpoint_every)")
+
+		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/pprof/* and /trace on this address (e.g. 127.0.0.1:9464); turns the telemetry plane on")
+		traceFile = flag.String("trace-file", "", "cluster: write the per-block lifecycle trace (JSONL) here after the run; turns the telemetry plane on")
 	)
 	flag.Parse()
 
@@ -92,8 +95,32 @@ func run() error {
 	if *prefetch {
 		cfg.Pipeline.Prefetch = true
 	}
+	if *telAddr != "" {
+		cfg.Telemetry.Enabled = true
+		cfg.Telemetry.Addr = *telAddr
+	}
+	if *traceFile != "" {
+		cfg.Telemetry.Enabled = true
+		cfg.Telemetry.TraceFile = *traceFile
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	// The telemetry plane: a per-run flight recorder (stamped by the
+	// cluster harness) plus the live HTTP endpoint, both optional. The
+	// server is up before the run starts so /metrics and /debug/pprof can
+	// watch the run in flight.
+	var rec *bmac.TraceRecorder
+	if cfg.Telemetry.Enabled {
+		rec = bmac.NewTraceRecorder()
+	}
+	if cfg.Telemetry.Addr != "" {
+		srv, err := bmac.ServeTelemetry(cfg.Telemetry.Addr, cfg.TelemetryRegistry(), rec)
+		if err != nil {
+			return fmt.Errorf("telemetry server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s (/metrics, /debug/pprof/, /trace)\n", srv.Addr())
 	}
 	var w bmac.Workload
 	switch *workload {
@@ -143,6 +170,7 @@ func run() error {
 			Churn:           *churn,
 			ChurnAfter:      *churnAfter,
 			CheckpointEvery: *ckptEvery,
+			Recorder:        rec,
 		}, workdir)
 	}
 
@@ -275,6 +303,12 @@ func runCluster(cfg *bmac.Config, opts bmac.ClusterOptions, dir string) error {
 		fmt.Printf("\nchurn: %s killed at height %d, recovered from %d (checkpoint + ledger replay), "+
 			"%d blocks caught up through the orderer ledger, %d restart(s)\n",
 			res.Churn.Peer, res.Churn.KillHeight, res.Churn.RecoveredAt, res.Churn.CaughtUp, res.Churn.Restarts)
+	}
+	if res.Budget != nil {
+		fmt.Printf("\n%s", res.Budget)
+		if res.TraceFile != "" {
+			fmt.Printf("trace: %d events -> %s\n", res.TraceEvents, res.TraceFile)
+		}
 	}
 	if res.Converged {
 		fmt.Println("fast peers converged: identical height, state hash and commit-hash chain")

@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -43,6 +44,8 @@ import (
 	"bmac/internal/peer"
 	"bmac/internal/raft"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
+	"bmac/internal/validator"
 	"bmac/internal/wire"
 )
 
@@ -109,6 +112,12 @@ type Options struct {
 	// CheckpointEvery overrides the peers' state checkpoint cadence in
 	// blocks (default: the config's durability.checkpoint_every).
 	CheckpointEvery int
+	// Recorder, when set, receives the per-block lifecycle trace (an
+	// injected recorder lets bmacnet serve /trace live while the run is in
+	// flight). When nil and the config's telemetry plane is enabled, the
+	// run creates its own per-run recorder, so block numbers never collide
+	// across consecutive runs on one Config.
+	Recorder *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +218,19 @@ type Result struct {
 	Converged bool
 	// Churn is the churn scenario summary (nil when Options.Churn is off).
 	Churn *ChurnReport
+	// Budget is the per-stage latency budget aggregated from the block
+	// lifecycle trace: where the end-to-end microseconds went, per stage,
+	// with its coverage of summed e2e latency. Nil without telemetry.
+	Budget *telemetry.Budget
+	// TraceEvents counts the spans the flight recorder captured.
+	TraceEvents int
+	// TraceFile is the JSONL trace path written (config telemetry.
+	// trace_file), empty when none was configured.
+	TraceFile string
+	// MetricsText is the final Prometheus exposition snapshot of the
+	// config's registry ("" without telemetry). Counters are process-
+	// cumulative: consecutive runs on one Config accumulate.
+	MetricsText string
 }
 
 // swPeer is one software gossip peer: listener, commit engine, counters.
@@ -269,6 +291,55 @@ func gossipDialer(a *peerAddr, slowDelay time.Duration) func() (delivery.Transpo
 	}
 }
 
+// submitWindow is one transaction's SubmitTx call wall-clock window.
+type submitWindow struct {
+	start, end time.Time
+}
+
+// submitTimes shares per-tx submit call windows between the load drivers
+// and the orderer's flight-recorder hook.
+type submitTimes struct {
+	mu    sync.Mutex
+	times map[string]submitWindow
+}
+
+func (s *submitTimes) record(txid string, w submitWindow) {
+	s.mu.Lock()
+	s.times[txid] = w
+	s.mu.Unlock()
+}
+
+// lookup is nil-receiver safe so the orderer hook can probe unconditionally.
+func (s *submitTimes) lookup(txid string) (submitWindow, bool) {
+	if s == nil {
+		return submitWindow{}, false
+	}
+	s.mu.Lock()
+	w, ok := s.times[txid]
+	s.mu.Unlock()
+	return w, ok
+}
+
+// tracedSubmitter wraps a load.Submitter and records each successful submit
+// call's window keyed by the returned transaction id. The record lands after
+// the inner call returns, so a transaction cut into a block synchronously
+// inside SubmitTx can be ordered before its window is visible — the orderer
+// hook falls back to contiguous anchors for such transactions.
+type tracedSubmitter struct {
+	inner load.Submitter
+	rec   *submitTimes
+}
+
+func (t *tracedSubmitter) SubmitTx() (string, error) {
+	start := time.Now()
+	txid, err := t.inner.SubmitTx()
+	if err != nil {
+		return txid, err
+	}
+	t.rec.record(txid, submitWindow{start: start, end: time.Now()})
+	return txid, nil
+}
+
 func (p *swPeer) fail(err error) {
 	p.mu.Lock()
 	if p.err == nil {
@@ -300,12 +371,20 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The load-driving hot path never reads the statedb access counters,
-	// so they are pure per-access overhead here: run the cluster with
-	// counting off (the experiment harness keeps them on, it reports them).
+	// With telemetry off, the load-driving hot path never reads the statedb
+	// access counters, so they are pure per-access overhead: run with
+	// counting off. With telemetry on the registry exports them as per-peer
+	// gauges, so they stay at their configured setting.
 	hot := *cfg
-	hot.StateDB.NoCountAccesses = true
+	if !hot.Telemetry.Enabled {
+		hot.StateDB.NoCountAccesses = true
+	}
 	cfg = &hot
+	reg := cfg.TelemetryRegistry() // nil when the telemetry plane is off
+	rec := opts.Recorder
+	if rec == nil && cfg.Telemetry.Enabled {
+		rec = telemetry.NewRecorder()
+	}
 	wire.SetBufferPooling(!cfg.Hotpath.NoMarshalPool)
 	// Snapshot the shared caches' counters so the report reflects this
 	// run's traffic, not whatever a previous run on the same Config did.
@@ -348,6 +427,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		BatchSize:    cfg.Arch.MaxBlockTxs,
 		BatchTimeout: 30 * time.Millisecond,
 		Channel:      cfg.Channel,
+		Metrics:      telemetry.NewOrdererMetrics(reg),
 	}, ordID, leader)
 	defer ord.Stop()
 	// The orderer's own block ledger: every created block is appended here
@@ -371,12 +451,26 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			p.close()
 		}
 	}()
+	// Per-peer state-database access counters, exported as scrape-time
+	// gauges (a churn restart re-registers the replacement store under the
+	// same name).
+	registerStateDB := func(p *swPeer) {
+		if reg == nil {
+			return
+		}
+		st := p.store
+		reg.GaugeFunc(telemetry.Name("statedb_reads_total", "peer", p.name),
+			func() int64 { r, _ := st.AccessCounts(); return int64(r) })
+		reg.GaugeFunc(telemetry.Name("statedb_writes_total", "peer", p.name),
+			func() int64 { _, w := st.AccessCounts(); return int64(w) })
+	}
 	for i := 0; i < opts.Peers; i++ {
 		p, err := newSWPeer(cfg, opts, i, filepath.Join(dir, fmt.Sprintf("peer%d", i)))
 		if err != nil {
 			return nil, err
 		}
 		peers = append(peers, p)
+		registerStateDB(p)
 	}
 
 	// Optional BMac peer over the protocol path.
@@ -432,6 +526,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		Arrival: opts.Arrival,
 		Count:   opts.Txs,
 		Seed:    opts.Seed,
+		Metrics: telemetry.NewLoadMetrics(reg),
 	})
 	if err != nil {
 		return nil, err
@@ -443,6 +538,15 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	drivers := make([]load.Submitter, opts.Clients)
 	for i := range drivers {
 		drivers[i] = client.NewDriver(clientID, endorsers, ord, w, cfg.Channel, opts.Seed+int64(100+i))
+	}
+	// The flight recorder anchors the submit/endorse spans on per-tx submit
+	// call windows; wrap every driver with a recording shim.
+	var subTimes *submitTimes
+	if rec != nil {
+		subTimes = &submitTimes{times: make(map[string]submitWindow)}
+		for i := range drivers {
+			drivers[i] = &tracedSubmitter{inner: drivers[i], rec: subTimes}
+		}
 	}
 
 	// Delivery service: every path is one per-peer pipe, with the
@@ -458,8 +562,9 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		churnIdx = opts.Peers - opts.SlowPeers - 1 // last fast peer; observer (0) never churns
 	}
 	svc := delivery.NewService(delivery.Options{
-		Window:  window,
-		History: delivery.LedgerSource(ordLed),
+		Window:   window,
+		History:  delivery.LedgerSource(ordLed),
+		Registry: reg,
 	})
 	defer svc.Close()
 	addrs := make([]*peerAddr, opts.Peers)
@@ -518,14 +623,63 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			blockTxs[b.Header.Number] = ids
 			txMu.Unlock()
 		}
-		return svc.Publish(b)
+		if rec == nil {
+			return svc.Publish(b)
+		}
+		// Flight recorder: the block exists now, so its pre-delivery
+		// lifecycle is known. submit = first scheduled arrival → first
+		// submit call, endorse = submit calls in flight, order = last
+		// submit returned → block created (batch wait + raft + signing),
+		// publish = fan-out hand-off. The spans are anchored end-to-start
+		// so the trace tiles the timeline without gaps.
+		now := time.Now()
+		num := b.Header.Number
+		var minSched, minStart, maxEnd time.Time
+		for i := range b.Envelopes {
+			id, err := block.EnvelopeTxID(&b.Envelopes[i])
+			if err != nil {
+				continue
+			}
+			if w, ok := subTimes.lookup(id); ok {
+				if minStart.IsZero() || w.start.Before(minStart) {
+					minStart = w.start
+				}
+				if w.end.After(maxEnd) {
+					maxEnd = w.end
+				}
+			}
+			if t0, ok := gen.SubmitTime(id); ok {
+				if minSched.IsZero() || t0.Before(minSched) {
+					minSched = t0
+				}
+			}
+		}
+		// A submit record can trail its transaction into a block (the
+		// generator stores it after SubmitTx returns); fall back so the
+		// trace stays contiguous rather than dropping the block.
+		if minStart.IsZero() {
+			minStart = now
+		}
+		if minSched.IsZero() {
+			minSched = minStart
+		}
+		if maxEnd.IsZero() {
+			maxEnd = minStart
+		}
+		rec.Stamp(num, telemetry.StageSubmit, "", minSched, minStart, len(b.Envelopes))
+		rec.Stamp(num, telemetry.StageEndorse, "", minStart, maxEnd, 0)
+		rec.Stamp(num, telemetry.StageOrder, "", maxEnd, now, 0)
+		pubStart := time.Now()
+		err := svc.Publish(b)
+		rec.Stamp(num, telemetry.StagePublish, "", pubStart, time.Now(), 0)
+		return err
 	})
 
 	// Peer commit loops. Peer 0 is the observer: it records end-to-end
 	// latency and plays the committer for the endorser world state.
 	for i, p := range peers {
 		p.started = true
-		go p.commitLoop(i == 0, gen, endorsers)
+		go p.commitLoop(i == 0, gen, endorsers, rec)
 	}
 	type hwObs struct {
 		txid string
@@ -614,6 +768,9 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		np.lastCommit = cp.lastCommit
 		cp.mu.Unlock()
 		peers[churnIdx] = np
+		// The replacement store's access counters take over the peer's
+		// scrape-time gauges.
+		registerStateDB(np)
 		// The deliver protocol's catch-up request: resume this peer's pipe
 		// from the height it recovered to. Rewind MUST land before the new
 		// address is published — a pipe that reconnected first would
@@ -625,7 +782,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		}
 		addrs[churnIdx].set(np.ln.Addr())
 		np.started = true
-		go np.commitLoop(false, gen, endorsers)
+		go np.commitLoop(false, gen, endorsers, rec)
 		churnPhase = 2
 		return nil
 	}
@@ -821,6 +978,27 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		res.HWLatency = hwSamples.Summary()
 		hwMu.Unlock()
 	}
+	if rec != nil {
+		res.Budget = rec.Budget()
+		res.TraceEvents = rec.Len()
+		if path := cfg.Telemetry.TraceFile; path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				return res, fmt.Errorf("cluster: trace file: %w", err)
+			}
+			werr := rec.WriteJSONL(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return res, fmt.Errorf("cluster: trace file: %w", werr)
+			}
+			res.TraceFile = path
+		}
+	}
+	if reg != nil {
+		res.MetricsText = reg.Text()
+	}
 	if runErr != nil {
 		return res, fmt.Errorf("cluster: load: %w", runErr)
 	}
@@ -828,6 +1006,47 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		return res, drainErr
 	}
 	return res, nil
+}
+
+// stampBlock records the observer-side lifecycle spans of one committed
+// block. The deliver span runs from the orderer's publish hand-off to the
+// block's arrival on this peer's intake; the validation spans are laid out
+// sequentially from arrival using the commit path's measured breakdown
+// (wall-clock stage windows are not exposed by the pipelined engine, whose
+// stages overlap — the sequential layout preserves each stage's share while
+// keeping the trace tiled); any residual up to commit completion lands in
+// the "other" span so the budget always sums transparently; and the
+// enclosing e2e span runs from the first scheduled arrival (stamped by the
+// orderer hook) to commit completion.
+func (p *swPeer) stampBlock(rec *telemetry.Recorder, b *block.Block, bd *validator.Breakdown, recvAt, commitEnd time.Time) {
+	num := b.Header.Number
+	if pubEnd, ok := rec.StageEnd(num, telemetry.StagePublish); ok {
+		rec.Stamp(num, telemetry.StageDeliver, p.name, pubEnd, recvAt, 0)
+	} else {
+		rec.Stamp(num, telemetry.StageDeliver, p.name, recvAt, recvAt, 0)
+	}
+	cur := recvAt
+	span := func(stage string, d time.Duration) {
+		if d < 0 {
+			d = 0
+		}
+		end := cur.Add(d)
+		rec.Stamp(num, stage, p.name, cur, end, 0)
+		cur = end
+	}
+	span(telemetry.StageParse, bd.Unmarshal)
+	span(telemetry.StagePrefetch, bd.PrefetchWait)
+	span(telemetry.StageVSCC, bd.BlockVerify+bd.VerifyVSCC)
+	span(telemetry.StageMVCC, bd.MVCC)
+	// StateDB overlaps MVCC (its reads feed validation); only the
+	// non-overlapping write side plus the ledger append count as commit.
+	span(telemetry.StageCommit, (bd.StateDB-bd.MVCC)+bd.LedgerCommit)
+	if commitEnd.After(cur) {
+		rec.Stamp(num, telemetry.StageOther, p.name, cur, commitEnd, 0)
+	}
+	if subStart, ok := rec.StageStart(num, telemetry.StageSubmit); ok {
+		rec.Stamp(num, telemetry.StageE2E, p.name, subStart, commitEnd, len(b.Envelopes))
+	}
 }
 
 func isSlowName(peers []*swPeer, name string) bool {
@@ -920,9 +1139,11 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 }
 
 // commitLoop drains the peer's gossip intake, committing blocks in
-// delivery order. The observer additionally records end-to-end latency
-// and applies committed writes to the endorser stores (committer role).
-func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser) {
+// delivery order. The observer additionally records end-to-end latency,
+// applies committed writes to the endorser stores (committer role), and —
+// when the flight recorder is on — stamps the block's peer-side lifecycle
+// spans (deliver through commit, plus the enclosing e2e span).
+func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser, rec *telemetry.Recorder) {
 	defer close(p.done)
 	next := p.next // 0 on a fresh peer, the recovered height after a restart
 	skipped := false
@@ -950,6 +1171,7 @@ func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*end
 			p.mu.Unlock()
 			continue
 		}
+		recvAt := time.Now()
 		res, err := p.commit(b)
 		if err != nil {
 			p.fail(fmt.Errorf("commit block %d: %w", b.Header.Number, err))
@@ -957,6 +1179,9 @@ func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*end
 		}
 		at := time.Now()
 		if observer {
+			if rec != nil {
+				p.stampBlock(rec, b, &res.Breakdown, recvAt, at)
+			}
 			for _, e := range endorsers {
 				if err := client.ApplyBlock(e.Store(), b, res.Flags); err != nil {
 					p.fail(err)

@@ -20,6 +20,7 @@ import (
 	"bmac/internal/pipeline"
 	"bmac/internal/policy"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
 	"bmac/internal/validator"
 	"bmac/internal/yamllite"
 )
@@ -165,6 +166,22 @@ type DurabilitySpec struct {
 	SyncEachBlock bool
 }
 
+// TelemetrySpec gates the observability plane (internal/telemetry). With
+// Enabled false (the default) no registry exists, every instrument handle
+// is nil, and instrumented hot paths pay one predicted branch — the same
+// zero-cost-when-off contract as statedb.SetCountAccesses.
+type TelemetrySpec struct {
+	// Enabled turns the telemetry plane on. Setting addr or trace_file in
+	// the YAML implies enabled unless it is explicitly set false.
+	Enabled bool
+	// Addr is the optional listen address for the live exposition HTTP
+	// server (/metrics, /trace, /debug/pprof/*); empty means no server.
+	Addr string
+	// TraceFile is the optional path the cluster harness writes the
+	// per-block lifecycle trace to, as JSONL; empty means no file.
+	TraceFile string
+}
+
 // Config is the parsed BMac configuration.
 type Config struct {
 	Channel    string
@@ -177,6 +194,7 @@ type Config struct {
 	Durability DurabilitySpec
 	Crypto     CryptoSpec
 	Hotpath    HotpathSpec
+	Telemetry  TelemetrySpec
 
 	// caches memoizes the shared verification/parse caches behind a
 	// pointer, so copying a Config (the cluster harness derives per-peer
@@ -195,6 +213,8 @@ type hotCaches struct {
 	cert      *fabcrypto.CertCache
 	parseOnce sync.Once
 	parse     *validator.ParseCache
+	regOnce   sync.Once
+	reg       *telemetry.Registry
 }
 
 func (c *Config) ensureCaches() *hotCaches {
@@ -226,6 +246,31 @@ func (c *Config) ParseCache() *validator.ParseCache {
 	h := c.ensureCaches()
 	h.parseOnce.Do(func() { h.parse = validator.NewParseCache(c.Hotpath.ParseCacheSize) })
 	return h.parse
+}
+
+// TelemetryRegistry returns the Config's shared metrics registry, creating
+// it on first use; nil when the telemetry plane is disabled. On creation
+// the process-wide cache counters (signature, certificate and parse-once
+// caches) are exported as scrape-time GaugeFunc read adapters, so enabling
+// telemetry adds nothing to those hot paths.
+func (c *Config) TelemetryRegistry() *telemetry.Registry {
+	h := c.ensureCaches()
+	h.regOnce.Do(func() {
+		if !c.Telemetry.Enabled {
+			return
+		}
+		reg := telemetry.NewRegistry()
+		sig, cert, parse := c.SigCache(), c.CertCache(), c.ParseCache()
+		reg.GaugeFunc("fabcrypto_sigcache_hits_total", func() int64 { h, _, _ := sig.Stats(); return h })
+		reg.GaugeFunc("fabcrypto_sigcache_misses_total", func() int64 { _, m, _ := sig.Stats(); return m })
+		reg.GaugeFunc("fabcrypto_sigcache_evictions_total", func() int64 { _, _, e := sig.Stats(); return e })
+		reg.GaugeFunc("fabcrypto_certcache_hits_total", func() int64 { h, _ := cert.Stats(); return h })
+		reg.GaugeFunc("fabcrypto_certcache_misses_total", func() int64 { _, m := cert.Stats(); return m })
+		reg.GaugeFunc("validator_parsecache_hits_total", func() int64 { h, _ := parse.Stats(); return h })
+		reg.GaugeFunc("validator_parsecache_misses_total", func() int64 { _, m := parse.Stats(); return m })
+		h.reg = reg
+	})
+	return h.reg
 }
 
 // Default returns the paper's default experimental configuration: two orgs
@@ -394,6 +439,25 @@ func Parse(raw []byte) (*Config, error) {
 		}
 	}
 
+	if tel, ok := yamllite.GetMap(root, "telemetry"); ok {
+		enabledSet := false
+		if v, ok := yamllite.GetBool(tel, "enabled"); ok {
+			cfg.Telemetry.Enabled = v
+			enabledSet = true
+		}
+		if v, ok := yamllite.GetString(tel, "addr"); ok {
+			cfg.Telemetry.Addr = v
+		}
+		if v, ok := yamllite.GetString(tel, "trace_file"); ok {
+			cfg.Telemetry.TraceFile = v
+		}
+		// Asking for an endpoint or a trace file implies the plane is
+		// wanted; only an explicit enabled: false overrides that.
+		if !enabledSet && (cfg.Telemetry.Addr != "" || cfg.Telemetry.TraceFile != "") {
+			cfg.Telemetry.Enabled = true
+		}
+	}
+
 	if sdb, ok := yamllite.GetMap(root, "statedb"); ok {
 		if v, ok := yamllite.GetString(sdb, "backend"); ok {
 			cfg.StateDB.Backend = v
@@ -552,6 +616,7 @@ func (c *Config) ValidatorConfig(workers int) (validator.Config, error) {
 		CertCache:          c.CertCache(),
 		BatchVerifyWorkers: c.Crypto.BatchVerifyWorkers,
 		ParseCache:         c.ParseCache(),
+		Metrics:            telemetry.NewValidatorMetrics(c.TelemetryRegistry(), "sequential"),
 	}, nil
 }
 
@@ -572,6 +637,7 @@ func (c *Config) PipelineConfig() (pipeline.Config, error) {
 		CertCache:          c.CertCache(),
 		BatchVerifyWorkers: c.Crypto.BatchVerifyWorkers,
 		ParseCache:         c.ParseCache(),
+		Metrics:            telemetry.NewValidatorMetrics(c.TelemetryRegistry(), "pipelined"),
 	}, nil
 }
 

@@ -38,6 +38,7 @@ import (
 
 	"bmac/internal/block"
 	"bmac/internal/ledger"
+	"bmac/internal/telemetry"
 )
 
 // Item is one published block plus its delivery sequence number. The
@@ -153,6 +154,11 @@ type Options struct {
 	// lost range from History (counted in PeerStats.CaughtUp). DropBlocks
 	// peers still drop — their policy asks for it.
 	History Source
+	// Registry, when non-nil, mirrors each pipe's counters into the
+	// telemetry registry (delivery_*_total{peer=...}) and exports per-peer
+	// lag as a scrape-time gauge. Nil (telemetry off) leaves every pipe's
+	// instrument handles nil — one predicted branch per event.
+	Registry *telemetry.Registry
 }
 
 // PeerOptions parameterize one registered peer.
@@ -189,6 +195,7 @@ type PeerStats struct {
 type Service struct {
 	window  int
 	history Source
+	reg     *telemetry.Registry
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signals Wait-policy slack to blocked Publish calls
@@ -208,6 +215,7 @@ func NewService(opts Options) *Service {
 	s := &Service{
 		window:  w,
 		history: opts.History,
+		reg:     opts.Registry,
 		ring:    make([]*Item, w),
 		peers:   make(map[string]*pipe),
 	}
@@ -254,8 +262,17 @@ func (s *Service) Register(name string, tr Transport, opts PeerOptions) error {
 		next:   s.base,
 		alive:  true,
 	}
+	if b := telemetry.NewPeerDeliveryMetrics(s.reg, name); b != nil {
+		// Copy the bundle by value: disabled telemetry leaves every handle
+		// a nil *Counter, which ignores writes at the cost of one branch.
+		p.m = *b
+	}
 	s.peers[name] = p
 	s.mu.Unlock()
+	// Lag is derived from the service height at scrape time, never
+	// maintained on the send path.
+	s.reg.GaugeFunc(telemetry.Name("delivery_lag_blocks", "peer", name),
+		func() int64 { return int64(p.snapshot(s.Height()).Lag) })
 	go p.run(s)
 	return nil
 }
@@ -446,6 +463,7 @@ func (s *Service) Close() error {
 type pipe struct {
 	name   string
 	opts   PeerOptions
+	m      telemetry.PeerDeliveryMetrics // zero value (all nil) when telemetry is off
 	notify chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
@@ -553,6 +571,7 @@ func (p *pipe) run(s *Service) {
 				p.dropped += gap
 				p.next = next + gap
 				p.mu.Unlock()
+				p.m.Dropped.Add(int64(gap))
 				continue
 			}
 		} else if !have {
@@ -580,6 +599,11 @@ func (p *pipe) run(s *Service) {
 			p.next = it.Seq + 1
 		}
 		p.mu.Unlock()
+		p.m.Blocks.Inc()
+		p.m.Bytes.Add(int64(n))
+		if fromHistory {
+			p.m.CaughtUp.Inc()
+		}
 		if backpressured {
 			s.slack()
 		}
@@ -599,6 +623,7 @@ func (p *pipe) redial(sendErr error) bool {
 	p.mu.Lock()
 	p.sendErrs++
 	p.mu.Unlock()
+	p.m.Errs.Inc()
 	p.closeTransport()
 	if p.opts.Dial == nil {
 		p.fail(sendErr)
@@ -620,6 +645,7 @@ func (p *pipe) redial(sendErr error) bool {
 		p.trClosed = false
 		p.redials++
 		p.mu.Unlock()
+		p.m.Redials.Inc()
 		return true
 	}
 	p.fail(fmt.Errorf("delivery: redial failed after %d attempts: %w", p.opts.MaxRedials, sendErr))

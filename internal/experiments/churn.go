@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"bmac/internal/cluster"
 	"bmac/internal/config"
@@ -29,6 +30,8 @@ func FigChurn(opts Options) (*metrics.Table, error) {
 	cfg := config.Default()
 	cfg.Arch.MaxBlockTxs = 4 // many small blocks, so the window moves on
 	cfg.Durability.CheckpointEvery = 4
+	cfg.Telemetry.Enabled = true
+	telDir := telemetryDir(dir)
 
 	copts := cluster.Options{
 		Peers:      3,
@@ -49,12 +52,15 @@ func FigChurn(opts Options) (*metrics.Table, error) {
 		"path", "blocks", "txs", "tps",
 		"kill_height", "recovered_at", "catch_up", "restarts", "converged",
 	}}
+	var metricsText string
 	for _, mode := range cluster.Modes() {
 		copts.Mode = mode
+		cfg.Telemetry.TraceFile = filepath.Join(telDir, "churn_"+mode+"_trace.jsonl")
 		res, err := cluster.Run(cfg, copts, fmt.Sprintf("%s/%s", dir, mode))
 		if err != nil {
 			return nil, fmt.Errorf("churn %s: %w", mode, err)
 		}
+		metricsText = res.MetricsText
 		if res.Churn == nil {
 			return nil, fmt.Errorf("churn %s: no churn report", mode)
 		}
@@ -69,8 +75,15 @@ func FigChurn(opts Options) (*metrics.Table, error) {
 			fmt.Sprintf("%d", res.Churn.Restarts),
 			fmt.Sprintf("%v", res.Converged),
 		)
+		tbl.AddNote("[%s] %d trace events -> %s\n%s", mode, res.TraceEvents, res.TraceFile, res.Budget)
 		if !res.Converged {
 			return tbl, fmt.Errorf("churn %s: peers did not converge after restart", mode)
+		}
+	}
+	if metricsText != "" {
+		snap := filepath.Join(telDir, "churn_metrics.prom")
+		if err := os.WriteFile(snap, []byte(metricsText), 0o644); err != nil {
+			return nil, fmt.Errorf("churn: metrics snapshot: %w", err)
 		}
 	}
 	return tbl, nil

@@ -3,12 +3,25 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"bmac/internal/cluster"
 	"bmac/internal/config"
 	"bmac/internal/metrics"
 )
+
+// telemetryDir resolves where an experiment's trace files and metrics
+// snapshots land: BMAC_TELEMETRY_DIR when set (the caller wants to keep
+// them, e.g. as CI artifacts), otherwise the run's scratch dir.
+func telemetryDir(scratch string) string {
+	if d := os.Getenv("BMAC_TELEMETRY_DIR"); d != "" {
+		if err := os.MkdirAll(d, 0o755); err == nil {
+			return d
+		}
+	}
+	return scratch
+}
 
 // FigCluster drives the full delivery-side stack — open-loop load ->
 // raft-backed orderer -> non-blocking delivery service -> N gossip peers
@@ -32,6 +45,10 @@ func FigCluster(opts Options) (*metrics.Table, error) {
 	// account working set plus a modeled host read latency.
 	cfg.StateDB.Capacity = 32
 	cfg.StateDB.HostReadLatencyUS = 50
+	// The telemetry plane is on for this experiment: each mode writes a
+	// per-block lifecycle trace and reports its latency budget.
+	cfg.Telemetry.Enabled = true
+	telDir := telemetryDir(dir)
 
 	copts := cluster.Options{
 		Peers:     4,
@@ -57,12 +74,15 @@ func FigCluster(opts Options) (*metrics.Table, error) {
 		"p50", "p95", "p99", "hw_p99", "slow_lag", "slow_drop", "fast_lag",
 		"sig$%", "parse$%",
 	}}
+	var metricsText string
 	for _, mode := range cluster.Modes() {
 		copts.Mode = mode
+		cfg.Telemetry.TraceFile = filepath.Join(telDir, "cluster_"+mode+"_trace.jsonl")
 		res, err := cluster.Run(cfg, copts, fmt.Sprintf("%s/%s", dir, mode))
 		if err != nil {
 			return nil, fmt.Errorf("cluster %s: %w", mode, err)
 		}
+		metricsText = res.MetricsText
 		var slowLag, slowDrop, fastLag uint64
 		for _, p := range res.Peers {
 			if p.Slow {
@@ -89,6 +109,14 @@ func FigCluster(opts Options) (*metrics.Table, error) {
 			fmt.Sprintf("%.0f%%", res.SigCacheHitRate*100),
 			fmt.Sprintf("%.0f%%", res.ParseCacheHitRate*100),
 		)
+		tbl.AddNote("[%s] %d trace events -> %s\n%s", mode, res.TraceEvents, res.TraceFile, res.Budget)
+	}
+	// Final registry snapshot (counters accumulate across the three modes).
+	if metricsText != "" {
+		snap := filepath.Join(telDir, "cluster_metrics.prom")
+		if err := os.WriteFile(snap, []byte(metricsText), 0o644); err != nil {
+			return nil, fmt.Errorf("cluster: metrics snapshot: %w", err)
+		}
 	}
 	return tbl, nil
 }

@@ -14,6 +14,7 @@ import (
 	"bmac/internal/metrics"
 	"bmac/internal/policy"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
 	"bmac/internal/validator"
 	"bmac/internal/wire"
 )
@@ -138,10 +139,10 @@ func MeasureHotpath(e *Env, opts Options) (*HotpathRecord, error) {
 	pols := map[string]*policy.Policy{"smallbank": pol}
 
 	// --- End-to-end block validation: every optimization off vs on. ---
-	validate := func(sc *fabcrypto.SigCache, cc *fabcrypto.CertCache, pc *validator.ParseCache) error {
+	validate := func(sc *fabcrypto.SigCache, cc *fabcrypto.CertCache, pc *validator.ParseCache, tm *telemetry.ValidatorMetrics) error {
 		v := validator.New(validator.Config{
 			Workers: 1, Policies: pols, SkipLedger: true,
-			SigCache: sc, CertCache: cc, ParseCache: pc,
+			SigCache: sc, CertCache: cc, ParseCache: pc, Metrics: tm,
 		}, statedb.NewStore(), nil)
 		res, err := v.ValidateAndCommit(raw)
 		if err != nil {
@@ -164,7 +165,7 @@ func MeasureHotpath(e *Env, opts Options) (*HotpathRecord, error) {
 	prevPooling := wire.BufferPooling()
 	wire.SetBufferPooling(false)
 	rec.Benchmarks["block_validate_baseline"] = measureOp(valIters, run(func() error {
-		return validate(nil, nil, nil)
+		return validate(nil, nil, nil, nil)
 	}))
 	wire.SetBufferPooling(true)
 	defer wire.SetBufferPooling(prevPooling)
@@ -172,12 +173,24 @@ func MeasureHotpath(e *Env, opts Options) (*HotpathRecord, error) {
 	sc := fabcrypto.NewSigCache(1 << 15)
 	cc := fabcrypto.NewCertCache(1 << 12)
 	pc := validator.NewParseCache(1 << 13)
-	if err := validate(sc, cc, pc); err != nil { // warm to cache steady state
+	if err := validate(sc, cc, pc, nil); err != nil { // warm to cache steady state
 		return nil, err
 	}
-	bv := measureOp(valIters, run(func() error { return validate(sc, cc, pc) }))
+	bv := measureOp(valIters, run(func() error { return validate(sc, cc, pc, nil) }))
 	bv.HitRate = sc.HitRate()
 	rec.Benchmarks["block_validate_hotpath"] = bv
+
+	// --- Telemetry plane cost: nil instruments vs a live registry. The off
+	// row is the zero-cost-when-off contract: it must stay indistinguishable
+	// from block_validate_hotpath (the gate checks its allocs/op against the
+	// committed baseline like every other row). ---
+	rec.Benchmarks["block_validate_telemetry_off"] = measureOp(valIters, run(func() error {
+		return validate(sc, cc, pc, nil)
+	}))
+	tm := telemetry.NewValidatorMetrics(telemetry.NewRegistry(), "bench")
+	rec.Benchmarks["block_validate_telemetry_on"] = measureOp(valIters, run(func() error {
+		return validate(sc, cc, pc, tm)
+	}))
 
 	// --- Repeated-endorser verify: cold vs cache steady state. ---
 	tuples, err := endorserTuples(&b.Envelopes[0])
@@ -304,6 +317,7 @@ func MeasureHotpath(e *Env, opts Options) (*HotpathRecord, error) {
 // hotpathBenchOrder fixes the table's presentation order.
 var hotpathBenchOrder = []string{
 	"block_validate_baseline", "block_validate_hotpath",
+	"block_validate_telemetry_off", "block_validate_telemetry_on",
 	"repeated_endorser_verify_cold", "repeated_endorser_verify_cached",
 	"batch_verify_e2_w1", "batch_verify_e2_w2", "batch_verify_e2_w4",
 	"batch_verify_e4_w1", "batch_verify_e4_w2", "batch_verify_e4_w4",

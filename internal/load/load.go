@@ -17,6 +17,7 @@ import (
 
 	"bmac/internal/block"
 	"bmac/internal/metrics"
+	"bmac/internal/telemetry"
 )
 
 // Submitter submits one generated transaction and returns its ID;
@@ -46,6 +47,10 @@ type Options struct {
 	Count int
 	// Seed makes the arrival process deterministic.
 	Seed int64
+	// Metrics, when non-nil, mirrors submit/commit/late counts and the
+	// end-to-end latency histogram into the telemetry registry. Nil
+	// (telemetry off) costs one predicted branch per event.
+	Metrics *telemetry.LoadMetrics
 }
 
 // Generator drives submitters open-loop and tracks per-transaction
@@ -134,6 +139,7 @@ func (g *Generator) runClient(c Submitter, n int, rate float64, seed int64) erro
 				g.mu.Lock()
 				g.late++
 				g.mu.Unlock()
+				g.opts.Metrics.ObserveLate()
 			}
 		} else {
 			// Unpaced: there is no schedule, so the arrival is the
@@ -153,13 +159,18 @@ func (g *Generator) runClient(c Submitter, n int, rate float64, seed int64) erro
 		g.submitted++
 		// A synchronous commit path can observe the transaction before
 		// this record lands; complete such an early observation now.
-		if at, ok := g.early[txid]; ok {
+		earlyAt, early := g.early[txid]
+		if early {
 			delete(g.early, txid)
 			g.done[txid] = true
 			g.committed++
-			g.samples.Add(at.Sub(next))
+			g.samples.Add(earlyAt.Sub(next))
 		}
 		g.mu.Unlock()
+		g.opts.Metrics.ObserveSubmit()
+		if early {
+			g.opts.Metrics.ObserveCommit(earlyAt.Sub(next))
+		}
 	}
 	return nil
 }
@@ -187,18 +198,21 @@ func (g *Generator) interval(rng *rand.Rand, rate float64) time.Duration {
 // traffic, which this testbed does not produce).
 func (g *Generator) Committed(txid string, at time.Time) bool {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if g.done[txid] {
+		g.mu.Unlock()
 		return false
 	}
 	t0, ok := g.submitAt[txid]
 	if !ok {
 		g.early[txid] = at
+		g.mu.Unlock()
 		return false
 	}
 	g.done[txid] = true
 	g.committed++
 	g.samples.Add(at.Sub(t0))
+	g.mu.Unlock()
+	g.opts.Metrics.ObserveCommit(at.Sub(t0))
 	return true
 }
 

@@ -6,26 +6,40 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Samples collects duration observations.
+// Samples collects duration observations. All methods are safe for
+// concurrent use: the load driver's client goroutines Add while the
+// reporting goroutine reads a Summary, so the collection is mutex-guarded
+// (sampling happens at block/report granularity, never on a per-signature
+// hot path, so the lock is not a throughput concern).
 type Samples struct {
+	mu     sync.Mutex
 	values []time.Duration
 	sorted bool
 }
 
 // Add records one observation.
 func (s *Samples) Add(d time.Duration) {
+	s.mu.Lock()
 	s.values = append(s.values, d)
 	s.sorted = false
+	s.mu.Unlock()
 }
 
 // Len returns the number of observations.
-func (s *Samples) Len() int { return len(s.values) }
+func (s *Samples) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
 
+// ensureSorted must be called with s.mu held.
 func (s *Samples) ensureSorted() {
 	if !s.sorted {
 		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
@@ -33,13 +47,25 @@ func (s *Samples) ensureSorted() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100) by the ceil
+// nearest-rank rule: the smallest value with at least ceil(p/100*n) samples
+// at or below it. Truncation instead of ceil would over-index small sets —
+// the P50 of two samples must be the smaller one, not the larger.
 func (s *Samples) Percentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.percentileLocked(p)
+}
+
+func (s *Samples) percentileLocked(p float64) time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
 	s.ensureSorted()
-	idx := int(p / 100 * float64(len(s.values)))
+	idx := int(math.Ceil(p/100*float64(len(s.values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
 	if idx >= len(s.values) {
 		idx = len(s.values) - 1
 	}
@@ -48,6 +74,12 @@ func (s *Samples) Percentile(p float64) time.Duration {
 
 // Mean returns the arithmetic mean.
 func (s *Samples) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meanLocked()
+}
+
+func (s *Samples) meanLocked() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -60,6 +92,8 @@ func (s *Samples) Mean() time.Duration {
 
 // Min and Max return the extremes.
 func (s *Samples) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -69,6 +103,12 @@ func (s *Samples) Min() time.Duration {
 
 // Max returns the largest observation.
 func (s *Samples) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLocked()
+}
+
+func (s *Samples) maxLocked() time.Duration {
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -84,15 +124,19 @@ type LatencySummary struct {
 	P50, P95, P99, Max time.Duration
 }
 
-// Summary digests the samples into a LatencySummary.
+// Summary digests the samples into a LatencySummary. The digest is
+// computed under one lock acquisition, so it is internally consistent even
+// while other goroutines Add.
 func (s *Samples) Summary() LatencySummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return LatencySummary{
-		Count: s.Len(),
-		Mean:  s.Mean(),
-		P50:   s.Percentile(50),
-		P95:   s.Percentile(95),
-		P99:   s.Percentile(99),
-		Max:   s.Max(),
+		Count: len(s.values),
+		Mean:  s.meanLocked(),
+		P50:   s.percentileLocked(50),
+		P95:   s.percentileLocked(95),
+		P99:   s.percentileLocked(99),
+		Max:   s.maxLocked(),
 	}
 }
 
@@ -115,6 +159,8 @@ type CDFPoint struct {
 
 // CDF returns the empirical CDF sampled at n evenly spaced fractions.
 func (s *Samples) CDF(n int) []CDFPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 || n < 2 {
 		return nil
 	}
@@ -144,11 +190,20 @@ func Throughput(txs int, elapsed time.Duration) float64 {
 type Table struct {
 	Header []string
 	Rows   [][]string
+	// Notes are free-form text blocks (possibly multi-line) rendered after
+	// the rows — supplementary material like per-stage latency budgets that
+	// does not fit the column grid.
+	Notes []string
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a supplementary text block.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
 // String renders the table.
@@ -182,6 +237,11 @@ func (t *Table) String() string {
 	writeRow(rule)
 	for _, row := range t.Rows {
 		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteByte('\n')
+		b.WriteString(strings.TrimRight(n, "\n"))
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -25,6 +26,98 @@ func TestPercentiles(t *testing.T) {
 	}
 	if s.Mean() != 50500*time.Microsecond {
 		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+// TestPercentileNearestRank pins the ceil nearest-rank rule on small
+// sample sets, where the old truncating index over-indexed (P50 of two
+// samples returned the larger one).
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(vals ...int) *Samples {
+		var s Samples
+		for _, v := range vals {
+			s.Add(time.Duration(v) * time.Millisecond)
+		}
+		return &s
+	}
+	cases := []struct {
+		name string
+		s    *Samples
+		p    float64
+		want time.Duration
+	}{
+		{"n1 p1", ms(10), 1, 10 * time.Millisecond},
+		{"n1 p50", ms(10), 50, 10 * time.Millisecond},
+		{"n1 p100", ms(10), 100, 10 * time.Millisecond},
+		{"n2 p50 is the smaller sample", ms(10, 20), 50, 10 * time.Millisecond},
+		{"n2 p51", ms(10, 20), 51, 20 * time.Millisecond},
+		{"n2 p99", ms(10, 20), 99, 20 * time.Millisecond},
+		{"n2 p100", ms(10, 20), 100, 20 * time.Millisecond},
+		{"n3 p33 is the first sample", ms(10, 20, 30), 33, 10 * time.Millisecond},
+		{"n3 p34", ms(10, 20, 30), 34, 20 * time.Millisecond},
+		{"n3 p50 is the median", ms(10, 20, 30), 50, 20 * time.Millisecond},
+		{"n3 p67", ms(10, 20, 30), 67, 30 * time.Millisecond},
+		{"n3 p100", ms(10, 20, 30), 100, 30 * time.Millisecond},
+		{"n4 p25", ms(10, 20, 30, 40), 25, 10 * time.Millisecond},
+		{"n4 p50", ms(10, 20, 30, 40), 50, 20 * time.Millisecond},
+		{"n100 p50", func() *Samples {
+			var s Samples
+			for i := 1; i <= 100; i++ {
+				s.Add(time.Duration(i) * time.Millisecond)
+			}
+			return &s
+		}(), 50, 50 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) = %v, want %v", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentAddSummary is the -race regression for the load driver's
+// usage pattern: client goroutines Add while the reporter reads summaries.
+func TestConcurrentAddSummary(t *testing.T) {
+	var s Samples
+	var adders, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		adders.Add(1)
+		go func(i int) {
+			defer adders.Done()
+			for j := 0; j < 500; j++ {
+				s.Add(time.Duration(i*500+j) * time.Microsecond)
+			}
+		}(i)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sum := s.Summary()
+			if sum.Count > 0 && (sum.P50 > sum.P99 || sum.P99 > sum.Max) {
+				t.Error("inconsistent summary under concurrency")
+				return
+			}
+			s.CDF(10)
+			s.Percentile(95)
+			s.Mean()
+		}
+	}()
+	adders.Wait()
+	close(stop)
+	readers.Wait()
+	if s.Len() != 2000 {
+		t.Fatalf("len = %d, want 2000", s.Len())
+	}
+	sum := s.Summary()
+	if sum.Count != 2000 || sum.Max != 1999*time.Microsecond {
+		t.Fatalf("summary = %+v", sum)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"bmac/internal/block"
 	"bmac/internal/identity"
 	"bmac/internal/raft"
+	"bmac/internal/telemetry"
 	"bmac/internal/wire"
 )
 
@@ -30,6 +31,10 @@ type Config struct {
 	BatchTimeout time.Duration
 	// Channel is the channel ID stamped on blocks.
 	Channel string
+	// Metrics, when non-nil, counts created blocks/txs and batch cuts by
+	// reason (size vs timeout) in the telemetry registry. Nil (telemetry
+	// off) costs one predicted branch per cut.
+	Metrics *telemetry.OrdererMetrics
 }
 
 func (c *Config) withDefaults() Config {
@@ -109,7 +114,7 @@ func (o *Orderer) Submit(env *block.Envelope) error {
 	full := len(o.pending) >= o.cfg.BatchSize
 	o.mu.Unlock()
 	if full {
-		if err := o.cut(); err != nil {
+		if err := o.cut(true); err != nil {
 			return err
 		}
 		// Restart the batch timer: a full-batch cut must not leave a
@@ -124,8 +129,9 @@ func (o *Orderer) Submit(env *block.Envelope) error {
 	return nil
 }
 
-// cut proposes the current batch to raft.
-func (o *Orderer) cut() error {
+// cut proposes the current batch to raft. sizeCut records whether the
+// batch closed because it filled (vs the batch timer expiring).
+func (o *Orderer) cut(sizeCut bool) error {
 	o.mu.Lock()
 	if len(o.pending) == 0 {
 		o.mu.Unlock()
@@ -143,6 +149,7 @@ func (o *Orderer) cut() error {
 		o.mu.Unlock()
 		return fmt.Errorf("order batch: %w", err)
 	}
+	o.cfg.Metrics.ObserveCut(sizeCut)
 	return nil
 }
 
@@ -170,7 +177,7 @@ func (o *Orderer) cutLoop() {
 		case <-timer.C:
 			// Timeout-based cut; ErrNotLeader is expected on followers
 			// and ErrStopped during shutdown.
-			if err := o.cut(); err != nil &&
+			if err := o.cut(false); err != nil &&
 				!errors.Is(err, raft.ErrNotLeader) && !errors.Is(err, raft.ErrStopped) {
 				o.fail(err)
 				return
@@ -239,6 +246,7 @@ func (o *Orderer) createBlock(batchData []byte) error {
 	hooks := make([]DeliverFunc, len(o.delivery))
 	copy(hooks, o.delivery)
 	o.mu.Unlock()
+	o.cfg.Metrics.ObserveBlock(len(envs))
 
 	for _, fn := range hooks {
 		if err := fn(b); err != nil {

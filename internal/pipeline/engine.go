@@ -12,6 +12,7 @@ import (
 	"bmac/internal/ledger"
 	"bmac/internal/policy"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
 	"bmac/internal/validator"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// ParseCache interns ParseTx results by payload hash (parse-once, see
 	// validator.Config.ParseCache). Optional.
 	ParseCache *validator.ParseCache
+	// Metrics, when non-nil, mirrors each flushed block's Breakdown into
+	// the telemetry registry's per-stage histograms. Nil (telemetry off)
+	// costs one predicted branch per block.
+	Metrics *telemetry.ValidatorMetrics
 }
 
 func (c *Config) verifyOpts() validator.VerifyOpts {
@@ -372,6 +377,8 @@ func (e *Engine) flushStage(in <-chan *job) {
 		}
 		j.bd.Total = time.Since(j.start)
 		j.res.Breakdown = j.bd
+		e.cfg.Metrics.ObserveBlock(len(j.txs), j.bd.Unmarshal, j.bd.BlockVerify, j.bd.VerifyVSCC,
+			j.bd.MVCC, j.bd.StateDB, j.bd.LedgerCommit, j.bd.PrefetchWait, j.bd.Total)
 		e.out <- Outcome{Res: j.res}
 	}
 }

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in live exposition endpoint:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/trace            the flight recorder's spans as a JSONL stream
+//	/debug/pprof/*    the standard Go profiling handlers
+//
+// It runs on its own mux (never http.DefaultServeMux) so importing this
+// package does not globally register pprof, and serves on a dedicated
+// listener so a failed bind is reported at startup instead of at first
+// scrape.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer binds addr and starts serving the registry and recorder (either
+// may be nil; the corresponding endpoint then serves empty output).
+func NewServer(addr string, reg *Registry, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = rec.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

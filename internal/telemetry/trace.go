@@ -1,0 +1,264 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Lifecycle stage names, in pipeline order. Each committed block accumulates
+// one span event per stage as it moves through the cluster; StageE2E is the
+// enclosing span (first scheduled submit → commit durable on the observer)
+// that the per-stage budget is measured against. StageOther absorbs commit
+// path time not attributed to a measured stage (block re-marshal,
+// checkpointing, scheduling residue) so the budget table sums transparently
+// instead of hiding a gap.
+const (
+	StageSubmit   = "submit"   // client schedule → endorsement begins (pacing/queue wait)
+	StageEndorse  = "endorse"  // endorsement gather + envelope build + orderer submit
+	StageOrder    = "order"    // last tx submitted → batch cut and block created
+	StagePublish  = "publish"  // orderer block → delivery fan-out accepted
+	StageDeliver  = "deliver"  // delivery fan-out → observer peer receives the block
+	StageParse    = "parse"    // envelope unmarshal (validator.Breakdown.Unmarshal)
+	StagePrefetch = "prefetch" // commit-side prefetch wait
+	StageVSCC     = "vscc"     // block sig verify + endorsement policy checks
+	StageMVCC     = "mvcc"     // read-set version validation
+	StageCommit   = "commit"   // state writes + ledger append
+	StageOther    = "other"    // unattributed commit-path residue
+	StageE2E      = "e2e"      // enclosing span: first submit schedule → committed
+)
+
+// Stages lists the per-stage span names in pipeline order (excluding the
+// enclosing e2e span), the order budget tables print in.
+func Stages() []string {
+	return []string{
+		StageSubmit, StageEndorse, StageOrder, StagePublish, StageDeliver,
+		StageParse, StagePrefetch, StageVSCC, StageMVCC, StageCommit, StageOther,
+	}
+}
+
+// Event is one span in a block's lifecycle trace, emitted as a JSONL line.
+// Times are microseconds relative to the recorder's epoch so traces are
+// compact and trivially diffable across runs.
+type Event struct {
+	Block   uint64 `json:"block"`
+	Stage   string `json:"stage"`
+	Peer    string `json:"peer,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Txs     int    `json:"txs,omitempty"`
+}
+
+type stageKey struct {
+	block uint64
+	stage string
+}
+
+// Recorder is the per-run flight recorder: an append-only list of span
+// events plus an index of span endpoints so later pipeline hops can anchor
+// their spans on the previous hop's end (making the trace contiguous). A
+// nil Recorder is valid and ignores everything — disabled tracing costs the
+// nil check only.
+type Recorder struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	events []Event
+	ends   map[stageKey]time.Time
+	starts map[stageKey]time.Time
+}
+
+// NewRecorder creates a recorder whose event clock starts now.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		epoch:  time.Now(),
+		ends:   make(map[stageKey]time.Time),
+		starts: make(map[stageKey]time.Time),
+	}
+}
+
+// Stamp records one span for a block stage. Negative durations (clock skew
+// between anchoring goroutines) are clamped to zero. Nil-safe.
+func (r *Recorder) Stamp(block uint64, stage, peer string, start, end time.Time, txs int) {
+	if r == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	ev := Event{
+		Block:   block,
+		Stage:   stage,
+		Peer:    peer,
+		StartUS: start.Sub(r.epoch).Microseconds(),
+		DurUS:   end.Sub(start).Microseconds(),
+		Txs:     txs,
+	}
+	k := stageKey{block, stage}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.ends[k] = end
+	r.starts[k] = start
+	r.mu.Unlock()
+}
+
+// StageEnd returns when the named stage of a block ended; ok=false when the
+// stage was never stamped (or the recorder is nil).
+func (r *Recorder) StageEnd(block uint64, stage string) (time.Time, bool) {
+	if r == nil {
+		return time.Time{}, false
+	}
+	r.mu.Lock()
+	t, ok := r.ends[stageKey{block, stage}]
+	r.mu.Unlock()
+	return t, ok
+}
+
+// StageStart returns when the named stage of a block started; ok=false when
+// never stamped.
+func (r *Recorder) StageStart(block uint64, stage string) (time.Time, bool) {
+	if r == nil {
+		return time.Time{}, false
+	}
+	r.mu.Lock()
+	t, ok := r.starts[stageKey{block, stage}]
+	r.mu.Unlock()
+	return t, ok
+}
+
+// Events returns a copy of all recorded spans (nil for a nil recorder).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSONL emits every span as one JSON object per line, in stamp order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageBudget is one row of the latency budget: total time spent in a stage
+// across all traced blocks and its share of summed e2e latency.
+type StageBudget struct {
+	Stage string
+	Total time.Duration
+	Share float64 // fraction of summed e2e latency, 0..1
+}
+
+// Budget is the per-stage latency budget aggregated over every block that
+// completed an e2e span: where the end-to-end microseconds went.
+type Budget struct {
+	Blocks   int           // blocks with a completed e2e span
+	E2E      time.Duration // summed e2e latency across those blocks
+	Covered  time.Duration // summed per-stage spans across those blocks
+	Coverage float64       // Covered / E2E, 0..1
+	Stages   []StageBudget // pipeline order, zero-total stages omitted
+}
+
+// Budget aggregates the recorded spans into a latency budget. Only blocks
+// with a completed e2e span contribute, so partially-traced blocks (in
+// flight at shutdown) don't skew the shares. Nil recorder returns nil.
+func (r *Recorder) Budget() *Budget {
+	if r == nil {
+		return nil
+	}
+	events := r.Events()
+	done := make(map[uint64]bool)
+	var e2e time.Duration
+	blocks := 0
+	for _, ev := range events {
+		if ev.Stage == StageE2E {
+			if !done[ev.Block] {
+				blocks++
+			}
+			done[ev.Block] = true
+			e2e += time.Duration(ev.DurUS) * time.Microsecond
+		}
+	}
+	if blocks == 0 {
+		return &Budget{}
+	}
+	totals := make(map[string]time.Duration)
+	var covered time.Duration
+	for _, ev := range events {
+		if ev.Stage == StageE2E || !done[ev.Block] {
+			continue
+		}
+		d := time.Duration(ev.DurUS) * time.Microsecond
+		totals[ev.Stage] += d
+		covered += d
+	}
+	b := &Budget{Blocks: blocks, E2E: e2e, Covered: covered}
+	if e2e > 0 {
+		b.Coverage = float64(covered) / float64(e2e)
+	}
+	known := make(map[string]bool)
+	for _, st := range Stages() {
+		known[st] = true
+		if totals[st] == 0 {
+			continue
+		}
+		b.Stages = append(b.Stages, StageBudget{Stage: st, Total: totals[st], Share: shareOf(totals[st], e2e)})
+	}
+	// Unknown stage names (future callers) sort after the known pipeline.
+	var extra []string
+	for st := range totals {
+		if !known[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	for _, st := range extra {
+		b.Stages = append(b.Stages, StageBudget{Stage: st, Total: totals[st], Share: shareOf(totals[st], e2e)})
+	}
+	return b
+}
+
+func shareOf(d, total time.Duration) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(d) / float64(total)
+}
+
+// String renders the budget as an aligned text table (the "latency budget"
+// block experiment reports print).
+func (b *Budget) String() string {
+	if b == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "latency budget over %d blocks (e2e sum %v, coverage %.1f%%)\n",
+		b.Blocks, b.E2E.Round(time.Microsecond), 100*b.Coverage)
+	for _, st := range b.Stages {
+		fmt.Fprintf(&sb, "  %-9s %12v  %5.1f%%\n", st.Stage, st.Total.Round(time.Microsecond), 100*st.Share)
+	}
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import "time"
+
+// This file defines the per-subsystem instrument bundles. Each bundle is a
+// struct of registry-backed instruments with a constructor that returns nil
+// when the registry is nil, and nil-safe observe methods. Subsystems hold a
+// (possibly nil) bundle pointer in their config; the existing ad-hoc stat
+// structs (validator.Breakdown, delivery.PeerStats, cache Stats) stay as
+// read adapters so experiment output is unchanged, while these bundles feed
+// the live registry.
+
+// ValidatorMetrics carries the per-stage validation histograms for one
+// commit engine ("sequential" or "pipelined" label).
+type ValidatorMetrics struct {
+	Blocks, Txs *Counter
+
+	Unmarshal, BlockVerify, VerifyVSCC, MVCC *Histogram
+	StateDB, LedgerCommit, PrefetchWait      *Histogram
+	Total                                    *Histogram
+}
+
+// NewValidatorMetrics builds the bundle for one engine; nil registry
+// returns nil (disabled).
+func NewValidatorMetrics(r *Registry, engine string) *ValidatorMetrics {
+	if r == nil {
+		return nil
+	}
+	h := func(stage string) *Histogram {
+		return r.Histogram(Name("validator_stage_seconds", "engine", engine, "stage", stage))
+	}
+	return &ValidatorMetrics{
+		Blocks:       r.Counter(Name("validator_blocks_total", "engine", engine)),
+		Txs:          r.Counter(Name("validator_txs_total", "engine", engine)),
+		Unmarshal:    h("unmarshal"),
+		BlockVerify:  h("block_verify"),
+		VerifyVSCC:   h("vscc"),
+		MVCC:         h("mvcc"),
+		StateDB:      h("statedb"),
+		LedgerCommit: h("ledger_commit"),
+		PrefetchWait: h("prefetch_wait"),
+		Total:        h("total"),
+	}
+}
+
+// ObserveBlock records one committed block's stage breakdown. All arguments
+// are the validator.Breakdown fields of that block; a nil receiver ignores
+// the call (one branch, telemetry off).
+func (m *ValidatorMetrics) ObserveBlock(txs int, unmarshal, blockVerify, vscc, mvcc, statedb, ledger, prefetchWait, total time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Blocks.Inc()
+	m.Txs.Add(int64(txs))
+	m.Unmarshal.Observe(unmarshal)
+	m.BlockVerify.Observe(blockVerify)
+	m.VerifyVSCC.Observe(vscc)
+	m.MVCC.Observe(mvcc)
+	m.StateDB.Observe(statedb)
+	m.LedgerCommit.Observe(ledger)
+	m.PrefetchWait.Observe(prefetchWait)
+	m.Total.Observe(total)
+}
+
+// OrdererMetrics counts ordering-service activity: blocks/txs cut plus the
+// reason each batch closed (size-triggered vs timeout-triggered cuts).
+type OrdererMetrics struct {
+	Blocks, Txs           *Counter
+	SizeCuts, TimeoutCuts *Counter
+}
+
+// NewOrdererMetrics builds the bundle; nil registry returns nil.
+func NewOrdererMetrics(r *Registry) *OrdererMetrics {
+	if r == nil {
+		return nil
+	}
+	return &OrdererMetrics{
+		Blocks:      r.Counter("orderer_blocks_total"),
+		Txs:         r.Counter("orderer_txs_total"),
+		SizeCuts:    r.Counter("orderer_cuts_total{reason=\"size\"}"),
+		TimeoutCuts: r.Counter("orderer_cuts_total{reason=\"timeout\"}"),
+	}
+}
+
+// ObserveBlock records one cut block.
+func (m *OrdererMetrics) ObserveBlock(txs int) {
+	if m == nil {
+		return
+	}
+	m.Blocks.Inc()
+	m.Txs.Add(int64(txs))
+}
+
+// ObserveCut records why one batch closed.
+func (m *OrdererMetrics) ObserveCut(size bool) {
+	if m == nil {
+		return
+	}
+	if size {
+		m.SizeCuts.Inc()
+	} else {
+		m.TimeoutCuts.Inc()
+	}
+}
+
+// LoadMetrics carries the load generator's end-to-end view: transactions
+// submitted/committed/late-scheduled and the submit→commit latency
+// histogram.
+type LoadMetrics struct {
+	Submitted, Committed, Late *Counter
+	E2E                        *Histogram
+}
+
+// NewLoadMetrics builds the bundle; nil registry returns nil.
+func NewLoadMetrics(r *Registry) *LoadMetrics {
+	if r == nil {
+		return nil
+	}
+	return &LoadMetrics{
+		Submitted: r.Counter("load_submitted_txs_total"),
+		Committed: r.Counter("load_committed_txs_total"),
+		Late:      r.Counter("load_late_txs_total"),
+		E2E:       r.Histogram("load_e2e_seconds"),
+	}
+}
+
+// ObserveSubmit records one submitted transaction.
+func (m *LoadMetrics) ObserveSubmit() {
+	if m == nil {
+		return
+	}
+	m.Submitted.Inc()
+}
+
+// ObserveLate records one open-loop arrival that fired behind schedule.
+func (m *LoadMetrics) ObserveLate() {
+	if m == nil {
+		return
+	}
+	m.Late.Inc()
+}
+
+// ObserveCommit records one committed transaction and its e2e latency.
+func (m *LoadMetrics) ObserveCommit(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Committed.Inc()
+	m.E2E.Observe(d)
+}
+
+// PeerDeliveryMetrics carries one delivery pipe's counters. Lag is exported
+// separately as a GaugeFunc by the delivery service (it is computed from
+// ledger height at scrape time, not maintained on the hot path).
+type PeerDeliveryMetrics struct {
+	Blocks, Bytes, Dropped  *Counter
+	CaughtUp, Redials, Errs *Counter
+}
+
+// NewPeerDeliveryMetrics builds the bundle for one subscribed peer; nil
+// registry returns nil.
+func NewPeerDeliveryMetrics(r *Registry, peer string) *PeerDeliveryMetrics {
+	if r == nil {
+		return nil
+	}
+	c := func(base string) *Counter { return r.Counter(Name(base, "peer", peer)) }
+	return &PeerDeliveryMetrics{
+		Blocks:   c("delivery_blocks_total"),
+		Bytes:    c("delivery_bytes_total"),
+		Dropped:  c("delivery_dropped_total"),
+		CaughtUp: c("delivery_catchup_blocks_total"),
+		Redials:  c("delivery_redials_total"),
+		Errs:     c("delivery_send_errors_total"),
+	}
+}

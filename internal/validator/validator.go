@@ -32,6 +32,7 @@ import (
 	"bmac/internal/ledger"
 	"bmac/internal/policy"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
 )
 
 // Breakdown records where validation time went for one block, mirroring the
@@ -127,6 +128,10 @@ type Config struct {
 	// an envelope decoded by any sharing path is unmarshaled once per
 	// process (parse-once). Cached results are shared and read-only.
 	ParseCache *ParseCache
+	// Metrics, when non-nil, mirrors each committed block's Breakdown into
+	// the telemetry registry's per-stage histograms. Nil (telemetry off)
+	// costs one predicted branch per block.
+	Metrics *telemetry.ValidatorMetrics
 }
 
 // VerifyOpts bundles the optional verification accelerators threaded
@@ -299,6 +304,8 @@ func (v *Validator) validateParsed(b *block.Block, txs []ParsedTx, start time.Ti
 
 	bd.Total = time.Since(start)
 	res.Breakdown = bd
+	v.cfg.Metrics.ObserveBlock(len(txs), bd.Unmarshal, bd.BlockVerify, bd.VerifyVSCC,
+		bd.MVCC, bd.StateDB, bd.LedgerCommit, bd.PrefetchWait, bd.Total)
 	return res, nil
 }
 

@@ -7,6 +7,11 @@
 # tolerance. Wall time is deliberately NOT gated — only allocation counts
 # are stable enough across CI machines.
 #
+# The suite includes the telemetry-off gate: block_validate_telemetry_off
+# runs block validation with the telemetry plane disabled (nil instruments)
+# and must match the committed baseline — the zero-cost-when-off contract
+# of the telemetry plane. A baseline predating that row fails fast below.
+#
 # Usage: scripts/benchgate.sh [baseline.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +19,11 @@ cd "$(dirname "$0")/.."
 baseline="${1:-BENCH_hotpath.json}"
 if [ ! -f "$baseline" ]; then
     echo "benchgate: baseline $baseline not found" >&2
+    echo "benchgate: regenerate with: go run ./cmd/bmacbench -exp hotpath -json $baseline" >&2
+    exit 1
+fi
+if ! grep -q '"block_validate_telemetry_off"' "$baseline"; then
+    echo "benchgate: baseline $baseline lacks the telemetry-off gate row" >&2
     echo "benchgate: regenerate with: go run ./cmd/bmacbench -exp hotpath -json $baseline" >&2
     exit 1
 fi
