@@ -1,0 +1,77 @@
+// Command bmaclint is the repo's custom static-analysis driver: a
+// multichecker running the internal/analysis suite (aliasguard, nilsafe,
+// guardedby, errdiscard) over the packages matching the given patterns.
+//
+// Usage:
+//
+//	bmaclint [flags] [packages]
+//
+//	-only name[,name]   run only the named analyzers
+//	-annotations        guardedby validates annotations without checking
+//	                    accesses (the fast mode scripts/doclint.sh runs)
+//	-list               print the analyzer suite and exit
+//
+// With no package patterns, ./... is analyzed. Exit status 1 means
+// findings were reported; 2 means the analysis itself failed (a package
+// did not type-check, go list failed, ...). scripts/lint.sh runs
+// `bmaclint ./...` as the contract-enforcement step of CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bmac/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	annotations := flag.Bool("annotations", false, "guardedby: validate annotations only, skip access checks")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmaclint:", err)
+		os.Exit(2)
+	}
+	if *annotations {
+		for i, a := range analyzers {
+			if a == analysis.GuardedBy {
+				analyzers[i] = analysis.GuardedByAnnotationsOnly
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(".")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmaclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmaclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bmaclint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

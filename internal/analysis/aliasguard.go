@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasGuard machine-checks the two sharp-edged contracts the zero-copy
+// hot path rests on (internal/block package comment, internal/wire/pool.go):
+//
+//  1. PutBuf-while-aliased: `wire.PutBuf(buf)` must not run while a
+//     structure decoded from buf by an aliasing decoder (block.Unmarshal
+//     and friends) is still live — i.e. the decode result is used after
+//     the PutBuf, or escapes the function entirely. A recycled buffer is
+//     rewritten by the next marshal, silently corrupting every alias.
+//
+//  2. Escaping pooled aliases: a decode result that aliases a buffer
+//     obtained from `wire.GetBuf` must not escape the function (returned,
+//     stored into a field, element or package variable, sent on a
+//     channel, or captured by a closure). Pool buffers are recycled by
+//     construction; an escaping alias is a use-after-recycle waiting for
+//     pool pressure. `block.UnmarshalCopy` is the escape hatch — it
+//     detaches the result and is deliberately absent from the aliasing
+//     decoder set.
+//
+// The analysis is per-function and flow-insensitive, with two
+// sharpenings that remove the common false positives: only
+// reference-kind uses count (reading a decoded uint64 or string field
+// copies, so it cannot observe a recycle), and a PutBuf inside a block
+// that ends in return only sees uses on its own path. A deferred PutBuf
+// counts as running at function exit.
+var AliasGuard = &Analyzer{
+	Name: "aliasguard",
+	Doc: "wire.PutBuf must not recycle a buffer still aliased by a " +
+		"block.Unmarshal result, and aliases of pooled buffers must not escape " +
+		"(use block.UnmarshalCopy to detach)",
+	Run: runAliasGuard,
+}
+
+// decodeSite is one aliasing-decoder call inside a function.
+type decodeSite struct {
+	buf     types.Object   // the ident argument (nil when not a plain variable)
+	results []types.Object // non-error, non-blank LHS objects
+	pos     token.Pos
+	decoder string // qualified name for messages
+}
+
+// putSite is one wire.PutBuf call.
+type putSite struct {
+	buf   types.Object
+	pos   token.Pos // effective position: function end for deferred puts
+	limit token.Pos // uses past this position are on other paths
+	at    token.Pos // source position diagnostics anchor to
+}
+
+func runAliasGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAliasFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkAliasFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var (
+		poolBufs = map[types.Object]bool{} // vars derived from wire.GetBuf
+		decodes  []decodeSite
+		puts     []putSite
+	)
+
+	// Pass 1: collect pool buffers (with alias propagation through plain
+	// assignments and reslicings), decode sites, and PutBuf sites. The
+	// walk keeps the ancestor stack so puts know their defer status and
+	// enclosing block.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			collectAssign(pass, st, poolBufs, &decodes)
+		case *ast.CallExpr:
+			if isCallTo(info, st, poolPut) && len(st.Args) == 1 {
+				if obj := identObj(info, st.Args[0]); obj != nil {
+					puts = append(puts, newPutSite(fd, stack, st, obj))
+				}
+			}
+		}
+		return true
+	})
+
+	for i := range decodes {
+		d := &decodes[i]
+		if d.buf == nil || len(d.results) == 0 {
+			continue
+		}
+		aliasSet := resultAliases(pass, fd, d.results)
+		resultEscapes := escapes(pass, fd, aliasSet)
+
+		// Rule 1: PutBuf on the decoded buffer while the result lives on.
+		for _, p := range puts {
+			if p.buf != d.buf || p.pos < d.pos {
+				continue
+			}
+			if resultEscapes {
+				pass.Reportf(p.at,
+					"wire.PutBuf(%s) recycles a buffer whose %s result escapes this function; use block.UnmarshalCopy or drop the PutBuf",
+					d.buf.Name(), d.decoder)
+			} else if usedBetween(pass, fd, aliasSet, p.pos, p.limit) {
+				pass.Reportf(p.at,
+					"wire.PutBuf(%s) while the %s result still aliases it (used below); move the PutBuf after the last use or use block.UnmarshalCopy",
+					d.buf.Name(), d.decoder)
+			}
+		}
+
+		// Rule 2: alias of a pooled buffer escaping the function.
+		if poolBufs[d.buf] && resultEscapes {
+			pass.Reportf(d.pos,
+				"%s result aliases pooled buffer %s (from wire.GetBuf) and escapes this function; use block.UnmarshalCopy or an unpooled buffer",
+				d.decoder, d.buf.Name())
+		}
+	}
+}
+
+// newPutSite computes a put's effective position (function end when
+// deferred) and visibility limit (end of its enclosing block when that
+// block terminates in a return — uses beyond it run on other paths).
+func newPutSite(fd *ast.FuncDecl, stack []ast.Node, call *ast.CallExpr, obj types.Object) putSite {
+	p := putSite{buf: obj, pos: call.Pos(), limit: fd.Body.End(), at: call.Pos()}
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.DeferStmt:
+			p.pos = fd.Body.End()
+			return p
+		case *ast.BlockStmt:
+			if n := len(anc.List); n > 0 {
+				if _, terminates := anc.List[n-1].(*ast.ReturnStmt); terminates {
+					p.limit = anc.End()
+				}
+			}
+			return p
+		}
+	}
+	return p
+}
+
+// collectAssign records pool-buffer origins/aliases and decode sites from
+// one assignment.
+func collectAssign(pass *Pass, st *ast.AssignStmt, poolBufs map[types.Object]bool, decodes *[]decodeSite) {
+	info := pass.TypesInfo
+
+	// Single-call RHS: buf := wire.GetBuf(n) | b, err := block.Unmarshal(buf).
+	if len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			if isCallTo(info, call, poolGet) {
+				if obj := defOrUse(info, st.Lhs[0]); obj != nil {
+					poolBufs[obj] = true
+				}
+				return
+			}
+			if name := aliasingDecoderName(info, call); name != "" && len(call.Args) >= 1 {
+				d := decodeSite{
+					buf:     identObj(info, call.Args[0]),
+					pos:     call.Pos(),
+					decoder: name,
+				}
+				for _, lhs := range st.Lhs {
+					if obj := defOrUse(info, lhs); obj != nil && !isErrorType(objType(obj)) {
+						d.results = append(d.results, obj)
+					}
+				}
+				*decodes = append(*decodes, d)
+				return
+			}
+		}
+	}
+
+	// Alias propagation: b2 := buf | b2 := buf[:n] | buf = append(buf, ...).
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break
+		}
+		lobj := defOrUse(info, lhs)
+		if lobj == nil {
+			continue
+		}
+		if src := sliceBaseObj(info, st.Rhs[i]); src != nil && poolBufs[src] {
+			poolBufs[lobj] = true
+		}
+	}
+}
+
+// sliceBaseObj resolves the variable an expression aliases through plain
+// idents, reslicings, and append calls (nil when none).
+func sliceBaseObj(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[v]
+	case *ast.SliceExpr:
+		return sliceBaseObj(info, v.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "append" && len(v.Args) > 0 {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return sliceBaseObj(info, v.Args[0])
+			}
+		}
+	}
+	return nil
+}
+
+// resultAliases widens a decode's result objects with locals assigned
+// from them (plain ident assignments, iterated to a fixpoint).
+func resultAliases(pass *Pass, fd *ast.FuncDecl, results []types.Object) map[types.Object]bool {
+	info := pass.TypesInfo
+	set := map[types.Object]bool{}
+	for _, r := range results {
+		set[r] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				src := identObj(info, rhs)
+				if src == nil || !set[src] {
+					continue
+				}
+				if dst := defOrUse(info, as.Lhs[i]); dst != nil && !set[dst] {
+					set[dst] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// forEachAliasUse calls fn for every reference-kind use of an alias under
+// root: a bare alias ident, a selector path rooted at one whose type
+// still carries references into the buffer, or any index expression
+// rooted at one. Selector reads that copy out a value (numeric or string
+// fields — decoded strings are copies held in the struct) are skipped:
+// they cannot observe a recycle. Index reads are never skipped — even a
+// basic-typed b.PayloadBytes[0] dereferences buffer memory.
+func forEachAliasUse(info *types.Info, root ast.Node, aliasSet map[types.Object]bool, fn func(token.Pos)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if !aliasRooted(info, e, aliasSet) {
+				return true
+			}
+			if exprIsBasic(info, e) {
+				return false // field-value copy: safe after recycle
+			}
+			fn(e.Pos())
+			return false
+		case *ast.IndexExpr:
+			if !aliasRooted(info, e, aliasSet) {
+				return true
+			}
+			fn(e.Pos())
+			return false
+		case *ast.Ident:
+			if aliasSet[info.Uses[e]] {
+				fn(e.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// exprIsBasic reports whether an expression's static type is a basic
+// (value-copied) type.
+func exprIsBasic(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, basic := tv.Type.Underlying().(*types.Basic)
+	return basic
+}
+
+// aliasRooted reports whether a selector/index path bottoms out at an
+// alias identifier.
+func aliasRooted(info *types.Info, e ast.Expr, aliasSet map[types.Object]bool) bool {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.Ident:
+			return aliasSet[info.Uses[v]]
+		default:
+			return false
+		}
+	}
+}
+
+// escapes reports whether any alias of the decode result leaves the
+// function: returned, assigned to a field/element/package variable, sent
+// on a channel, captured by a closure, or placed in a composite literal
+// (conservative: composites routinely outlive the statement).
+func escapes(pass *Pass, fd *ast.FuncDecl, aliasSet map[types.Object]bool) bool {
+	info := pass.TypesInfo
+	found := false
+	usesAlias := func(e ast.Node) bool {
+		hit := false
+		forEachAliasUse(info, e, aliasSet, func(token.Pos) { hit = true })
+		return hit
+	}
+	// A value of basic type is a copy — no alias can travel through it,
+	// so `return len(b.Envelopes)` or storing int(h.Number) never escape.
+	transports := func(e ast.Expr) bool {
+		return !exprIsBasic(info, e) && usesAlias(e)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if transports(r) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if transports(st.Value) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) || !transports(rhs) {
+					continue
+				}
+				if escapingLHS(info, st.Lhs[i]) {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if transports(el) {
+					found = true
+				}
+			}
+		case *ast.FuncLit:
+			if usesAlias(st.Body) {
+				found = true
+			}
+			return false // don't double-walk the body
+		}
+		return true
+	})
+	return found
+}
+
+// escapingLHS reports whether assigning to lhs stores outside the
+// function's locals: selectors (fields), index expressions, dereferences,
+// and package-level variables.
+func escapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := info.Uses[v]
+		if obj == nil {
+			obj = info.Defs[v]
+		}
+		// Package-scope destination escapes; locals don't.
+		return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}
+
+// usedBetween reports whether any alias has a reference-kind use in
+// (pos, limit) — after the PutBuf, on its path.
+func usedBetween(pass *Pass, fd *ast.FuncDecl, aliasSet map[types.Object]bool, pos, limit token.Pos) bool {
+	found := false
+	forEachAliasUse(pass.TypesInfo, fd.Body, aliasSet, func(p token.Pos) {
+		if p > pos && p < limit {
+			found = true
+		}
+	})
+	return found
+}
+
+// identObj resolves a plain identifier expression to its object.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// defOrUse resolves an assignment LHS ident whether it defines (:=) or
+// reuses (=) the variable.
+func defOrUse(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// objType returns an object's type (nil-safe).
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}

@@ -1,0 +1,124 @@
+// Package analysis is the repo's static-analysis toolkit: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic) plus the custom analyzers that
+// machine-check the hot-path contracts PRs 5–6 introduced:
+//
+//   - aliasguard: the block.Unmarshal zero-copy aliasing contract and the
+//     wire.GetBuf/PutBuf buffer-ownership contract
+//   - nilsafe: the telemetry "zero-cost-when-off" discipline (nil-receiver
+//     guards on instrument methods)
+//   - guardedby: `// guarded by <mu>` field annotations (mutex discipline)
+//   - errdiscard: no silently discarded error results from this module's
+//     packages
+//
+// The x/tools module is deliberately not imported: the toolkit loads
+// packages itself via `go list -export -json -deps` and type-checks the
+// analyzed packages from source with go/types, resolving imports through
+// the compiler's export data. That keeps bmaclint self-contained — it
+// builds offline with the standard library only.
+//
+// Contracts live where the code lives: analyzers are driven by source
+// annotations (`// guarded by mu`, `bmaclint:nilsafe`,
+// `bmaclint:allow errdiscard`) and by the documented function sets in
+// contracts.go. See ARCHITECTURE.md "Static analysis" for the annotation
+// reference.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks could migrate to
+// the upstream driver unchanged if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph help text shown by bmaclint -help.
+	Doc string
+	// Run analyzes one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types results for the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ModulePath is the import-path prefix of the module under analysis
+	// ("bmac" here); analyzers use it to scope rules to in-module code.
+	ModulePath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer —
+// the stable order bmaclint prints and tests compare against.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunAnalyzers applies each analyzer to each loaded package and returns
+// the combined, sorted findings.
+func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ModulePath: pkg.ModulePath,
+				report:     func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,178 @@
+// Package analysistest runs analyzers over fixture packages and compares
+// the diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own loader.
+//
+// Fixtures live under testdata/src/<importpath>/: the import path is the
+// directory's path relative to src, so fixtures can shadow module-style
+// paths (testdata/src/bmac/fixtures/errlib → import "bmac/fixtures/errlib").
+// Imports that no fixture provides — the standard library, and the repo's
+// real packages like bmac/internal/wire — resolve against the enclosing
+// module via go list, so fixtures exercise analyzers against the real
+// contract-bearing APIs.
+//
+// Expectation syntax: a comment `// want "re"` on a line asserts exactly
+// one diagnostic on that line whose message matches the regexp; multiple
+// quoted regexps assert multiple diagnostics. Lines without a want
+// comment must produce no diagnostics.
+package analysistest
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bmac/internal/analysis"
+)
+
+// TestData returns the test's testdata directory as an absolute path.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return abs
+}
+
+// Run loads each fixture package under dir/src, applies the analyzer, and
+// fails the test on any mismatch with the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(".")
+	overlay, err := discoverOverlay(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader.Overlay = overlay
+
+	var pkgs []*analysis.LoadedPackage
+	for _, path := range pkgPaths {
+		lp, err := loader.LoadOverlay(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, overlay, pkgPaths)
+	matchDiagnostics(t, diags, wants)
+}
+
+// discoverOverlay maps every directory under src containing .go files to
+// its slash-separated import path.
+func discoverOverlay(src string) (map[string]string, error) {
+	overlay := map[string]string{}
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(src, dir)
+		if err != nil {
+			return err
+		}
+		overlay[filepath.ToSlash(rel)] = dir
+		return nil
+	})
+	return overlay, err
+}
+
+// want is one expectation: a line that must produce a matching diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe matches one quoted or backquoted regexp inside a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans the fixture sources of the packages under test for
+// // want comments.
+func collectWants(t *testing.T, overlay map[string]string, pkgPaths []string) []*want {
+	t.Helper()
+	var wants []*want
+	for _, path := range pkgPaths {
+		dir := overlay[path]
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, e := range ents {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			file := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			for i, lineText := range strings.Split(string(data), "\n") {
+				idx := strings.Index(lineText, "// want ")
+				if idx < 0 {
+					continue
+				}
+				spec := lineText[idx+len("// want "):]
+				lits := wantRe.FindAllString(spec, -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s:%d: malformed want comment: %s", file, i+1, spec)
+				}
+				for _, lit := range lits {
+					var pattern string
+					if lit[0] == '`' {
+						pattern = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want literal %s: %v", file, i+1, lit, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", file, i+1, pattern, err)
+					}
+					wants = append(wants, &want{file: file, line: i + 1, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchDiagnostics pairs each diagnostic with an unmatched want on its
+// line and reports leftovers in both directions.
+func matchDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Annotation markers recognized across the analyzers. They are ordinary
+// comments, so the code still reads naturally without the toolchain:
+//
+//	// guarded by mu                         (struct field: mutex discipline)
+//	// bmaclint:nilsafe                      (type: nil receivers must be guarded)
+//	// bmaclint:holds mu                     (func: caller guarantees mu is held)
+//	// bmaclint:allow errdiscard (reason)    (stmt: discarded error is intentional)
+const (
+	markerNilSafe  = "bmaclint:nilsafe"
+	markerHolds    = "bmaclint:holds"
+	markerAllow    = "bmaclint:allow"
+	markerGuarded  = "guarded by"
+	suffixLocked   = "Locked"
+	prefixAnalyzer = "bmaclint"
+)
+
+// guardedByRe extracts the mutex field name from a `// guarded by <mu>`
+// annotation. The name must be a plain identifier: the mutex is required
+// to be a sibling field of the annotated one.
+var guardedByRe = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)\b`)
+
+// nilSafeProseRe matches the documentation convention predating the
+// marker: "A nil Counter is valid ...". Types documented this way opt in
+// to nilsafe checking without a separate annotation.
+var nilSafeProseRe = regexp.MustCompile(`\bA nil [A-Za-z_][A-Za-z0-9_]* is valid\b`)
+
+// heldProseRe matches the doc convention for lock-expecting helpers:
+// "... must be called with s.mu held". Such functions are exempt from
+// guardedby at their access sites (their callers carry the obligation).
+// \s crosses newlines deliberately: doc comments wrap, and "with r.mu"
+// routinely lands on a different line than "held".
+var heldProseRe = regexp.MustCompile(`must be called with(?:\s+\S+){0,5}\s+held\b`)
+
+// commentText flattens a comment group to its text ("" for nil).
+func commentText(g *ast.CommentGroup) string {
+	if g == nil {
+		return ""
+	}
+	return g.Text()
+}
+
+// fileOf returns the *ast.File of pass.Files containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// lineHasMarker reports whether a comment carrying marker (plus any
+// arguments in args, all of which must appear) is attached to the source
+// line at pos: either trailing on the same line or alone on the line
+// directly above.
+func (p *Pass) lineHasMarker(pos token.Pos, marker string, args ...string) bool {
+	f := p.fileOf(pos)
+	if f == nil {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	for _, g := range f.Comments {
+		gStart := p.Fset.Position(g.Pos()).Line
+		gEnd := p.Fset.Position(g.End()).Line
+		if gStart != line && gEnd != line-1 {
+			continue
+		}
+		text := g.Text()
+		if !strings.Contains(text, marker) {
+			continue
+		}
+		ok := true
+		for _, a := range args {
+			if !strings.Contains(text, a) {
+				ok = false
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

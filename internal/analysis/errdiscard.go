@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard flags discarded error results from this module's own
+// functions: `_ = f()` blank-assignments and bare call statements whose
+// callee is declared under the module path and returns an error. Errors
+// from the standard library are left to reviewers (flagging every
+// fmt.Fprintf would bury the signal); errors minted by our own packages
+// encode validation, durability and protocol failures the hot path must
+// not swallow.
+//
+// Intentional discards are annotated at the call site:
+//
+//	_ = h.Write(key, val, ver) // bmaclint:allow errdiscard (write-through never fails)
+//
+// so every swallowed error carries its justification in the diff. An
+// analyzer-level Allowlist of function display names (as printed in the
+// diagnostic) exists for generated or fixture code.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc: "flag discarded error results from in-module functions; " +
+		"annotate intentional discards with bmaclint:allow errdiscard (reason)",
+	Run: runErrDiscard,
+}
+
+// ErrDiscardAllowlist exempts functions by display name, e.g.
+// "(*statedb.HybridKVS).Write". Checked after inline annotations.
+var ErrDiscardAllowlist = map[string]bool{}
+
+func runErrDiscard(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				checkDiscardAssign(pass, st)
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkBareCall(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardAssign flags `_ = f()` (and `v, _ := f()` when the blank
+// slot is f's error result).
+func checkDiscardAssign(pass *Pass, st *ast.AssignStmt) {
+	// Single call, multiple results: v, _ := f().
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				reportDiscard(pass, lhs.Pos(), call)
+			}
+		}
+		return
+	}
+	// Parallel form: _ = f(), or a, _ = f(), g().
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) || i >= len(st.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[call]; ok && isErrorType(tv.Type) {
+			reportDiscard(pass, lhs.Pos(), call)
+		}
+	}
+}
+
+// checkBareCall flags expression-statement calls that drop an error
+// result on the floor entirely.
+func checkBareCall(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	errIdx := -1
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				errIdx = i
+			}
+		}
+	default:
+		if isErrorType(tv.Type) {
+			errIdx = 0
+		}
+	}
+	if errIdx >= 0 {
+		reportDiscard(pass, call.Pos(), call)
+	}
+}
+
+// reportDiscard emits the diagnostic unless the callee is outside the
+// module, allowlisted, or the statement carries an inline allow marker.
+func reportDiscard(pass *Pass, pos token.Pos, call *ast.CallExpr) {
+	fn, ok := calleeObject(pass.TypesInfo, call).(*types.Func)
+	if !ok || !inModule(pass, fn) {
+		return
+	}
+	name := funcDisplayName(fn)
+	if ErrDiscardAllowlist[name] {
+		return
+	}
+	if pass.lineHasMarker(pos, markerAllow, "errdiscard") {
+		return
+	}
+	pass.Reportf(pos, "error result of %s discarded; handle it or annotate the line with // %s errdiscard (reason)", name, markerAllow)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// inModule reports whether fn is declared in the analyzed module.
+func inModule(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == pass.ModulePath || strings.HasPrefix(path, pass.ModulePath+"/")
+}

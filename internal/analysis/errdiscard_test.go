@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bmac/internal/analysis"
+	"bmac/internal/analysis/analysistest"
+)
+
+func TestErrDiscard(t *testing.T) {
+	analysis.ErrDiscardAllowlist["errlib.Allowed"] = true
+	defer delete(analysis.ErrDiscardAllowlist, "errlib.Allowed")
+	analysistest.Run(t, analysistest.TestData(t), analysis.ErrDiscard, "bmac/fixtures/errdiscard")
+}

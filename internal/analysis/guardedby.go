@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: a struct
+// field carrying the annotation may only be read or written in functions
+// that demonstrably hold the named mutex. The check is annotation-driven
+// and deliberately approximate — it is a tripwire for the common mistakes
+// (a new method touching shared state without the lock), not a proof of
+// data-race freedom; `go test -race` remains the dynamic backstop.
+//
+// An access `x.field` is accepted when the enclosing function
+//
+//   - calls x.mu.Lock() or x.mu.RLock() earlier in the source (the
+//     standard lock/defer-unlock prologue), where x is the same base
+//     expression, or
+//   - is named with the repo's *Locked suffix convention, or documents
+//     "... must be called with <mu> held", or carries `bmaclint:holds <mu>`
+//     (the caller owns the obligation), or
+//   - accesses the field through a variable the function itself created
+//     from a fresh composite literal or new() — constructors initialize
+//     before the value is shared, no lock required.
+//
+// The annotation itself is validated: naming a field that does not exist
+// in the struct, or one that is not a sync.Mutex/sync.RWMutex, is an
+// error (scripts/doclint.sh relies on this via bmaclint -only guardedby).
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed with " +
+		"that mutex held (lock call, *Locked convention, or bmaclint:holds)",
+	Run: func(pass *Pass) error { return runGuardedBy(pass, false) },
+}
+
+// GuardedByAnnotationsOnly validates annotation well-formedness without
+// checking accesses — the cheap mode doclint runs.
+var GuardedByAnnotationsOnly = &Analyzer{
+	Name: "guardedby",
+	Doc:  "validate `// guarded by <mu>` annotations name an existing sibling mutex field",
+	Run:  func(pass *Pass) error { return runGuardedBy(pass, true) },
+}
+
+func runGuardedBy(pass *Pass, annotationsOnly bool) error {
+	guarded := collectGuardedFields(pass)
+	if annotationsOnly || len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncAccesses(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields scans struct declarations for annotated fields,
+// validating each annotation. Returns field object → mutex field name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			fieldNames := map[string]*ast.Field{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = fld
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardedAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				muField, ok := fieldNames[mu]
+				if !ok {
+					pass.Reportf(fld.Pos(),
+						"`guarded by %s` names a field that does not exist in this struct", mu)
+					continue
+				}
+				if !isMutexType(pass.TypesInfo.Types[muField.Type].Type) {
+					pass.Reportf(fld.Pos(),
+						"`guarded by %s` names a field that is not a sync.Mutex or sync.RWMutex", mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedAnnotation extracts the mutex name from a field's doc or
+// trailing comment ("" when unannotated).
+func guardedAnnotation(fld *ast.Field) string {
+	for _, g := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if m := guardedByRe.FindStringSubmatch(commentText(g)); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to either.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkFuncAccesses reports unguarded accesses to annotated fields inside
+// one function.
+func checkFuncAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	lockedFn := strings.HasSuffix(fd.Name.Name, suffixLocked) ||
+		strings.HasSuffix(fd.Name.Name, "locked")
+	doc := commentText(fd.Doc)
+	holdsAll := heldProseRe.MatchString(doc)
+
+	// Lock-call sites: exprString(base) + "." + muName → earliest position.
+	locks := map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key := types.ExprString(muSel.X) + "." + muSel.Sel.Name
+		if p, seen := locks[key]; !seen || call.Pos() < p {
+			locks[key] = call.Pos()
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, isGuarded := guarded[selection.Obj()]
+		if !isGuarded {
+			return true
+		}
+		if lockedFn || holdsAll {
+			return true
+		}
+		if strings.Contains(doc, markerHolds+" "+mu) {
+			return true
+		}
+		base := ast.Unparen(sel.X)
+		if lockPos, ok := locks[types.ExprString(base)+"."+mu]; ok && lockPos < sel.Pos() {
+			return true
+		}
+		if freshLocal(pass, fd, base) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"access to %s.%s (guarded by %s) without %s.%s held: lock it, rename the function with a Locked suffix, or annotate it with // %s %s",
+			types.ExprString(base), sel.Sel.Name, mu, types.ExprString(base), mu, markerHolds, mu)
+		return true
+	})
+}
+
+// freshLocal reports whether base is a variable this function created
+// from a fresh value (&T{...}, T{...}, or new(T)) — an object that cannot
+// yet be shared, so its guarded fields may be initialized lock-free.
+func freshLocal(pass *Pass, fd *ast.FuncDecl, base ast.Expr) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fresh := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[lid] != obj && pass.TypesInfo.Uses[lid] != obj {
+				continue
+			}
+			if isFreshValue(pass, as.Rhs[i]) {
+				fresh = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshValue reports whether e constructs a brand-new value.
+func isFreshValue(pass *Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, isLit := ast.Unparen(v.X).(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	PkgPath    string
+	Dir        string
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks packages without golang.org/x/tools.
+//
+// Analyzed packages are parsed and type-checked from source; their imports
+// are satisfied from compiler export data discovered via
+// `go list -export -json -deps`, so a load is as fast as a cached build.
+// Overlay maps import paths to fixture source directories — the
+// analysistest harness uses it to inject testdata packages that shadow (or
+// extend) the real module; overlay packages and their overlay imports are
+// type-checked from source recursively, while non-overlay imports fall
+// back to export data.
+type Loader struct {
+	// Dir is the working directory for go list invocations; it must be
+	// inside the module under analysis. Empty means the process cwd.
+	Dir string
+	// Overlay maps an import path to a directory of fixture source files.
+	Overlay map[string]string
+
+	fset    *token.FileSet
+	listed  map[string]*listPkg
+	checked map[string]*types.Package // packages imported from export data or overlay source
+	gcImp   types.Importer
+	module  string
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Dir:     dir,
+		Overlay: map[string]string{},
+		fset:    token.NewFileSet(),
+		listed:  map[string]*listPkg{},
+		checked: map[string]*types.Package{},
+	}
+	l.gcImp = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// Load lists the packages matching patterns (go list syntax, e.g. "./...")
+// and type-checks each from source, ready for analysis.
+func (l *Loader) Load(patterns ...string) ([]*LoadedPackage, error) {
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*LoadedPackage
+	for _, path := range targets {
+		lp, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// LoadOverlay type-checks one overlay (fixture) package as an analysis
+// target.
+func (l *Loader) LoadOverlay(path string) (*LoadedPackage, error) {
+	if _, ok := l.Overlay[path]; !ok {
+		return nil, fmt.Errorf("analysis: %s is not an overlay package", path)
+	}
+	return l.check(path)
+}
+
+// ModulePath reports the module path of the packages under analysis,
+// discovered from go list (falls back to "bmac" for pure-overlay loads
+// that never touch the module).
+func (l *Loader) ModulePath() string {
+	if l.module == "" {
+		if out, err := l.run("go", "list", "-m"); err == nil {
+			l.module = strings.TrimSpace(string(out))
+		}
+	}
+	if l.module == "" {
+		l.module = "bmac"
+	}
+	return l.module
+}
+
+// goList runs go list with -export -deps over patterns, recording every
+// result, and returns the non-dep-only (target) import paths in order.
+func (l *Loader) goList(patterns ...string) ([]string, error) {
+	args := append([]string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Module,Error", "-deps"}, patterns...)
+	out, err := l.run("go", args...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		l.listed[p.ImportPath] = p
+		if !p.DepOnly {
+			if p.Module != nil && l.module == "" {
+				l.module = p.Module.Path
+			}
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	return targets, nil
+}
+
+func (l *Loader) run(name string, args ...string) ([]byte, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s %s: %v\n%s", name, strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// lookupExport feeds the gc importer the export-data file for path,
+// discovering it via go list on first miss.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	p, ok := l.listed[path]
+	if !ok || p.Export == "" {
+		if _, err := l.goList(path); err != nil {
+			return nil, err
+		}
+		p, ok = l.listed[path]
+	}
+	if !ok || p.Export == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(p.Export)
+}
+
+// Import implements types.Importer: overlay packages come from source,
+// everything else from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if _, ok := l.Overlay[path]; ok {
+		lp, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Types, nil
+	}
+	pkg, err := l.gcImp.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// sourceFiles returns the directory and build-constrained .go files of
+// path: the overlay directory for overlay packages (every non-test .go
+// file), or go list's GoFiles for module packages.
+func (l *Loader) sourceFiles(path string) (string, []string, error) {
+	if dir, ok := l.Overlay[path]; ok {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", nil, fmt.Errorf("analysis: overlay %s: %w", path, err)
+		}
+		var files []string
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, name)
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return "", nil, fmt.Errorf("analysis: overlay %s: no Go files in %s", path, dir)
+		}
+		return dir, files, nil
+	}
+	p, ok := l.listed[path]
+	if !ok {
+		if _, err := l.goList(path); err != nil {
+			return "", nil, err
+		}
+		p = l.listed[path]
+	}
+	if p == nil {
+		return "", nil, fmt.Errorf("analysis: package %q not found", path)
+	}
+	return p.Dir, p.GoFiles, nil
+}
+
+// check parses and type-checks path from source.
+func (l *Loader) check(path string) (*LoadedPackage, error) {
+	dir, names, err := l.sourceFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	l.checked[path] = pkg
+	return &LoadedPackage{
+		PkgPath:    path,
+		Dir:        dir,
+		ModulePath: l.ModulePath(),
+		Fset:       l.fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}

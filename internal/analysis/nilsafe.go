@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NilSafe enforces the telemetry plane's zero-cost-when-off discipline: a
+// type that declares itself nil-safe — by the documented prose convention
+// ("A nil Counter is valid ...") or the explicit `bmaclint:nilsafe`
+// marker in its doc comment — must guard every exported pointer-receiver
+// method against a nil receiver.
+//
+// A method satisfies the contract when either
+//
+//   - its first statement is `if recv == nil { return ... }` (extra
+//     conditions may be ||-chained, as in Counter.Add's `c == nil || n <= 0`), or
+//   - every use of the receiver is a call to another method of the same
+//     type that itself satisfies the contract (delegating readouts like
+//     Histogram.Snapshot), computed to a fixpoint.
+//
+// Disabled telemetry is represented by nil instruments everywhere, so a
+// missing guard is a latent panic on every configuration with the plane
+// off — exactly the class of bug that survives testing with telemetry on.
+var NilSafe = &Analyzer{
+	Name: "nilsafe",
+	Doc: "exported pointer-receiver methods on nil-safe instrument types " +
+		"must begin with a nil-receiver guard (or delegate only to guarded methods)",
+	Run: runNilSafe,
+}
+
+// nsMethod is one pointer-receiver method of a nil-safe type.
+type nsMethod struct {
+	decl     *ast.FuncDecl
+	recvObj  types.Object // receiver variable (nil when unnamed)
+	typeName string
+	guarded  bool // first statement is a nil guard
+	accepted bool // guarded, or delegates only to accepted methods
+}
+
+func runNilSafe(pass *Pass) error {
+	safeTypes := nilSafeTypes(pass)
+	if len(safeTypes) == 0 {
+		return nil
+	}
+
+	// Collect every pointer-receiver method of the marked types (exported
+	// and unexported: unexported ones participate in delegation chains).
+	byType := map[*types.TypeName][]*nsMethod{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			tn := recvTypeName(pass, fd)
+			if tn == nil || !safeTypes[tn] {
+				continue
+			}
+			m := &nsMethod{decl: fd, typeName: tn.Name()}
+			if names := fd.Recv.List[0].Names; len(names) > 0 && names[0].Name != "_" {
+				m.recvObj = pass.TypesInfo.Defs[names[0]]
+			}
+			m.guarded = hasNilGuard(pass, fd, m.recvObj)
+			m.accepted = m.guarded
+			byType[tn] = append(byType[tn], m)
+		}
+	}
+
+	for tn, methods := range byType {
+		acceptDelegating(pass, tn, methods)
+		for _, m := range methods {
+			if !m.accepted && ast.IsExported(m.decl.Name.Name) {
+				pass.Reportf(m.decl.Pos(),
+					"exported method (*%s).%s must begin with a nil-receiver guard: %s is nil-safe (nil instruments represent disabled telemetry)",
+					m.typeName, m.decl.Name.Name, m.typeName)
+			}
+		}
+	}
+	return nil
+}
+
+// nilSafeTypes finds the type declarations marked nil-safe.
+func nilSafeTypes(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := commentText(ts.Doc)
+				if doc == "" {
+					doc = commentText(gd.Doc)
+				}
+				if !nilSafeMarked(doc) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func nilSafeMarked(doc string) bool {
+	return doc != "" && (strings.Contains(doc, markerNilSafe) || nilSafeProseRe.MatchString(doc))
+}
+
+// recvTypeName resolves the named type of a method's pointer receiver
+// (nil for value receivers — a value receiver cannot observe a nil
+// pointer, the call itself dereferences).
+func recvTypeName(pass *Pass, fd *ast.FuncDecl) *types.TypeName {
+	t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// hasNilGuard reports whether the method's first statement is an if whose
+// condition checks recv == nil (possibly ||-chained with other tests) and
+// whose body returns.
+func hasNilGuard(pass *Pass, fd *ast.FuncDecl, recvObj types.Object) bool {
+	if recvObj == nil {
+		// Unnamed receiver: the method cannot dereference it at all.
+		return true
+	}
+	if len(fd.Body.List) == 0 {
+		return true // empty body dereferences nothing
+	}
+	ifStmt, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condChecksNil(pass, ifStmt.Cond, recvObj) {
+		return false
+	}
+	n := len(ifStmt.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condChecksNil reports whether cond contains `recv == nil` at the top
+// level or anywhere in an ||-chain.
+func condChecksNil(pass *Pass, cond ast.Expr, recvObj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op.String() {
+	case "==":
+		return (isRecvIdent(pass, be.X, recvObj) && isNilIdent(be.Y)) ||
+			(isRecvIdent(pass, be.Y, recvObj) && isNilIdent(be.X))
+	case "||":
+		return condChecksNil(pass, be.X, recvObj) || condChecksNil(pass, be.Y, recvObj)
+	}
+	return false
+}
+
+func isRecvIdent(pass *Pass, e ast.Expr, recvObj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recvObj
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// acceptDelegating runs the fixpoint: a method whose every receiver use
+// is a call to an already-accepted method of the same type becomes
+// accepted itself, until no method changes.
+func acceptDelegating(pass *Pass, tn *types.TypeName, methods []*nsMethod) {
+	acceptedNames := func() map[string]bool {
+		m := map[string]bool{}
+		for _, meth := range methods {
+			if meth.accepted {
+				m[meth.decl.Name.Name] = true
+			}
+		}
+		return m
+	}
+	for changed := true; changed; {
+		changed = false
+		accepted := acceptedNames()
+		for _, m := range methods {
+			if m.accepted {
+				continue
+			}
+			if delegatesOnly(pass, m, accepted) {
+				m.accepted = true
+				changed = true
+			}
+		}
+	}
+}
+
+// delegatesOnly reports whether every use of the receiver in m's body is
+// the base of a method call to an accepted method of the same type.
+func delegatesOnly(pass *Pass, m *nsMethod, accepted map[string]bool) bool {
+	if m.recvObj == nil {
+		return true
+	}
+	// Mark receiver idents that appear as recv.M(...) with M accepted.
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != m.recvObj {
+			return true
+		}
+		if accepted[sel.Sel.Name] {
+			safe[base] = true
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || pass.TypesInfo.Uses[id] != m.recvObj {
+			return true
+		}
+		if !safe[id] {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}

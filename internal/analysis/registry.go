@@ -1,0 +1,43 @@
+package analysis
+
+import "fmt"
+
+// All returns the full analyzer suite in the order bmaclint runs it.
+func All() []*Analyzer {
+	return []*Analyzer{AliasGuard, NilSafe, GuardedBy, ErrDiscard}
+}
+
+// Select filters the suite by comma-separated analyzer names ("" selects
+// all). Unknown names are an error so CI typos fail loudly.
+func Select(only string) ([]*Analyzer, error) {
+	if only == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range splitComma(only) {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

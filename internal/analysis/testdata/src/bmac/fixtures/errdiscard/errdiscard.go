@@ -1,0 +1,68 @@
+// Package errdiscard is an analyzer fixture: discarded error results
+// from in-module callees must be flagged unless annotated or
+// allowlisted; out-of-module errors are out of scope.
+package errdiscard
+
+import (
+	"fmt"
+	"strconv"
+
+	"bmac/fixtures/errlib"
+)
+
+// blankAssign is the classic swallow.
+func blankAssign() {
+	_ = errlib.Fail() // want `error result of errlib\.Fail discarded`
+}
+
+// pairAssign keeps the value but drops the error slot.
+func pairAssign() int {
+	n, _ := errlib.Pair() // want `error result of errlib\.Pair discarded`
+	return n
+}
+
+// bareCall drops the whole return on the floor.
+func bareCall() {
+	errlib.Fail() // want `error result of errlib\.Fail discarded`
+}
+
+// methodDiscard shows the method display name in the diagnostic.
+func methodDiscard(s *errlib.Sink) {
+	_ = s.Close() // want `error result of \(\*errlib\.Sink\)\.Close discarded`
+}
+
+// allowSameLine is exempt: the discard carries its justification.
+func allowSameLine() {
+	_ = errlib.Fail() // bmaclint:allow errdiscard (fixture: intentional)
+}
+
+// allowLineAbove is the other accepted marker placement.
+func allowLineAbove() {
+	// bmaclint:allow errdiscard (fixture: intentional)
+	_ = errlib.Fail()
+}
+
+// allowlisted is exempt through ErrDiscardAllowlist, which the test sets
+// to {"errlib.Allowed": true}.
+func allowlisted() {
+	_ = errlib.Allowed()
+}
+
+// handled is the required pattern: no diagnostic.
+func handled() error {
+	if err := errlib.Fail(); err != nil {
+		return fmt.Errorf("fixture: %w", err)
+	}
+	return nil
+}
+
+// stdlibDiscard is out of scope: strconv is not under the module path.
+func stdlibDiscard() {
+	_, _ = strconv.Atoi("7")
+}
+
+// deferredClose is naturally out of scope: defer statements are not
+// expression statements or assignments.
+func deferredClose(s *errlib.Sink) {
+	defer s.Close()
+}

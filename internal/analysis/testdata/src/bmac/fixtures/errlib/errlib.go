@@ -1,0 +1,24 @@
+// Package errlib is a fixture library for the errdiscard analyzer: a
+// stand-in for an in-module package (its import path is under bmac/)
+// whose error returns must not be swallowed.
+package errlib
+
+import "errors"
+
+// ErrBoom is what every failing fixture call returns.
+var ErrBoom = errors.New("boom")
+
+// Fail returns only an error.
+func Fail() error { return ErrBoom }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, ErrBoom }
+
+// Allowed also fails; tests exempt it via ErrDiscardAllowlist.
+func Allowed() error { return ErrBoom }
+
+// Sink is a fixture type with an error-returning method.
+type Sink struct{}
+
+// Close returns an error like any io.Closer.
+func (s *Sink) Close() error { return ErrBoom }

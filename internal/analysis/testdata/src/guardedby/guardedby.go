@@ -1,0 +1,85 @@
+// Package guardedby is an analyzer fixture for `// guarded by <mu>`
+// field annotations: accesses must hold the named mutex, and the
+// annotation itself must name an existing sibling mutex field.
+package guardedby
+
+import "sync"
+
+// Store is shared state with the repo's annotation discipline.
+type Store struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	hits  int            // guarded by mu
+}
+
+// Get is the standard prologue: lock, defer unlock, touch the fields.
+func (s *Store) Get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+// Peek reads a guarded field with no lock anywhere in sight.
+func (s *Store) Peek(k string) int {
+	return s.items[k] // want `access to s\.items \(guarded by mu\) without s\.mu held`
+}
+
+// sizeLocked follows the *Locked suffix convention: the caller locked.
+func (s *Store) sizeLocked() int {
+	return len(s.items)
+}
+
+// drain must be called with s.mu held.
+func (s *Store) drain() {
+	s.items = map[string]int{}
+}
+
+// touch is exempt through the explicit marker.
+//
+// bmaclint:holds mu
+func (s *Store) touch() {
+	s.hits++
+}
+
+// NewStore initializes guarded fields on a fresh value before it can be
+// shared — no lock needed.
+func NewStore() *Store {
+	s := &Store{}
+	s.items = map[string]int{}
+	return s
+}
+
+// Reset locks too late: the first access runs before the Lock call.
+func (s *Store) Reset() {
+	s.items = nil // want `access to s\.items \(guarded by mu\) without s\.mu held`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits = 0
+}
+
+// Index is read-shared state under an RWMutex; RLock counts as holding.
+type Index struct {
+	rw   sync.RWMutex
+	keys []string // guarded by rw
+}
+
+// Keys holds the read lock.
+func (ix *Index) Keys() []string {
+	ix.rw.RLock()
+	defer ix.rw.RUnlock()
+	return append([]string(nil), ix.keys...)
+}
+
+// Len forgets the lock.
+func (ix *Index) Len() int {
+	return len(ix.keys) // want `access to ix\.keys \(guarded by rw\) without ix\.rw held`
+}
+
+// badAnnotations collects the malformed-annotation diagnostics.
+type badAnnotations struct {
+	mu    sync.Mutex
+	a     int // guarded by missing // want "`guarded by missing` names a field that does not exist in this struct"
+	count int
+	b     int // guarded by count // want "`guarded by count` names a field that is not a sync.Mutex or sync.RWMutex"
+}
