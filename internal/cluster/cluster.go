@@ -444,7 +444,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	peers := make([]*swPeer, 0, opts.Peers)
 	defer func() {
 		for _, p := range peers {
-			p.ln.Close()
+			p.ln.Close() // bmaclint:allow errdiscard (teardown: listener close error is unactionable)
 			if p.started {
 				<-p.done // commitLoop exits once the intake channel closes
 			}
@@ -739,7 +739,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			if blocks < opts.ChurnAfter && !runOver {
 				return nil
 			}
-			cp.ln.Close()
+			cp.ln.Close() // bmaclint:allow errdiscard (teardown: listener close error is unactionable)
 			if cp.started {
 				<-cp.done // commit loop drains its intake, then exits
 			}
@@ -1084,7 +1084,7 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 	case Sequential:
 		valCfg, err := cfg.ValidatorConfig(4)
 		if err != nil {
-			ln.Close()
+			ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 			return nil, err
 		}
 		store := statedb.NewStore()
@@ -1093,7 +1093,7 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 		}
 		sw, err := peer.NewDurableSWPeer(valCfg, store, dir, dopts)
 		if err != nil {
-			ln.Close()
+			ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 			return nil, err
 		}
 		p.commit = sw.CommitBlock
@@ -1112,17 +1112,17 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 		}
 		pipeCfg, err := mcfg.PipelineConfig()
 		if err != nil {
-			ln.Close()
+			ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 			return nil, err
 		}
 		kvs, err := mcfg.NewKVS()
 		if err != nil {
-			ln.Close()
+			ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 			return nil, err
 		}
 		pp, err := peer.NewDurableParallelPeer(pipeCfg, kvs, dir, dopts)
 		if err != nil {
-			ln.Close()
+			ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 			return nil, err
 		}
 		p.commit = pp.CommitBlock
@@ -1132,7 +1132,7 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 		p.led = pp.Ledger
 		p.next = pp.Height()
 	default:
-		ln.Close()
+		ln.Close() // bmaclint:allow errdiscard (error path: cleanup before returning the real error)
 		return nil, fmt.Errorf("cluster: unknown mode %q (valid: %v)", opts.Mode, Modes())
 	}
 	return p, nil

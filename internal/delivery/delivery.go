@@ -198,12 +198,12 @@ type Service struct {
 	reg     *telemetry.Registry
 
 	mu     sync.Mutex
-	cond   *sync.Cond // signals Wait-policy slack to blocked Publish calls
-	ring   []*Item    // ring[seq%window], valid for [base, height)
-	base   uint64     // oldest retained sequence
-	height uint64     // next sequence to publish
-	peers  map[string]*pipe
-	closed bool
+	cond   *sync.Cond       // signals Wait-policy slack to blocked Publish calls
+	ring   []*Item          // guarded by mu; ring[seq%window], valid for [base, height)
+	base   uint64           // guarded by mu; oldest retained sequence
+	height uint64           // guarded by mu; next sequence to publish
+	peers  map[string]*pipe // guarded by mu
+	closed bool             // guarded by mu
 }
 
 // NewService creates an empty delivery service.
@@ -311,9 +311,9 @@ func (s *Service) Publish(b *block.Block) error {
 }
 
 // waitFloor returns the lowest cursor among live Wait-policy peers
-// (effectively +inf when there are none). Called with s.mu held; the
-// s.mu -> p.mu lock order is safe because pipes never take s.mu while
-// holding their own lock.
+// (effectively +inf when there are none). It must be called with s.mu
+// held; the s.mu -> p.mu lock order is safe because pipes never take
+// s.mu while holding their own lock.
 func (s *Service) waitFloor() uint64 {
 	floor := ^uint64(0)
 	for _, p := range s.peers {
@@ -469,17 +469,17 @@ type pipe struct {
 	done   chan struct{}
 
 	mu       sync.Mutex
-	tr       Transport
-	next     uint64 // next sequence to deliver
-	alive    bool
-	blocks   int64
-	bytes    int64
-	dropped  uint64
-	caughtUp uint64
-	redials  int
-	sendErrs int
-	err      error
-	trClosed bool
+	tr       Transport // guarded by mu
+	next     uint64    // guarded by mu; next sequence to deliver
+	alive    bool      // guarded by mu
+	blocks   int64     // guarded by mu
+	bytes    int64     // guarded by mu
+	dropped  uint64    // guarded by mu
+	caughtUp uint64    // guarded by mu
+	redials  int       // guarded by mu
+	sendErrs int       // guarded by mu
+	err      error     // guarded by mu
+	trClosed bool      // guarded by mu
 }
 
 func (p *pipe) wake() {
@@ -557,14 +557,14 @@ func (p *pipe) run(s *Service) {
 				b, err := s.history.BlockAt(next)
 				if err != nil {
 					p.fail(fmt.Errorf("%w: %d blocks behind, catch-up failed: %v", ErrOverrun, gap, err))
-					p.closeTransport()
+					p.closeTransport() // bmaclint:allow errdiscard (redial path: stale transport, error is expected)
 					return
 				}
 				it = &Item{Seq: next, Block: b}
 				fromHistory = true
 			case p.opts.Policy == Disconnect:
 				p.fail(fmt.Errorf("%w: %d blocks behind", ErrOverrun, gap))
-				p.closeTransport()
+				p.closeTransport() // bmaclint:allow errdiscard (redial path: stale transport, error is expected)
 				return
 			default:
 				p.mu.Lock()
@@ -624,7 +624,7 @@ func (p *pipe) redial(sendErr error) bool {
 	p.sendErrs++
 	p.mu.Unlock()
 	p.m.Errs.Inc()
-	p.closeTransport()
+	p.closeTransport() // bmaclint:allow errdiscard (shutdown: transport may already be closed)
 	if p.opts.Dial == nil {
 		p.fail(sendErr)
 		return false

@@ -49,7 +49,7 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 		return nil, fmt.Errorf("sw peer ledger: %w", err)
 	}
 	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
-		led.Close()
+		led.Close() // bmaclint:allow errdiscard (error path: ledger close error would mask the open failure)
 		return nil, err
 	}
 	return &SWPeer{
@@ -69,7 +69,7 @@ func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, op
 		return nil, fmt.Errorf("parallel peer ledger: %w", err)
 	}
 	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
-		led.Close()
+		led.Close() // bmaclint:allow errdiscard (error path: ledger close error would mask the recovery failure)
 		return nil, err
 	}
 	return &ParallelPeer{

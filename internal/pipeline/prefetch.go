@@ -47,7 +47,7 @@ func newPrefetcher(kvs statedb.KVS, workers int) *prefetcher {
 			for t := range p.tasks {
 				// The value is discarded: the read exists only to pull the
 				// key into the backend's fast tier.
-				_, _ = p.kvs.Get(t.key)
+				_, _ = p.kvs.Get(t.key) // bmaclint:allow errdiscard (prefetch: only the cache warming matters, miss is fine)
 				p.keys.Add(1)
 				t.done.Done()
 			}

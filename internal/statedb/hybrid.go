@@ -23,8 +23,8 @@ import (
 type HybridKVS struct {
 	mu       sync.Mutex
 	capacity int
-	cache    map[string]*list.Element
-	order    *list.List // front = most recently used
+	cache    map[string]*list.Element // guarded by mu
+	order    *list.List               // guarded by mu; front = most recently used
 	host     *Store
 
 	// hostLatency is the modeled one-way-plus-return host access cost paid
@@ -158,13 +158,13 @@ func (h *HybridKVS) Write(key string, value []byte, ver block.Version) error {
 
 // Put implements KVS (Write never fails).
 func (h *HybridKVS) Put(key string, value []byte, ver block.Version) {
-	_ = h.Write(key, value, ver)
+	_ = h.Write(key, value, ver) // bmaclint:allow errdiscard (write-through to the memory tier never fails)
 }
 
 // WriteBatch applies a write set with the given version.
 func (h *HybridKVS) WriteBatch(writes []block.KVWrite, ver block.Version) {
 	for _, w := range writes {
-		_ = h.Write(w.Key, w.Value, ver)
+		_ = h.Write(w.Key, w.Value, ver) // bmaclint:allow errdiscard (write-through to the memory tier never fails)
 	}
 }
 

@@ -33,11 +33,11 @@ func NewServer(addr string, reg *Registry, rec *Recorder) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = reg.WritePrometheus(w) // bmaclint:allow errdiscard (in-memory buffer write cannot fail)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = rec.WriteJSONL(w)
+		_ = rec.WriteJSONL(w) // bmaclint:allow errdiscard (in-memory buffer write cannot fail)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -240,10 +240,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // free.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	gaugeFuncs map[string]func() int64
+	counters   map[string]*Counter     // guarded by mu
+	gauges     map[string]*Gauge       // guarded by mu
+	histograms map[string]*Histogram   // guarded by mu
+	gaugeFuncs map[string]func() int64 // guarded by mu
 }
 
 // NewRegistry creates an empty registry.
@@ -406,6 +406,6 @@ func (r *Registry) Text() string {
 		return ""
 	}
 	var b strings.Builder
-	_ = r.WritePrometheus(&b)
+	_ = r.WritePrometheus(&b) // bmaclint:allow errdiscard (in-memory buffer write cannot fail)
 	return b.String()
 }
