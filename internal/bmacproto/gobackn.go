@@ -60,11 +60,11 @@ type GBNSender struct {
 	window  int
 	timeout time.Duration
 
-	nextSeq  uint64
-	baseSeq  uint64   // first unacked
-	inflight [][]byte // inflight[i] = encoded packet baseSeq+i
+	nextSeq  uint64   // guarded by mu
+	baseSeq  uint64   // guarded by mu; first unacked
+	inflight [][]byte // guarded by mu; inflight[i] = encoded packet baseSeq+i
 
-	retransmissions int
+	retransmissions int // guarded by mu
 
 	stop chan struct{}
 	done chan struct{}
@@ -200,9 +200,9 @@ type GBNReceiver struct {
 	mu      sync.Mutex
 	inner   *Receiver
 	acks    AckSink
-	nextSeq uint64
+	nextSeq uint64 // guarded by mu
 
-	duplicates int
+	duplicates int // guarded by mu
 }
 
 // NewGBNReceiver wraps recv with Go-Back-N reassembly; ACKs flow to acks.

@@ -133,9 +133,9 @@ type Receiver struct {
 	mu    sync.Mutex
 	cache *identity.Cache
 	bufs  *Buffers
-	asm   map[uint64]*blockAsm
+	asm   map[uint64]*blockAsm // guarded by mu
 	out   chan AssembledBlock
-	stats ReceiverStats
+	stats ReceiverStats // guarded by mu
 }
 
 type blockAsm struct {
@@ -216,6 +216,8 @@ func (r *Receiver) ProcessPacket(data []byte) error {
 	}
 }
 
+// getAsm finds or creates the assembly state for a block. It
+// must be called with r.mu held.
 func (r *Receiver) getAsm(blockNum uint64, numTxs int) *blockAsm {
 	a, ok := r.asm[blockNum]
 	if !ok {
@@ -225,6 +227,8 @@ func (r *Receiver) getAsm(blockNum uint64, numTxs int) *blockAsm {
 	return a
 }
 
+// processHeader handles a header section. It must be called with r.mu
+// held (ProcessPacket holds it across the dispatch).
 func (r *Receiver) processHeader(pkt *Packet) error {
 	orig, err := insertIdentities(pkt.Payload, pkt.Locators, r.cache)
 	if err != nil {
@@ -293,6 +297,8 @@ func (r *Receiver) makeVerifyRequest(derSig, cert, msg []byte) VerifyRequest {
 	return req
 }
 
+// processTxOrQueue handles a tx section, buffering out-of-order arrivals.
+// It must be called with r.mu held.
 func (r *Receiver) processTxOrQueue(pkt *Packet) error {
 	a := r.getAsm(pkt.BlockNum, int(pkt.NumTxs))
 	if int(pkt.Seq) != a.nextSeq {
@@ -306,7 +312,8 @@ func (r *Receiver) processTxOrQueue(pkt *Packet) error {
 }
 
 // drain processes any buffered in-order tx sections and finalizes the block
-// once every transaction and the metadata section have been handled.
+// once every transaction and the metadata section have been handled. It
+// must be called with r.mu held.
 func (r *Receiver) drain(blockNum uint64) error {
 	a, ok := r.asm[blockNum]
 	if !ok {
@@ -328,6 +335,8 @@ func (r *Receiver) drain(blockNum uint64) error {
 	return nil
 }
 
+// processTx handles one in-order tx section. It must be called with r.mu
+// held.
 func (r *Receiver) processTx(a *blockAsm, pkt *Packet) error {
 	orig, err := insertIdentities(pkt.Payload, pkt.Locators, r.cache)
 	if err != nil {
@@ -393,12 +402,16 @@ func (r *Receiver) processTx(a *blockAsm, pkt *Packet) error {
 	return nil
 }
 
+// processMetadata handles the metadata section. It must be called with
+// r.mu held.
 func (r *Receiver) processMetadata(pkt *Packet) error {
 	a := r.getAsm(pkt.BlockNum, int(pkt.NumTxs))
 	a.metadata = pkt
 	return r.drain(pkt.BlockNum)
 }
 
+// finalize reconstructs the assembled block and hands it to the output
+// channel. It must be called with r.mu held.
 func (r *Receiver) finalize(blockNum uint64, a *blockAsm) error {
 	delete(r.asm, blockNum)
 	dataHash := a.hasher.Sum()

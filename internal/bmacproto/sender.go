@@ -49,12 +49,12 @@ type SendStats struct {
 type Sender struct {
 	mu    sync.Mutex
 	cache *identity.Cache
-	certs []cachedCert
+	certs []cachedCert // guarded by mu
 	sink  PacketSink
 
-	totalBlocks  int
-	totalPackets int
-	totalBytes   int64
+	totalBlocks  int   // guarded by mu
+	totalPackets int   // guarded by mu
+	totalBytes   int64 // guarded by mu
 }
 
 // NewSender creates a sender that writes packets to sink. The cache is

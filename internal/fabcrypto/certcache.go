@@ -35,8 +35,8 @@ type CertCache struct {
 type certShard struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[uint64]*list.Element
-	order    *list.List // front = most recently used
+	entries  map[uint64]*list.Element // guarded by mu
+	order    *list.List               // guarded by mu; front = most recently used
 }
 
 type certEntry struct {
@@ -63,9 +63,11 @@ func NewCertCache(size int) *CertCache {
 	}
 	c := &CertCache{shards: make([]certShard, certCacheShards)}
 	for i := range c.shards {
-		c.shards[i].capacity = perShard
-		c.shards[i].entries = make(map[uint64]*list.Element, perShard)
-		c.shards[i].order = list.New()
+		c.shards[i] = certShard{
+			capacity: perShard,
+			entries:  make(map[uint64]*list.Element, perShard),
+			order:    list.New(),
+		}
 	}
 	return c
 }

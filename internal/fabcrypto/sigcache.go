@@ -34,8 +34,8 @@ type SigCache struct {
 type sigShard struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[[HashSize]byte]*list.Element
-	order    *list.List // front = most recently used
+	entries  map[[HashSize]byte]*list.Element // guarded by mu
+	order    *list.List                       // guarded by mu; front = most recently used
 }
 
 type sigEntry struct {
@@ -59,9 +59,11 @@ func NewSigCache(size int) *SigCache {
 	}
 	c := &SigCache{shards: make([]sigShard, sigCacheShards)}
 	for i := range c.shards {
-		c.shards[i].capacity = perShard
-		c.shards[i].entries = make(map[[HashSize]byte]*list.Element, perShard)
-		c.shards[i].order = list.New()
+		c.shards[i] = sigShard{
+			capacity: perShard,
+			entries:  make(map[[HashSize]byte]*list.Element, perShard),
+			order:    list.New(),
+		}
 	}
 	return c
 }

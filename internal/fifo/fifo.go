@@ -22,14 +22,14 @@ type FIFO[T any] struct {
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
 
-	buf    []T
-	head   int
-	count  int
-	closed bool
+	buf    []T  // guarded by mu
+	head   int  // guarded by mu
+	count  int  // guarded by mu
+	closed bool // guarded by mu
 
-	pushes   uint64
-	pops     uint64
-	maxDepth int
+	pushes   uint64 // guarded by mu
+	pops     uint64 // guarded by mu
+	maxDepth int    // guarded by mu
 }
 
 // New creates a FIFO with the given depth (must be >= 1).

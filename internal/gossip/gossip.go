@@ -76,8 +76,8 @@ func ReadBlock(r io.Reader) (*block.Block, int, error) {
 // org lead peer) does with Gossip.
 type Broadcaster struct {
 	mu    sync.Mutex
-	conns []net.Conn
-	sent  int64 // cumulative bytes
+	conns []net.Conn // guarded by mu
+	sent  int64      // guarded by mu; cumulative bytes
 }
 
 // NewBroadcaster returns an empty broadcaster.
@@ -148,9 +148,9 @@ type Listener struct {
 	blocks chan *block.Block
 
 	mu         sync.Mutex
-	received   int64
-	decodeErrs int64
-	conns      map[net.Conn]struct{} // live accepted connections
+	received   int64                 // guarded by mu
+	decodeErrs int64                 // guarded by mu
+	conns      map[net.Conn]struct{} // guarded by mu; live accepted connections
 
 	wg        sync.WaitGroup
 	stop      chan struct{}

@@ -133,10 +133,10 @@ type Org struct {
 // maintains the canonical identity list used to initialize identity caches.
 type Network struct {
 	mu    sync.RWMutex
-	orgs  map[string]*Org
-	byID  map[EncodedID]*Identity
-	byCN  map[string]*Identity
-	order []EncodedID // issue order, for deterministic iteration
+	orgs  map[string]*Org         // guarded by mu
+	byID  map[EncodedID]*Identity // guarded by mu
+	byCN  map[string]*Identity    // guarded by mu
+	order []EncodedID             // guarded by mu; issue order, for deterministic iteration
 }
 
 // NewNetwork creates an empty network.
@@ -298,11 +298,11 @@ func (n *Network) Identities() []*Identity {
 // synchronization packets.
 type Cache struct {
 	mu       sync.RWMutex
-	certToID map[string]EncodedID
-	idToCert map[EncodedID][]byte
-	idToPub  map[EncodedID]*ecdsa.PublicKey
-	misses   int
-	hits     int
+	certToID map[string]EncodedID           // guarded by mu
+	idToCert map[EncodedID][]byte           // guarded by mu
+	idToPub  map[EncodedID]*ecdsa.PublicKey // guarded by mu
+	misses   int                            // guarded by mu
+	hits     int                            // guarded by mu
 }
 
 // NewCache returns an empty identity cache.

@@ -39,17 +39,17 @@ type Ledger struct {
 	mu sync.Mutex
 
 	file   *os.File
-	w      *bufio.Writer
-	offset int64
+	w      *bufio.Writer // guarded by mu
+	offset int64         // guarded by mu
 
-	index      map[uint64]indexEntry // block number -> file location
-	height     uint64                // next expected block number
-	lastHash   []byte                // header hash of the last block
-	commitHash []byte                // running commit hash chain
+	index      map[uint64]indexEntry // guarded by mu; block number -> file location
+	height     uint64                // guarded by mu; next expected block number
+	lastHash   []byte                // guarded by mu; header hash of the last block
+	commitHash []byte                // guarded by mu; running commit hash chain
 
-	bytesWritten int64
+	bytesWritten int64 // guarded by mu
 	syncEach     bool
-	warnings     []string
+	warnings     []string // guarded by mu
 }
 
 type indexEntry struct {
@@ -95,7 +95,10 @@ func Open(dir string, opts Options) (*Ledger, error) {
 		index:    make(map[uint64]indexEntry),
 		syncEach: opts.SyncEachBlock,
 	}
-	if err := l.replay(); err != nil {
+	l.mu.Lock()
+	err = l.replay()
+	l.mu.Unlock()
+	if err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -115,7 +118,9 @@ func Open(dir string, opts Options) (*Ledger, error) {
 	return l, nil
 }
 
-// replay scans the block file to rebuild the index, height and hash chain.
+// replay scans the block file to rebuild the index, height and hash
+// chain. It must be called with l.mu held (Open takes the lock before
+// the ledger is shared).
 // A partial or undecodable final record — the footprint of a crash mid-
 // append — is logically truncated with a warning; corruption that is NOT
 // confined to the tail (a broken record with valid data after it) still
@@ -190,6 +195,7 @@ func (l *Ledger) replay() error {
 }
 
 // warnf records a recovery notice (readable via Warnings) and logs it.
+// It must be called with l.mu held.
 func (l *Ledger) warnf(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
 	l.warnings = append(l.warnings, msg)

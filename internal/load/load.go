@@ -59,13 +59,13 @@ type Generator struct {
 	opts Options
 
 	mu        sync.Mutex
-	submitAt  map[string]time.Time
-	done      map[string]bool
-	early     map[string]time.Time // commits observed before the submit record landed
-	samples   metrics.Samples
-	submitted int
-	committed int
-	late      int // arrivals that fired behind schedule (backlog indicator)
+	submitAt  map[string]time.Time // guarded by mu
+	done      map[string]bool      // guarded by mu
+	early     map[string]time.Time // guarded by mu; commits observed before the submit record landed
+	samples   metrics.Samples      // guarded by mu
+	submitted int                  // guarded by mu
+	committed int                  // guarded by mu
+	late      int                  // guarded by mu; arrivals that fired behind schedule (backlog indicator)
 }
 
 // New creates a generator.

@@ -20,8 +20,8 @@ import (
 // hot path, so the lock is not a throughput concern).
 type Samples struct {
 	mu     sync.Mutex
-	values []time.Duration
-	sorted bool
+	values []time.Duration // guarded by mu
+	sorted bool            // guarded by mu
 }
 
 // Add records one observation.

@@ -22,7 +22,7 @@ type MVCache struct {
 	store statedb.KVS
 
 	mu     sync.RWMutex
-	chains map[string][]mvEntry // ascending by Version
+	chains map[string][]mvEntry // guarded by mu; ascending by Version
 }
 
 type mvEntry struct {

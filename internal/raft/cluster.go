@@ -9,9 +9,9 @@ import (
 // per-link partitioning for fault-injection tests.
 type LocalTransport struct {
 	mu     sync.RWMutex
-	nodes  map[NodeID]*Node
-	cut    map[[2]NodeID]bool
-	downed map[NodeID]bool
+	nodes  map[NodeID]*Node   // guarded by mu
+	cut    map[[2]NodeID]bool // guarded by mu
+	downed map[NodeID]bool    // guarded by mu
 }
 
 // NewLocalTransport returns an empty in-process transport.

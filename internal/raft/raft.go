@@ -144,9 +144,9 @@ type Node struct {
 	doneCh  chan struct{}
 
 	mu     sync.Mutex // guards the observable state below
-	state  State
-	term   uint64
-	leader NodeID
+	state  State      // guarded by mu
+	term   uint64     // guarded by mu
+	leader NodeID     // guarded by mu
 
 	// raft state, owned by the run goroutine
 	votedFor     NodeID

@@ -29,7 +29,7 @@ type ShardedStore struct {
 
 type shardedStripe struct {
 	mu   sync.RWMutex
-	data map[string]VersionedValue
+	data map[string]VersionedValue // guarded by mu
 }
 
 // DefaultShards is the stripe count used when none is configured.
@@ -44,7 +44,7 @@ func NewShardedStore(n int) *ShardedStore {
 	s := &ShardedStore{shards: make([]shardedStripe, n)}
 	s.count.Store(true)
 	for i := range s.shards {
-		s.shards[i].data = make(map[string]VersionedValue)
+		s.shards[i] = shardedStripe{data: make(map[string]VersionedValue)}
 	}
 	return s
 }

@@ -53,7 +53,7 @@ type VersionedValue struct {
 // construct with NewStore.
 type Store struct {
 	mu   sync.RWMutex
-	data map[string]VersionedValue
+	data map[string]VersionedValue // guarded by mu
 
 	// Access counters are atomic: reads increment them while holding only
 	// the read lock, and the parallel commit engine issues concurrent
@@ -162,11 +162,11 @@ func (s *Store) Snapshot() map[string]VersionedValue {
 type HardwareKVS struct {
 	mu       sync.Mutex
 	capacity int
-	data     map[string]VersionedValue
-	locked   map[string]bool
-	reads    int
-	writes   int
-	lockWait int // times a read had to wait on a locked key
+	data     map[string]VersionedValue // guarded by mu
+	locked   map[string]bool           // guarded by mu
+	reads    int                       // guarded by mu
+	writes   int                       // guarded by mu
+	lockWait int                       // guarded by mu; times a read had to wait on a locked key
 }
 
 // NewHardwareKVS creates a hardware KVS with the given entry capacity

@@ -67,9 +67,9 @@ type Recorder struct {
 	epoch time.Time
 
 	mu     sync.Mutex
-	events []Event
-	ends   map[stageKey]time.Time
-	starts map[stageKey]time.Time
+	events []Event                // guarded by mu
+	ends   map[stageKey]time.Time // guarded by mu
+	starts map[stageKey]time.Time // guarded by mu
 }
 
 // NewRecorder creates a recorder whose event clock starts now.
@@ -173,7 +173,10 @@ type StageBudget struct {
 }
 
 // Budget is the per-stage latency budget aggregated over every block that
-// completed an e2e span: where the end-to-end microseconds went.
+// completed an e2e span: where the end-to-end microseconds went. A nil
+// Budget is valid (a nil Recorder aggregates to one) and renders empty.
+//
+// bmaclint:nilsafe
 type Budget struct {
 	Blocks   int           // blocks with a completed e2e span
 	E2E      time.Duration // summed e2e latency across those blocks

@@ -37,8 +37,8 @@ type ParseCache struct {
 type parseShard struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[uint64]*list.Element
-	order    *list.List // front = most recently used
+	entries  map[uint64]*list.Element // guarded by mu
+	order    *list.List               // guarded by mu; front = most recently used
 }
 
 type parseEntry struct {
@@ -63,9 +63,11 @@ func NewParseCache(size int) *ParseCache {
 	}
 	c := &ParseCache{shards: make([]parseShard, parseCacheShards)}
 	for i := range c.shards {
-		c.shards[i].capacity = perShard
-		c.shards[i].entries = make(map[uint64]*list.Element, perShard)
-		c.shards[i].order = list.New()
+		c.shards[i] = parseShard{
+			capacity: perShard,
+			entries:  make(map[uint64]*list.Element, perShard),
+			order:    list.New(),
+		}
 	}
 	return c
 }
