@@ -34,4 +34,14 @@ if [ "$fail" -ne 0 ]; then
   echo "doclint: add a package comment (see ARCHITECTURE.md for each package's role)" >&2
   exit 1
 fi
-echo "doclint: every package documented"
+
+# Guarded-by annotations are documentation with teeth: a `// guarded by
+# <mu>` comment naming a field that does not exist (or one that is not a
+# sync.Mutex/RWMutex) would silently guard nothing. bmaclint's
+# annotations-only mode validates them without the full access analysis.
+if ! go run ./cmd/bmaclint -only guardedby -annotations ./...; then
+  echo "doclint: fix the guarded-by annotations above (each must name a sibling sync.Mutex/RWMutex field)" >&2
+  exit 1
+fi
+
+echo "doclint: every package documented, guarded-by annotations valid"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's static-analysis gate, run locally and by the CI
+# `lint` job.
+#
+# Layers, cheapest first:
+#   1. gofmt       — formatting drift fails fast
+#   2. go vet      — the full default check set (copylocks, atomic,
+#                    loopclosure, printf, ... — everything a stock vet runs)
+#   3. doclint     — package doc comments + guarded-by annotation validity
+#   4. bmaclint    — the repo's own go/analysis-style suite enforcing the
+#                    hot-path contracts: aliasguard (zero-copy decode vs
+#                    wire buffer pool), nilsafe (nil instrument guards),
+#                    guardedby (mutex discipline), errdiscard (no silent
+#                    error swallowing in module code)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "lint: gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "lint: gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "lint: go vet (full default check set: copylocks, atomic, loopclosure, ...)"
+go vet ./...
+
+echo "lint: doclint"
+./scripts/doclint.sh
+
+echo "lint: bmaclint"
+go run ./cmd/bmaclint ./...
+
+echo "lint: clean"
