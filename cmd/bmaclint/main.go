@@ -1,6 +1,8 @@
 // Command bmaclint is the repo's custom static-analysis driver: a
-// multichecker running the internal/analysis suite (aliasguard, nilsafe,
-// guardedby, errdiscard) over the packages matching the given patterns.
+// multichecker running the internal/analysis suite — the per-package
+// contract checks (aliasguard, nilsafe, guardedby, errdiscard) and the
+// interprocedural module analyzers sharing one call graph (lockorder,
+// goroleak, allocbound) — over the packages matching the given patterns.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	-only name[,name]   run only the named analyzers
 //	-annotations        guardedby validates annotations without checking
 //	                    accesses (the fast mode scripts/doclint.sh runs)
+//	-json               emit findings as JSON, one object per line
+//	-v                  report load and per-analyzer wall-clock to stderr
 //	-list               print the analyzer suite and exit
 //
 // With no package patterns, ./... is analyzed. Exit status 1 means
@@ -18,16 +22,30 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"bmac/internal/analysis"
 )
 
+// jsonDiagnostic is the -json line format: a flat object CI tooling can
+// consume without knowing token.Position.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	annotations := flag.Bool("annotations", false, "guardedby: validate annotations only, skip access checks")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	verbose := flag.Bool("v", false, "report load and per-analyzer wall-clock to stderr")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -57,17 +75,41 @@ func main() {
 	}
 
 	loader := analysis.NewLoader(".")
+	loadStart := time.Now()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmaclint:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	loadElapsed := time.Since(loadStart)
+
+	diags, timings, err := analysis.RunAnalyzersTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmaclint:", err)
 		os.Exit(2)
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "bmaclint: load+typecheck %d package(s) in %v\n", len(pkgs), loadElapsed.Round(time.Millisecond))
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "bmaclint: %-12s %v\n", tm.Name, tm.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "bmaclint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

@@ -197,6 +197,7 @@ func run() error {
 	// delivery window can buffer, and the cross-check's backpressure
 	// would park Submit until someone drains outcomes.
 	submitErr := make(chan error, 1)
+	// bmaclint:allow goroleak (Run submits a fixed count; joined via the submitErr receive below)
 	go func() { submitErr <- driver.Run(*txs) }()
 
 	committed, blocks, mismatches := 0, 0, 0

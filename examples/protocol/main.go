@@ -80,6 +80,7 @@ func run() error {
 		return err
 	}
 	defer listener.Close()
+	// bmaclint:allow goroleak (drain exits when the receiver's FIFOs are closed)
 	go drain(bufs) // a stand-in for the block processor
 
 	sink, err := bmacproto.DialUDP(listener.Addr())
@@ -142,28 +143,28 @@ func run() error {
 
 // drain consumes the block-processor FIFOs so the receiver never blocks.
 func drain(bufs *bmacproto.Buffers) {
-	go func() {
+	go func() { // bmaclint:allow goroleak (Pop reports !ok once the FIFO is closed and drained)
 		for {
 			if _, ok := bufs.Block.Pop(); !ok {
 				return
 			}
 		}
 	}()
-	go func() {
+	go func() { // bmaclint:allow goroleak (Pop reports !ok once the FIFO is closed and drained)
 		for {
 			if _, ok := bufs.Ends.Pop(); !ok {
 				return
 			}
 		}
 	}()
-	go func() {
+	go func() { // bmaclint:allow goroleak (Pop reports !ok once the FIFO is closed and drained)
 		for {
 			if _, ok := bufs.Rdset.Pop(); !ok {
 				return
 			}
 		}
 	}()
-	go func() {
+	go func() { // bmaclint:allow goroleak (Pop reports !ok once the FIFO is closed and drained)
 		for {
 			if _, ok := bufs.Wrset.Pop(); !ok {
 				return

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"bmac/internal/analysis"
+	"bmac/internal/analysis/analysistest"
+)
+
+func TestAllocBound(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), analysis.AllocBound, "allocbound")
+}

@@ -30,11 +30,15 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer describes one static check. The shape mirrors
 // golang.org/x/tools/go/analysis.Analyzer so the checks could migrate to
 // the upstream driver unchanged if the dependency ever becomes available.
+// Exactly one of Run and RunModule is set: per-package analyzers see one
+// package at a time, module analyzers see the whole load at once (with
+// the shared call graph) for interprocedural checks.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -only filters.
 	Name string
@@ -42,6 +46,11 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes one package and reports findings through the pass.
 	Run func(*Pass) error
+	// RunModule analyzes every loaded package together. Set instead of Run
+	// for checks that must follow calls across package boundaries
+	// (lockorder, goroleak) or invoke the toolchain once per module
+	// (allocbound).
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -62,6 +71,34 @@ type Pass struct {
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass carries a module analyzer's view of the entire load: every
+// package, sharing one FileSet and one types object universe (the loader
+// type-checks module packages from source in dependency order, so a
+// types.Object seen while analyzing one package is pointer-identical when
+// referenced from another — the property the call graph is keyed on).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkgs are all packages under analysis, in load (dependency) order.
+	Pkgs []*LoadedPackage
+	// ModulePath is the import-path prefix of the module under analysis.
+	ModulePath string
+	// Graph is the module-wide static call graph, built once per run and
+	// shared across module analyzers.
+	Graph *CallGraph
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Position: p.Fset.Position(pos),
@@ -99,26 +136,85 @@ func SortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// RunAnalyzers applies each analyzer to each loaded package and returns
+// Timing is the wall-clock cost of one stage of a run (an analyzer, or
+// the shared call-graph build), reported by bmaclint -v.
+type Timing struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAnalyzers applies each analyzer to the loaded packages and returns
 // the combined, sorted findings.
 func RunAnalyzers(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-stage wall-clock timings.
+// Packages are type-checked once by the caller's loader and shared across
+// every analyzer here; when any module analyzer is selected the call
+// graph is built once, up front, and shared too.
+func RunAnalyzersTimed(pkgs []*LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, []Timing, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				Files:      pkg.Files,
-				Pkg:        pkg.Types,
-				TypesInfo:  pkg.Info,
-				ModulePath: pkg.ModulePath,
-				report:     func(d Diagnostic) { diags = append(diags, d) },
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-			}
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	modulePath := "bmac"
+	if len(pkgs) > 0 {
+		modulePath = pkgs[0].ModulePath
+	}
+
+	var timings []Timing
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			start := time.Now()
+			graph = BuildCallGraph(pkgs)
+			timings = append(timings, Timing{Name: "callgraph", Elapsed: time.Since(start)})
+			break
 		}
 	}
+
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.RunModule != nil {
+			mpass := &ModulePass{
+				Analyzer:   a,
+				Fset:       fsetOf(pkgs),
+				Pkgs:       pkgs,
+				ModulePath: modulePath,
+				Graph:      graph,
+				report:     report,
+			}
+			if err := a.RunModule(mpass); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		} else {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:   a,
+					Fset:       pkg.Fset,
+					Files:      pkg.Files,
+					Pkg:        pkg.Types,
+					TypesInfo:  pkg.Info,
+					ModulePath: pkg.ModulePath,
+					report:     report,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+				}
+			}
+		}
+		timings = append(timings, Timing{Name: a.Name, Elapsed: time.Since(start)})
+	}
 	SortDiagnostics(diags)
-	return diags, nil
+	return diags, timings, nil
+}
+
+// fsetOf returns the FileSet shared by the loaded packages (the loader
+// parses every package into one).
+func fsetOf(pkgs []*LoadedPackage) *token.FileSet {
+	if len(pkgs) > 0 {
+		return pkgs[0].Fset
+	}
+	return token.NewFileSet()
 }

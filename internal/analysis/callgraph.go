@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide static call graph the interprocedural
+// analyzers (lockorder, goroleak) share. The graph is deliberately
+// simple: one node per function or method *declared with a body in the
+// loaded packages*, one edge per call expression whose callee resolves
+// statically to such a function.
+//
+// Soundness limits, in both directions:
+//
+//   - Dynamic dispatch is not followed. A call through an interface
+//     method, a func-typed field or parameter, or a method value has no
+//     edge — behavior behind such calls is invisible, a documented
+//     false-negative class (see ARCHITECTURE.md "Static analysis").
+//   - Function literals are not graph nodes. Analyzers that care about
+//     them (goroleak, for `go func(){...}()`) walk the literal body
+//     directly and re-enter the graph at its static call sites.
+//
+// Node identity is the *types.Func object. This is only meaningful
+// because the loader type-checks every module package from source in
+// dependency order and reuses the checked package for imports, so the
+// object for bmac/internal/wire.GetBuf is pointer-identical whether seen
+// from its declaration or from a caller in another package.
+
+// CallGraph is the static call graph over every function declared in the
+// loaded packages.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+}
+
+// CallNode is one declared function or method.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *LoadedPackage
+	// Calls are the statically-resolved call sites inside Fn's body, in
+	// source order.
+	Calls []CallSite
+}
+
+// CallSite is one resolved call expression.
+type CallSite struct {
+	Pos    token.Pos
+	Callee *CallNode
+}
+
+// BuildCallGraph constructs the graph for the loaded packages.
+func BuildCallGraph(pkgs []*LoadedPackage) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CallNode{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	for _, node := range g.nodes {
+		info := node.Pkg.Info
+		calls := &node.Calls
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := calleeObject(info, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			if callee, ok := g.nodes[fn]; ok {
+				*calls = append(*calls, CallSite{Pos: call.Pos(), Callee: callee})
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// NodeOf returns the graph node declaring fn, or nil when fn has no body
+// in the loaded packages (external functions, interface methods).
+func (g *CallGraph) NodeOf(fn *types.Func) *CallNode {
+	if g == nil {
+		return nil
+	}
+	return g.nodes[fn]
+}
+
+// Len reports the number of functions in the graph.
+func (g *CallGraph) Len() int { return len(g.nodes) }

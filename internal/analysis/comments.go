@@ -13,11 +13,13 @@ import (
 //	// guarded by mu                         (struct field: mutex discipline)
 //	// bmaclint:nilsafe                      (type: nil receivers must be guarded)
 //	// bmaclint:holds mu                     (func: caller guarantees mu is held)
+//	// bmaclint:noalloc                      (func: body must not allocate)
 //	// bmaclint:allow errdiscard (reason)    (stmt: discarded error is intentional)
 const (
 	markerNilSafe  = "bmaclint:nilsafe"
 	markerHolds    = "bmaclint:holds"
 	markerAllow    = "bmaclint:allow"
+	markerNoAlloc  = "bmaclint:noalloc"
 	markerGuarded  = "guarded by"
 	suffixLocked   = "Locked"
 	prefixAnalyzer = "bmaclint"
@@ -58,19 +60,40 @@ func (p *Pass) fileOf(pos token.Pos) *ast.File {
 	return nil
 }
 
+// fileOf returns the *ast.File of the loaded packages containing pos.
+func (p *ModulePass) fileOf(pos token.Pos) *ast.File {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			if f.FileStart <= pos && pos <= f.FileEnd {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
 // lineHasMarker reports whether a comment carrying marker (plus any
 // arguments in args, all of which must appear) is attached to the source
 // line at pos: either trailing on the same line or alone on the line
 // directly above.
 func (p *Pass) lineHasMarker(pos token.Pos, marker string, args ...string) bool {
-	f := p.fileOf(pos)
+	return markerOnLine(p.Fset, p.fileOf(pos), pos, marker, args...)
+}
+
+// lineHasMarker is the ModulePass counterpart of Pass.lineHasMarker.
+func (p *ModulePass) lineHasMarker(pos token.Pos, marker string, args ...string) bool {
+	return markerOnLine(p.Fset, p.fileOf(pos), pos, marker, args...)
+}
+
+// markerOnLine implements lineHasMarker against an explicit file.
+func markerOnLine(fset *token.FileSet, f *ast.File, pos token.Pos, marker string, args ...string) bool {
 	if f == nil {
 		return false
 	}
-	line := p.Fset.Position(pos).Line
+	line := fset.Position(pos).Line
 	for _, g := range f.Comments {
-		gStart := p.Fset.Position(g.Pos()).Line
-		gEnd := p.Fset.Position(g.End()).Line
+		gStart := fset.Position(g.Pos()).Line
+		gEnd := fset.Position(g.End()).Line
 		if gStart != line && gEnd != line-1 {
 			continue
 		}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement in non-test code to have a
+// provable stop path. A goroutine is accepted when its body — searched
+// transitively through the static call graph — either
+//
+//   - contains no unbounded loop (`for` with no condition), so it runs
+//     to completion on its own, or
+//   - reaches one of the recognized stop constructs: a call to
+//     (*sync.WaitGroup).Done, a receive from ctx.Done(), a select with a
+//     channel-receive case whose body returns or breaks, a
+//     `v, ok := <-ch` receive, or a range over a channel.
+//
+// Anything else is a leak candidate: a goroutine that spins or blocks
+// forever with no shutdown signal, the failure mode that turns churn
+// tests into slow memory exhaustion. Sites whose termination is managed
+// externally carry `bmaclint:allow goroleak <reason>` on the go
+// statement's line. Goroutines spawned through dynamic calls (func
+// values from fields, interface methods, external functions) cannot be
+// analyzed and must carry the annotation too.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement must reach a provable stop path " +
+		"(WaitGroup.Done, stop-channel select, ctx.Done) or carry bmaclint:allow goroleak",
+	RunModule: runGoroLeak,
+}
+
+func runGoroLeak(mp *ModulePass) error {
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if gs, ok := n.(*ast.GoStmt); ok {
+						checkGoStmt(mp, pkg, fd, gs)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoStmt verifies one go statement.
+func checkGoStmt(mp *ModulePass, pkg *LoadedPackage, fd *ast.FuncDecl, gs *ast.GoStmt) {
+	if mp.lineHasMarker(gs.Pos(), markerAllow, "goroleak") {
+		return
+	}
+	scan := &goroScan{graph: mp.Graph, visited: map[*types.Func]bool{}}
+
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		scan.scanBody(pkg.Info, fun.Body)
+	default:
+		if fn, ok := calleeObject(pkg.Info, gs.Call).(*types.Func); ok {
+			if mp.Graph.NodeOf(fn) == nil {
+				mp.Reportf(gs.Pos(),
+					"goroutine runs %s, which is outside the module and cannot be checked for a stop path; annotate // %s goroleak (reason)",
+					funcDisplayName(fn), markerAllow)
+				return
+			}
+			scan.scanFunc(fn)
+			break
+		}
+		// go worker() where worker is a local variable: resolvable when
+		// the enclosing function binds it to exactly one func literal.
+		if id, ok := fun.(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				if lit := localFuncLit(pkg.Info, fd, v); lit != nil {
+					scan.scanBody(pkg.Info, lit.Body)
+					break
+				}
+			}
+		}
+		mp.Reportf(gs.Pos(),
+			"cannot statically resolve the goroutine's body (dynamic call); annotate // %s goroleak (reason)",
+			markerAllow)
+		return
+	}
+
+	if scan.hasStop || !scan.hasLoop {
+		return
+	}
+	mp.Reportf(gs.Pos(),
+		"goroutine loops forever with no provable stop path (no WaitGroup.Done, stop-channel select with return/break, range-over-channel, or ctx.Done reachable); wire a stop signal or annotate // %s goroleak (reason)",
+		markerAllow)
+}
+
+// goroScan is the transitive stop-path search state.
+type goroScan struct {
+	graph   *CallGraph
+	visited map[*types.Func]bool
+	// hasLoop: an unbounded `for` loop is reachable. hasStop: a stop
+	// construct is reachable. The goroutine is accepted unless it loops
+	// without a stop.
+	hasLoop, hasStop bool
+}
+
+// scanFunc continues the search in a declared function's body.
+func (s *goroScan) scanFunc(fn *types.Func) {
+	if s.hasStop || s.visited[fn] {
+		return
+	}
+	s.visited[fn] = true
+	node := s.graph.NodeOf(fn)
+	if node == nil {
+		return
+	}
+	s.scanBody(node.Pkg.Info, node.Decl.Body)
+}
+
+// scanBody walks one body. Nested `go` statements are skipped (their
+// bodies run in other goroutines); function literals are walked, since
+// the common uses — defer func(){...}() and immediate calls — execute in
+// this goroutine.
+func (s *goroScan) scanBody(info *types.Info, body ast.Node) {
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s.hasStop {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				s.hasLoop = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				s.hasStop = true
+				return false
+			}
+		case *ast.SelectStmt:
+			if selectHasStopCase(n) {
+				s.hasStop = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// v, ok := <-ch detects channel close.
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ue, ok := ast.Unparen(n.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					s.hasStop = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeObject(info, n).(*types.Func); ok {
+				if isStopCall(fn) {
+					s.hasStop = true
+					return false
+				}
+				callees = append(callees, fn)
+			}
+		}
+		return true
+	})
+	for _, fn := range callees {
+		if s.hasStop {
+			return
+		}
+		s.scanFunc(fn)
+	}
+}
+
+// isStopCall recognizes the method calls that prove termination is
+// managed: (*sync.WaitGroup).Done and (context.Context).Done.
+func isStopCall(fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync":
+		return named.Obj().Name() == "WaitGroup"
+	case "context":
+		return named.Obj().Name() == "Context"
+	}
+	return false
+}
+
+// selectHasStopCase reports whether any channel-receive case of a select
+// returns or breaks — the canonical stop-channel shape.
+func selectHasStopCase(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		recv := false
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr)
+			recv = ok && ue.Op == token.ARROW
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				ue, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr)
+				recv = ok && ue.Op == token.ARROW
+			}
+		}
+		if !recv {
+			continue
+		}
+		for _, stmt := range cc.Body {
+			if stmtStops(stmt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtStops reports whether stmt contains a return or break (outside
+// nested function literals).
+func stmtStops(stmt ast.Stmt) bool {
+	stops := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			stops = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				stops = true
+			}
+		}
+		return !stops
+	})
+	return stops
+}
+
+// isChanType reports whether t is (an alias of) a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// localFuncLit finds the single function literal bound to v inside fn's
+// body (worker := func(){...}; go worker()). Multiple or non-literal
+// bindings return nil — the spawn is then unresolvable.
+func localFuncLit(info *types.Info, fd *ast.FuncDecl, v *types.Var) *ast.FuncLit {
+	var lit *ast.FuncLit
+	bindings := 0
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if info.Defs[id] != v && info.Uses[id] != v {
+			return
+		}
+		bindings++
+		if fl, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+			lit = fl
+		} else {
+			lit = nil
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if bindings != 1 {
+		return nil
+	}
+	return lit
+}

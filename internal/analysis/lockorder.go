@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LockOrder derives the module's mutex acquisition order and reports
+// lock-order inversions — the statically detectable deadlock class. The
+// analysis is interprocedural: a function's transitive acquire set is
+// propagated through the call graph, so holding delivery.Service.mu
+// while calling into telemetry is an ordering edge Service.mu →
+// Registry.mu even though the Registry lock is taken three calls deep.
+//
+// Reported findings:
+//
+//   - inversion: class A is acquired while B is held on one path and B
+//     while A is held on another (any cycle through the class-level
+//     order graph);
+//   - self-deadlock: a class is acquired while an instance of the same
+//     class is already held — statically indistinguishable from
+//     re-locking the same instance, which Go mutexes do not support.
+//
+// Acquire sites can be excepted with `bmaclint:allow lockorder (reason)`
+// on the acquiring line when the nesting is instance-disjoint by
+// construction. Calls through interfaces or func values are not
+// followed (see callgraph.go) — orderings hidden behind dynamic dispatch
+// are a documented false-negative class.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must be cycle-free across the module " +
+		"(lock-order inversions are potential deadlocks)",
+	RunModule: runLockOrder,
+}
+
+// lockEdge is one observed ordering fact: holder was held when held was
+// acquired.
+type lockEdge struct {
+	pos    token.Pos // where the ordering was established (acquire or call site)
+	acqPos token.Pos // where the second lock is actually acquired
+	via    string    // callee the acquire was reached through ("" when direct)
+}
+
+func runLockOrder(mp *ModulePass) error {
+	classes := newLockClasses()
+
+	// Deterministic function order: package load order, file order,
+	// declaration order. The graph's node map must not drive iteration.
+	var nodes []*CallNode
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if n := mp.Graph.NodeOf(fn); n != nil {
+					nodes = append(nodes, n)
+				}
+			}
+		}
+	}
+
+	summaries := make([]*lockSummary, 0, len(nodes))
+	byFn := map[*types.Func]*lockSummary{}
+	for _, n := range nodes {
+		s := scanLocks(n, classes)
+		summaries = append(summaries, s)
+		byFn[n.Fn] = s
+	}
+
+	// Function literals run at an unknown time relative to their
+	// enclosing body, so they are scanned as standalone anonymous
+	// summaries: their internal orderings count, their acquires do not
+	// leak into the enclosing function's linear order.
+	var litSummaries []*lockSummary
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					litSummaries = append(litSummaries,
+						&lockSummary{events: scanLockEvents(info, lit.Body, classes)})
+				}
+				return true
+			})
+		}
+	}
+
+	trans := propagateAcquires(summaries, byFn)
+
+	// Assemble the class-level ordering graph.
+	edges := map[[2]*lockClass]*lockEdge{}
+	addEdge := func(holder, acquired *lockClass, pos, acqPos token.Pos, via string) {
+		key := [2]*lockClass{holder, acquired}
+		if _, ok := edges[key]; !ok {
+			edges[key] = &lockEdge{pos: pos, acqPos: acqPos, via: via}
+		}
+	}
+	record := func(s *lockSummary) {
+		var held []*lockClass
+		if s.node != nil {
+			held = append(held, s.entry...)
+		}
+		for _, ev := range s.events {
+			switch ev.kind {
+			case evAcquire:
+				for _, h := range held {
+					addEdge(h, ev.class, ev.pos, ev.pos, "")
+				}
+				held = append(held, ev.class)
+			case evRelease:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == ev.class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evCall:
+				if len(held) == 0 {
+					continue
+				}
+				acq := trans[ev.fn]
+				if len(acq) == 0 {
+					continue
+				}
+				for _, a := range sortedAcquires(acq) {
+					for _, h := range held {
+						addEdge(h, a.class, ev.pos, a.pos, funcDisplayName(ev.fn))
+					}
+				}
+			}
+		}
+	}
+	for _, s := range summaries {
+		record(s)
+	}
+	for _, s := range litSummaries {
+		record(s)
+	}
+
+	reportLockCycles(mp, edges)
+	return nil
+}
+
+// acquireWitness pairs a class with the position it is acquired at.
+type acquireWitness struct {
+	class *lockClass
+	pos   token.Pos
+}
+
+// sortedAcquires orders a transitive acquire set by class name for
+// deterministic edge witnesses.
+func sortedAcquires(m map[*lockClass]token.Pos) []acquireWitness {
+	out := make([]acquireWitness, 0, len(m))
+	for c, p := range m {
+		out = append(out, acquireWitness{class: c, pos: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].class.name < out[j].class.name })
+	return out
+}
+
+// propagateAcquires computes each function's transitive acquire set (the
+// classes it may acquire directly or through calls) to a fixpoint.
+func propagateAcquires(summaries []*lockSummary, byFn map[*types.Func]*lockSummary) map[*types.Func]map[*lockClass]token.Pos {
+	trans := map[*types.Func]map[*lockClass]token.Pos{}
+	for _, s := range summaries {
+		set := map[*lockClass]token.Pos{}
+		for _, ev := range s.events {
+			if ev.kind == evAcquire {
+				if _, ok := set[ev.class]; !ok {
+					set[ev.class] = ev.pos
+				}
+			}
+		}
+		trans[s.node.Fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range summaries {
+			set := trans[s.node.Fn]
+			for _, ev := range s.events {
+				if ev.kind != evCall {
+					continue
+				}
+				callee, ok := byFn[ev.fn]
+				if !ok {
+					continue
+				}
+				for c, p := range trans[callee.node.Fn] {
+					if _, ok := set[c]; !ok {
+						set[c] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return trans
+}
+
+// reportLockCycles finds cycles in the class-level ordering graph and
+// reports every edge that participates in one.
+func reportLockCycles(mp *ModulePass, edges map[[2]*lockClass]*lockEdge) {
+	adj := map[*lockClass][]*lockClass{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	reaches := func(from, to *lockClass) bool {
+		seen := map[*lockClass]bool{from: true}
+		stack := []*lockClass{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+
+	keys := make([][2]*lockClass, 0, len(edges))
+	for key := range edges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0].name != keys[j][0].name {
+			return keys[i][0].name < keys[j][0].name
+		}
+		return keys[i][1].name < keys[j][1].name
+	})
+
+	for _, key := range keys {
+		holder, acquired := key[0], key[1]
+		e := edges[key]
+		// The annotation is honored both where the ordering is
+		// established (the acquire or call site) and where the second
+		// lock is actually taken — for interprocedural edges the latter
+		// is where the subtlety lives.
+		if mp.lineHasMarker(e.pos, markerAllow, "lockorder") ||
+			mp.lineHasMarker(e.acqPos, markerAllow, "lockorder") {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = " via call to " + e.via
+		}
+		if holder == acquired {
+			mp.Reportf(e.pos,
+				"%s acquired%s while an instance of %s is already held: possible self-deadlock (Go mutexes are not reentrant); annotate // %s lockorder (reason) if the instances are provably distinct",
+				acquired.name, via, holder.name, markerAllow)
+			continue
+		}
+		if reaches(acquired, holder) {
+			witness := ""
+			if rev, ok := edges[[2]*lockClass{acquired, holder}]; ok {
+				witness = " (opposite order at " + shortPos(mp.Fset, rev.pos) + ")"
+			} else {
+				witness = " (the opposite order is reachable through intermediate locks)"
+			}
+			mp.Reportf(e.pos,
+				"lock-order inversion: %s acquired%s while %s is held%s: potential deadlock; fix the ordering or annotate // %s lockorder (reason)",
+				acquired.name, via, holder.name, witness, markerAllow)
+		}
+	}
+}
+
+// shortPos renders pos as base-filename:line for diagnostics.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}

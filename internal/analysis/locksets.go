@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lock-set propagation shared state for the lockorder analyzer.
+//
+// A lock *class* is a mutex declaration site: a struct field of type
+// sync.Mutex/sync.RWMutex (all instances of the struct share the class)
+// or a package-level mutex variable. The analysis is class-level, not
+// instance-level: "Service.mu is held while pipe.mu is acquired" is an
+// ordering fact between classes. Same-class nesting (one instance's mu
+// held while another instance's mu — statically indistinguishable from
+// the same instance's — is acquired) is reported as a self-deadlock
+// candidate, because Go mutexes are not reentrant.
+//
+// Per function, the scanner produces a linear source-order approximation
+// of the body: acquire events (x.mu.Lock / x.mu.RLock), release events
+// (non-deferred Unlock/RUnlock — deferred unlocks hold to function end),
+// and statically-resolved call sites, each with the set of classes held
+// at that point. RLock counts as holding: reader/writer ordering still
+// deadlocks when inverted.
+
+// lockClass identifies one mutex declaration site.
+type lockClass struct {
+	obj  types.Object
+	name string // display name: (delivery.Service).mu or wire.poolMu
+}
+
+// lockEventKind discriminates the per-function scan events.
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evCall
+)
+
+// lockEvent is one acquire, release, or call site in source order.
+type lockEvent struct {
+	kind  lockEventKind
+	pos   token.Pos
+	class *lockClass  // evAcquire / evRelease
+	fn    *types.Func // evCall
+}
+
+// lockSummary is one function's scanned lock behavior.
+type lockSummary struct {
+	node *CallNode
+	// entry are classes the function's contract says are held on entry
+	// (*Locked suffix, bmaclint:holds, "must be called with ... held").
+	entry []*lockClass
+	// events is the source-ordered acquire/release/call stream.
+	events []lockEvent
+}
+
+// lockClasses interns lock classes by declaration object.
+type lockClasses struct {
+	byObj map[types.Object]*lockClass
+}
+
+func newLockClasses() *lockClasses {
+	return &lockClasses{byObj: map[types.Object]*lockClass{}}
+}
+
+// classOf interns the lock class of a mutex object (a struct field or a
+// variable), deriving the display name from recv — the type the field
+// was selected from — when the object is a field.
+func (lc *lockClasses) classOf(obj types.Object, recv types.Type) *lockClass {
+	if c, ok := lc.byObj[obj]; ok {
+		return c
+	}
+	c := &lockClass{obj: obj, name: lockClassName(obj, recv)}
+	lc.byObj[obj] = c
+	return c
+}
+
+// lockClassName renders a class for diagnostics.
+func lockClassName(obj types.Object, recv types.Type) string {
+	if recv != nil {
+		t := recv
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		return "(" + types.TypeString(t, shortQualifier) + ")." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// scanLocks builds the lock summary for one graph node.
+func scanLocks(node *CallNode, classes *lockClasses) *lockSummary {
+	return &lockSummary{
+		node:   node,
+		entry:  entryHeld(node, classes),
+		events: scanLockEvents(node.Pkg.Info, node.Decl.Body, classes),
+	}
+}
+
+// scanLockEvents collects the source-ordered acquire/release/call stream
+// of one body. Function literals are skipped: their bodies execute at an
+// unknown time, so attributing their acquires to this body's linear
+// order would invent orderings that never happen (lockorder scans them
+// separately as anonymous summaries).
+func scanLockEvents(info *types.Info, body *ast.BlockStmt, classes *lockClasses) []lockEvent {
+	var events []lockEvent
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return, not here; a deferred
+			// Lock would be bizarre. Calls still matter: the classic
+			// `defer mu.Unlock()` must not count as an in-order release,
+			// so the whole subtree is skipped except resolved calls to
+			// module functions (rare in defers of interest).
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "Unlock", "RUnlock":
+					if c := mutexOperand(info, sel, classes); c != nil {
+						kind := evAcquire
+						if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+							kind = evRelease
+						}
+						events = append(events, lockEvent{kind: kind, pos: n.Pos(), class: c})
+						return true
+					}
+				}
+			}
+			if fn, ok := calleeObject(info, n).(*types.Func); ok {
+				events = append(events, lockEvent{kind: evCall, pos: n.Pos(), fn: fn})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// mutexOperand resolves the receiver of a Lock/Unlock-family call to its
+// lock class, or nil when the receiver is not a recognized mutex
+// declaration (a local mutex variable is recognized too — fixtures and
+// scoped locks use them).
+func mutexOperand(info *types.Info, sel *ast.SelectorExpr, classes *lockClasses) *lockClass {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// x.mu.Lock(): the field selection carries the class.
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal && isMutexType(s.Obj().Type()) {
+			return classes.classOf(s.Obj(), s.Recv())
+		}
+		// pkg.Mu.Lock(): package-qualified variable.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && isMutexType(v.Type()) {
+			return classes.classOf(v, nil)
+		}
+	case *ast.Ident:
+		// mu.Lock(): package-level or local mutex variable.
+		if v, ok := info.Uses[x].(*types.Var); ok && isMutexType(v.Type()) {
+			return classes.classOf(v, nil)
+		}
+	}
+	return nil
+}
+
+// entryHeld derives the classes a function holds on entry from the
+// repo's caller-holds conventions: the *Locked naming suffix, the
+// `bmaclint:holds <mu>` marker, and the "must be called with <x>.<mu>
+// held" doc prose. The named mutex is resolved against the receiver's
+// struct type; a *Locked method on a struct with exactly one mutex field
+// needs no name at all.
+func entryHeld(node *CallNode, classes *lockClasses) []*lockClass {
+	fd := node.Decl
+	doc := commentText(fd.Doc)
+	lockedFn := strings.HasSuffix(fd.Name.Name, suffixLocked) || strings.HasSuffix(fd.Name.Name, "locked")
+	holdsIdx := strings.Index(doc, markerHolds)
+	prose := heldProseRe.MatchString(doc)
+	if !lockedFn && holdsIdx < 0 && !prose {
+		return nil
+	}
+
+	recv, fields := receiverMutexFields(node)
+	if len(fields) == 0 {
+		return nil
+	}
+	// bmaclint:holds mu names the field explicitly.
+	if holdsIdx >= 0 {
+		rest := strings.Fields(doc[holdsIdx+len(markerHolds):])
+		if len(rest) > 0 {
+			for _, f := range fields {
+				if f.Name() == rest[0] {
+					return []*lockClass{classes.classOf(f, recv)}
+				}
+			}
+		}
+	}
+	// Prose names the mutex as <something>.<mu>; match on the last path
+	// element. A lone mutex field resolves unambiguously for any of the
+	// conventions.
+	if len(fields) == 1 {
+		return []*lockClass{classes.classOf(fields[0], recv)}
+	}
+	if prose {
+		m := heldProseRe.FindString(doc)
+		for _, f := range fields {
+			if strings.Contains(m, "."+f.Name()+" ") || strings.HasSuffix(m, "."+f.Name()) ||
+				strings.Contains(m, " "+f.Name()+" ") {
+				return []*lockClass{classes.classOf(f, recv)}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverMutexFields lists the mutex-typed fields of a method's
+// receiver struct (nil receiver type or non-struct: none).
+func receiverMutexFields(node *CallNode) (types.Type, []*types.Var) {
+	sig, ok := node.Fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	t := sig.Recv().Type()
+	under := t
+	if ptr, ok := under.(*types.Pointer); ok {
+		under = ptr.Elem()
+	}
+	st, ok := under.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	var out []*types.Var
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isMutexType(f.Type()) {
+			out = append(out, f)
+		}
+	}
+	return t, out
+}

@@ -2,9 +2,11 @@ package analysis
 
 import "fmt"
 
-// All returns the full analyzer suite in the order bmaclint runs it.
+// All returns the full analyzer suite in the order bmaclint runs it:
+// the per-package contract checks first, then the interprocedural
+// module analyzers that share the call graph.
 func All() []*Analyzer {
-	return []*Analyzer{AliasGuard, NilSafe, GuardedBy, ErrDiscard}
+	return []*Analyzer{AliasGuard, NilSafe, GuardedBy, ErrDiscard, LockOrder, GoroLeak, AllocBound}
 }
 
 // Select filters the suite by comma-separated analyzer names ("" selects

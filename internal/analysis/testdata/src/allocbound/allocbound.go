@@ -1,0 +1,50 @@
+// Package allocbound is an analyzer fixture for the noalloc contract:
+// functions annotated bmaclint:noalloc must be allocation-free per the
+// compiler's escape analysis, with per-line allow exceptions and a
+// blanket exemption for error construction. Unlike the other fixtures
+// this package is also compiled by the real toolchain (the analyzer
+// shells out to go build -gcflags=-m), so it must build standalone.
+package allocbound
+
+import "fmt"
+
+// Boxed returns a pointer to a fresh allocation: a true positive.
+//
+// bmaclint:noalloc
+func Boxed() *int {
+	return new(int) // want `heap allocation in bmaclint:noalloc function`
+}
+
+// ColdPath allocates too, but the line carries the exception.
+//
+// bmaclint:noalloc
+func ColdPath() *int {
+	return new(int) // bmaclint:allow allocbound (fixture: cold path by construction)
+}
+
+// Checked allocates only to build its error, which is exempt wholesale.
+//
+// bmaclint:noalloc
+func Checked(n int) error {
+	if n < 0 {
+		return fmt.Errorf("allocbound fixture: negative %d", n)
+	}
+	return nil
+}
+
+// Sum is genuinely allocation-free.
+//
+// bmaclint:noalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Unchecked allocates freely: without the marker the analyzer has no
+// opinion.
+func Unchecked() *int {
+	return new(int)
+}

@@ -1,0 +1,137 @@
+// Package goroleak is an analyzer fixture for the goroutine stop-path
+// contract: every go statement must either run to completion on its own
+// (no unbounded loop) or provably reach a stop construct — a
+// WaitGroup.Done, a select receive whose case returns or breaks, a
+// `v, ok := <-ch` receive, a range over a channel, or ctx.Done —
+// transitively through the call graph. Externally managed spawns carry
+// the bmaclint:allow goroleak annotation.
+package goroleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Spin loops forever; a goroutine running it leaks unless annotated.
+func Spin() {
+	for {
+	}
+}
+
+// LeakyLit spawns an unbounded loop with no stop construct.
+func LeakyLit() {
+	go func() { // want `goroutine loops forever with no provable stop path`
+		for {
+		}
+	}()
+}
+
+// LeakyCall reaches the loop through the call graph.
+func LeakyCall() {
+	go Spin() // want `goroutine loops forever with no provable stop path`
+}
+
+// Allowed spawns the same spinner, with termination managed externally.
+func Allowed() {
+	go Spin() // bmaclint:allow goroleak (fixture: the test harness kills the spinner)
+}
+
+// Bounded runs to completion on its own: no unbounded loop, no finding.
+func Bounded(xs []int) {
+	go func() {
+		total := 0
+		for _, x := range xs {
+			total += x
+		}
+		_ = total
+	}()
+}
+
+// WaitGrouped proves termination through the deferred Done.
+func WaitGrouped(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		defer wg.Done()
+		for {
+			if <-ch == 0 {
+				return
+			}
+		}
+	}()
+}
+
+// StopChan drains work until the stop channel fires.
+func StopChan(work, stop chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Ranged exits when the channel is closed and drained.
+func Ranged(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// CommaOk detects close explicitly.
+func CommaOk(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// CtxBound stops on context cancellation.
+func CtxBound(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// LocalVar spawns a worker bound to exactly one literal, which the
+// analyzer resolves; the literal ranges over a channel, so it stops.
+func LocalVar(ch chan int) {
+	worker := func() {
+		for range ch {
+		}
+	}
+	go worker()
+}
+
+// Dynamic spawns an unresolvable func value.
+func Dynamic(f func()) {
+	go f() // want `cannot statically resolve`
+}
+
+// DynamicAllowed carries the annotation a dynamic spawn requires.
+func DynamicAllowed(f func()) {
+	go f() // bmaclint:allow goroleak (fixture: the caller guarantees f terminates)
+}
+
+// External spawns a function outside the module, which cannot be
+// checked.
+func External() {
+	go time.Sleep(time.Millisecond) // want `outside the module`
+}

@@ -1,0 +1,93 @@
+// Package lockorder is an analyzer fixture for the module-wide lock
+// ordering contract: the class-level acquisition graph must be
+// cycle-free, nesting two instances of one class is a self-deadlock
+// candidate, and provably instance-disjoint nestings carry the
+// bmaclint:allow lockorder annotation.
+package lockorder
+
+import "sync"
+
+// A and B form the classic two-class inversion: AB nests A before B,
+// BA nests B before A.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func AB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order inversion`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func BA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order inversion`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D invert through the call graph: CD holds C while lockD takes D
+// three frames away, DC nests directly in the opposite order.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func CD(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock-order inversion`
+	c.mu.Unlock()
+}
+
+func DC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `lock-order inversion`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// S nests two instances of the same class, which is statically
+// indistinguishable from re-locking one instance.
+type S struct{ mu sync.Mutex }
+
+func (s *S) Merge(t *S) {
+	s.mu.Lock()
+	t.mu.Lock() // want `possible self-deadlock`
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Node nests the same class too, but parent-before-child is structural
+// here, so the acquire site carries the annotation.
+type Node struct{ mu sync.Mutex }
+
+func (n *Node) Adopt(child *Node) {
+	n.mu.Lock()
+	child.mu.Lock() // bmaclint:allow lockorder (fixture: parent is always locked before its child)
+	child.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// E and F are always taken E then F: a consistent order is no finding.
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+func EF(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func EThenF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}

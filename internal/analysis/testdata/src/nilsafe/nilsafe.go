@@ -93,3 +93,35 @@ type ByValue struct {
 func (b ByValue) Get() int {
 	return b.n
 }
+
+// Meter exercises the limits of delegation acceptance.
+//
+// bmaclint:nilsafe
+type Meter struct {
+	n int
+}
+
+// Observe delegates to record, which is unguarded, so acceptance does
+// not propagate: delegation only launders the guard when the callee has
+// one.
+func (m *Meter) Observe(v int) { // want `exported method \(\*Meter\)\.Observe must begin with a nil-receiver guard`
+	m.record(v)
+}
+
+// record is unexported, so its missing guard is not reported directly —
+// but it breaks Observe's delegation chain above.
+func (m *Meter) record(v int) {
+	m.n += v
+}
+
+// Flush has an unnamed receiver: it cannot dereference it, exempt.
+func (*Meter) Flush() {}
+
+// Reset guards with the nil test second in the or-chain, which still
+// runs before any dereference.
+func (m *Meter) Reset(hard bool) {
+	if !hard || m == nil {
+		return
+	}
+	m.n = 0
+}

@@ -951,6 +951,8 @@ func Size(b *Block) int {
 // slice. Sub-message sizes are precomputed, so marshaling into a buffer of
 // capacity Size(b) performs no allocation at all — the pooled fast path for
 // callers that own the buffer's lifetime (ledger append, wire frames).
+//
+// bmaclint:noalloc
 func AppendBlock(dst []byte, b *Block) []byte {
 	if h := sizeHeader(&b.Header); h > 0 {
 		dst = wire.AppendTag(dst, fBlockHeader, wire.TypeBytes)
@@ -988,8 +990,10 @@ func Marshal(b *Block) []byte {
 // trailing bytes that happen to look like additional fields — is rejected
 // as malformed rather than silently skipped, so a block record followed by
 // garbage can never decode cleanly.
+//
+// bmaclint:noalloc
 func Unmarshal(data []byte) (*Block, error) {
-	b := &Block{}
+	b := &Block{} // bmaclint:allow allocbound (the decoded block itself: one allocation per block)
 	r := wire.NewReader(data)
 	var seenHeader, seenData, seenMeta bool
 	for {

@@ -426,10 +426,12 @@ func (r *Receiver) finalize(blockNum uint64, a *blockAsm) error {
 	select {
 	case r.out <- AssembledBlock{Block: blk, DataHashOK: ok}:
 	default:
-		// CPU not draining; block until it does (backpressure).
+		// CPU not draining; block until it does (backpressure). The lock
+		// is dropped for the blocking send and retaken before returning
+		// to the locked caller — no lock is nested inside another here.
 		r.mu.Unlock()
 		r.out <- AssembledBlock{Block: blk, DataHashOK: ok}
-		r.mu.Lock()
+		r.mu.Lock() // bmaclint:allow lockorder (reacquire after release above, never nested)
 	}
 	return nil
 }

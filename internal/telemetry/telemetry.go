@@ -32,6 +32,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+// bmaclint:noalloc
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -40,6 +42,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n (negative deltas are ignored; counters are monotone).
+//
+// bmaclint:noalloc
 func (c *Counter) Add(n int64) {
 	if c == nil || n <= 0 {
 		return
@@ -48,6 +52,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count (0 for nil).
+//
+// bmaclint:noalloc
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -62,6 +68,8 @@ type Gauge struct {
 }
 
 // Set stores the current value.
+//
+// bmaclint:noalloc
 func (g *Gauge) Set(n int64) {
 	if g == nil {
 		return
@@ -70,6 +78,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the current value by n (may be negative).
+//
+// bmaclint:noalloc
 func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
@@ -78,6 +88,8 @@ func (g *Gauge) Add(n int64) {
 }
 
 // Value returns the current value (0 for nil).
+//
+// bmaclint:noalloc
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
@@ -123,6 +135,8 @@ func bucketBound(i int) time.Duration {
 }
 
 // Observe records one duration.
+//
+// bmaclint:noalloc
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

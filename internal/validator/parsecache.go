@@ -76,6 +76,8 @@ func NewParseCache(size int) *ParseCache {
 // when an identical payload has been parsed before. hit reports whether the
 // result was interned (so callers can account parse-once savings). A nil
 // receiver always parses.
+//
+// bmaclint:noalloc
 func (c *ParseCache) ParseTx(payloadBytes []byte) (p ParsedTx, hit bool) {
 	if c == nil {
 		return ParseTx(payloadBytes), false
@@ -106,12 +108,12 @@ func (c *ParseCache) ParseTx(payloadBytes []byte) (p ParsedTx, hit bool) {
 	// comparison payload) must alias only tx-sized bytes, not the whole
 	// block buffer payloadBytes was sliced from — an LRU survivor would
 	// otherwise pin one full block allocation per entry.
-	own := append([]byte(nil), payloadBytes...)
+	own := append([]byte(nil), payloadBytes...) // bmaclint:allow allocbound (miss path: private tx-sized copy, see comment above)
 	v := ParseTx(own)
 
 	sh.mu.Lock()
 	if _, ok := sh.entries[key]; !ok {
-		sh.entries[key] = sh.order.PushFront(&parseEntry{key: key, payload: own, val: v})
+		sh.entries[key] = sh.order.PushFront(&parseEntry{key: key, payload: own, val: v}) // bmaclint:allow allocbound (miss path: one cache insert per new payload)
 		if sh.order.Len() > sh.capacity {
 			oldest := sh.order.Back()
 			sh.order.Remove(oldest)

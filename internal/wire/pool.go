@@ -47,22 +47,26 @@ var hdrPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // GetBuf returns an empty buffer with capacity at least sizeHint, from the
 // pool when pooling is enabled. The caller owns it until PutBuf.
+//
+// bmaclint:noalloc
 func GetBuf(sizeHint int) []byte {
 	if !bufferPoolOn.Load() {
-		return make([]byte, 0, sizeHint)
+		return make([]byte, 0, sizeHint) // bmaclint:allow allocbound (pooling disabled: one alloc per call is the contract)
 	}
 	bp := bufPool.Get().(*[]byte)
 	b := (*bp)[:0]
 	*bp = nil
 	hdrPool.Put(bp)
 	if cap(b) < sizeHint {
-		b = make([]byte, 0, sizeHint)
+		b = make([]byte, 0, sizeHint) // bmaclint:allow allocbound (pooled buffer undersized: rare regrow, amortized away)
 	}
 	return b
 }
 
 // PutBuf returns a buffer to the pool. Safe to call with a buffer that did
 // not come from GetBuf (it is simply adopted). No-op when pooling is off.
+//
+// bmaclint:noalloc
 func PutBuf(b []byte) {
 	if !bufferPoolOn.Load() || cap(b) == 0 {
 		return

@@ -8,15 +8,23 @@
 #                    loopclosure, printf, ... — everything a stock vet runs)
 #   3. doclint     — package doc comments + guarded-by annotation validity
 #   4. bmaclint    — the repo's own go/analysis-style suite enforcing the
-#                    hot-path contracts: aliasguard (zero-copy decode vs
-#                    wire buffer pool), nilsafe (nil instrument guards),
-#                    guardedby (mutex discipline), errdiscard (no silent
-#                    error swallowing in module code)
+#                    hot-path contracts: the per-package checks aliasguard
+#                    (zero-copy decode vs wire buffer pool), nilsafe (nil
+#                    instrument guards), guardedby (mutex discipline) and
+#                    errdiscard (no silent error swallowing), plus the
+#                    interprocedural module checks sharing one call graph:
+#                    lockorder (cycle-free mutex acquisition order),
+#                    goroleak (provable goroutine stop paths) and
+#                    allocbound (bmaclint:noalloc functions stay
+#                    allocation-free per the compiler's escape analysis)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Analyzer fixtures under testdata are deliberately written to trip the
+# analyzers and carry // want expectation comments; they are not module
+# code and are excluded from the formatting sweep.
 echo "lint: gofmt"
-out=$(gofmt -l .)
+out=$(gofmt -l . | grep -v 'internal/analysis/testdata/' || true)
 if [ -n "$out" ]; then
   echo "lint: gofmt needed on:" >&2
   echo "$out" >&2
