@@ -23,6 +23,7 @@ package bmac
 import (
 	"fmt"
 
+	"bmac/internal/chaos"
 	"bmac/internal/cluster"
 	"bmac/internal/config"
 	"bmac/internal/delivery"
@@ -129,6 +130,12 @@ type (
 	// ClusterChurnReport summarizes a churn scenario (kill, recovery
 	// height, ledger catch-up volume).
 	ClusterChurnReport = cluster.ChurnReport
+	// ClusterAdversaryReport summarizes the hostile traffic injected
+	// alongside the honest load and how much of it was flag-rejected.
+	ClusterAdversaryReport = cluster.AdversaryReport
+	// ClusterChaosReport summarizes an injected chaos fault (partition,
+	// wire corruption, slow disk or raft leader kill).
+	ClusterChaosReport = cluster.ChaosReport
 	// DeliveryPeerStats is a delivery pipe snapshot.
 	DeliveryPeerStats = delivery.PeerStats
 	// DeliveryPolicy selects what happens to a peer that overruns the
@@ -155,6 +162,17 @@ const (
 
 // ClusterModes lists the validation path modes.
 func ClusterModes() []string { return cluster.Modes() }
+
+// Chaos fault names accepted by ClusterOptions.Fault.
+const (
+	FaultLeaderKill = chaos.FaultLeaderKill
+	FaultPartition  = chaos.FaultPartition
+	FaultCorruption = chaos.FaultCorruption
+	FaultSlowDisk   = chaos.FaultSlowDisk
+)
+
+// ChaosFaults lists the chaos fault names accepted by ClusterOptions.Fault.
+func ChaosFaults() []string { return chaos.Faults() }
 
 // FormatTPS renders a throughput with thousands separators, e.g. "38,400".
 func FormatTPS(tps float64) string { return metrics.FormatTPS(tps) }

@@ -16,6 +16,13 @@
 // through the orderer's ledger-backed delivery source; the run fails
 // unless every fast peer converges to an identical state hash.
 //
+// With -cluster -adversary-rate it mixes hostile traffic (invalid
+// signatures, garbage envelopes, forged endorsements, replayed
+// double-spends) into the honest load at the given fraction; with
+// -cluster -fault it injects one chaos fault (partition, corruption,
+// slowdisk or leaderkill) mid-run. Both gate on all fast peers ending
+// bit-identical.
+//
 // Usage:
 //
 //	bmacnet                          # smallbank, default config
@@ -23,12 +30,16 @@
 //	bmacnet -workload drm -txs 500   # drm benchmark
 //	bmacnet -cluster -peers 4 -slow-peers 1 -rate 500 -path pipelined
 //	bmacnet -cluster -churn -rate 900 -txs 200 -no-bmac
+//	bmacnet -cluster -adversary-rate 0.5 -txs 200 -no-bmac
+//	bmacnet -cluster -fault partition -rate 900 -txs 200 -no-bmac
+//	bmacnet -cluster -fault leaderkill -raft-nodes 3 -peers 2 -rate 900 -txs 200 -no-bmac
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bmac"
@@ -69,6 +80,9 @@ func run() error {
 		churn      = flag.Bool("churn", false, "cluster: kill the last fast peer mid-run and restart it from checkpoint + ledger replay")
 		churnAfter = flag.Int("churn-after", 0, "cluster: blocks the churned peer commits before the kill (0 = default 2)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "peer state checkpoint cadence in blocks (0 = config durability.checkpoint_every)")
+		advRate    = flag.Float64("adversary-rate", 0, "cluster: fraction of all traffic injected as hostile envelopes — invalid signatures, garbage, forged endorsements, replays (0..0.9)")
+		fault      = flag.String("fault", "", "cluster: chaos fault to inject: "+strings.Join(bmac.ChaosFaults(), ", "))
+		faultAfter = flag.Int("fault-after", 0, "cluster: blocks committed before the fault strikes (0 = default 2)")
 
 		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/pprof/* and /trace on this address (e.g. 127.0.0.1:9464); turns the telemetry plane on")
 		traceFile = flag.String("trace-file", "", "cluster: write the per-block lifecycle trace (JSONL) here after the run; turns the telemetry plane on")
@@ -170,6 +184,9 @@ func run() error {
 			Churn:           *churn,
 			ChurnAfter:      *churnAfter,
 			CheckpointEvery: *ckptEvery,
+			Adversary:       *advRate,
+			Fault:           *fault,
+			FaultAfter:      *faultAfter,
 			Recorder:        rec,
 		}, workdir)
 	}
@@ -304,6 +321,27 @@ func runCluster(cfg *bmac.Config, opts bmac.ClusterOptions, dir string) error {
 		fmt.Printf("\nchurn: %s killed at height %d, recovered from %d (checkpoint + ledger replay), "+
 			"%d blocks caught up through the orderer ledger, %d restart(s)\n",
 			res.Churn.Peer, res.Churn.KillHeight, res.Churn.RecoveredAt, res.Churn.CaughtUp, res.Churn.Restarts)
+	}
+	if res.Adversary != nil {
+		a := res.Adversary
+		fmt.Printf("\nadversary: %.0f%% hostile injection — %s; %d committed envelopes flag-invalidated\n",
+			a.Rate*100, a.Injected, a.RejectedInvalid)
+	}
+	if c := res.Chaos; c != nil {
+		switch c.Fault {
+		case bmac.FaultPartition:
+			fmt.Printf("chaos: partition — %s severed at height %d, healed at %d (%d heal)\n",
+				c.Victim, c.StruckAt, c.HealedAt, c.Heals)
+		case bmac.FaultCorruption:
+			fmt.Printf("chaos: wire corruption — %d frames to %s bit-flipped in flight\n",
+				c.CorruptedFrames, c.Victim)
+		case bmac.FaultSlowDisk:
+			fmt.Printf("chaos: slow disk — %s absorbed %d injected faults over %d writes (%d ledger retries)\n",
+				c.Victim, c.DiskFaults, c.DiskWrites, c.LedgerRetries)
+		case bmac.FaultLeaderKill:
+			fmt.Printf("chaos: leader kill — raft node %d stopped at height %d, orderer rebound to node %d at %d\n",
+				c.KilledNode, c.StruckAt, c.NewLeader, c.HealedAt)
+		}
 	}
 	if res.Budget != nil {
 		fmt.Printf("\n%s", res.Budget)

@@ -1,0 +1,69 @@
+// Package chaos is the fault-injection plane of the cluster harness: an
+// adversarial workload generator plus composable chaos faults, turning the
+// honest-but-slow scenarios (slow peers, churn, modeled latency) into
+// hostile ones. The paper's line-rate validation thesis is only credible
+// if rejection is cheap under attack — the closed-format decoder and the
+// failure-caching signature cache were built exactly for that, and this
+// package is how the claim becomes a machine-checked gate.
+//
+// Two independent axes compose freely:
+//
+//   - The Adversary (adversary.go) floods the ordering service with
+//     hostile transactions alongside the honest load: corrupt client
+//     signatures, malformed payload bytes, forged self-endorsed envelopes
+//     and verbatim replays of captured honest envelopes (the double-spend
+//     storm — replayed read sets are stale, so every copy past the first
+//     loses MVCC). All of them are flag-invalidated deterministically by
+//     every peer, so convergence is preserved by construction while the
+//     valid-transaction throughput gate measures the cost of rejection.
+//
+//   - Chaos faults (faults.go) break the infrastructure under load: a
+//     network partition severing a peer's delivery link (Switch +
+//     SeverableTransport), bit-flip corruption on the gossip wire
+//     (CorruptingTransport), a slow or flaky disk under the ledger and
+//     checkpoint writers (DiskFault), and a raft leader kill mid-batch
+//     (WaitForNewLeader + orderer.Rebind).
+//
+// The cluster harness (internal/cluster) wires both axes through
+// Options.Adversary and Options.Fault, and the `adversarial` experiment
+// asserts the gates: invalid floods cannot degrade valid-tx TPS below a
+// bound, and every fault scenario ends with the fast peers converged
+// bit-identical (statedb.SnapshotHash equality).
+package chaos
+
+import "fmt"
+
+// Fault scenario names accepted by cluster.Options.Fault and the bmacnet
+// -fault flag.
+const (
+	// FaultLeaderKill stops the raft leader mid-run; the orderer is
+	// rebound to the new leader and every cut-but-unapplied batch is
+	// re-proposed (exactly-once via batch-sequence dedup).
+	FaultLeaderKill = "leaderkill"
+	// FaultPartition severs one fast peer's delivery link mid-run and
+	// heals it after the retained window has moved on, forcing redial
+	// backoff plus ledger-backed catch-up.
+	FaultPartition = "partition"
+	// FaultCorruption flips bits in periodic gossip frames to one fast
+	// peer; the receiver's decode rejection kills the connection and the
+	// peer self-heals through the deliver protocol's Rewind request.
+	FaultCorruption = "corruption"
+	// FaultSlowDisk injects latency and transient write errors under one
+	// fast peer's ledger and checkpoint writers.
+	FaultSlowDisk = "slowdisk"
+)
+
+// Faults lists the fault scenario names in presentation order.
+func Faults() []string {
+	return []string{FaultLeaderKill, FaultPartition, FaultCorruption, FaultSlowDisk}
+}
+
+// ParseFault validates a fault scenario name ("" means no fault).
+func ParseFault(s string) (string, error) {
+	switch s {
+	case "", FaultLeaderKill, FaultPartition, FaultCorruption, FaultSlowDisk:
+		return s, nil
+	default:
+		return "", fmt.Errorf("chaos: unknown fault %q (valid: %v)", s, Faults())
+	}
+}

@@ -1,0 +1,236 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bmac/internal/delivery"
+	"bmac/internal/gossip"
+	"bmac/internal/raft"
+)
+
+// ErrSevered is returned by severed transports and dialers while their
+// Switch is open — the in-process stand-in for a network partition.
+var ErrSevered = errors.New("chaos: link severed")
+
+// Switch is the control point of a simulated network partition: severing
+// it makes every attached transport and dialer fail until it is healed.
+// It is safe for concurrent use.
+type Switch struct {
+	severed atomic.Bool
+	heals   atomic.Int64
+}
+
+// Sever opens the switch: attached links start failing.
+func (s *Switch) Sever() { s.severed.Store(true) }
+
+// Heal closes the switch and counts the heal (idempotent heals of an
+// already-closed switch are not counted).
+func (s *Switch) Heal() {
+	if s.severed.CompareAndSwap(true, false) {
+		s.heals.Add(1)
+	}
+}
+
+// Severed reports whether the link is currently down.
+func (s *Switch) Severed() bool { return s.severed.Load() }
+
+// Heals returns how many times the partition has healed.
+func (s *Switch) Heals() int64 { return s.heals.Load() }
+
+// Severable wraps a delivery transport so that sends fail with ErrSevered
+// while sw is severed. The send failure tears the pipe down to its redial
+// path, where the severed dialer keeps it in (backed-off) retry until the
+// partition heals.
+func Severable(tr delivery.Transport, sw *Switch) delivery.Transport {
+	return &severable{tr: tr, sw: sw}
+}
+
+type severable struct {
+	tr delivery.Transport
+	sw *Switch
+}
+
+// Send implements delivery.Transport.
+func (s *severable) Send(it *delivery.Item) (int, error) {
+	if s.sw.Severed() {
+		return 0, ErrSevered
+	}
+	return s.tr.Send(it)
+}
+
+// Close implements delivery.Transport.
+func (s *severable) Close() error { return s.tr.Close() }
+
+// SeverableDialer wraps a delivery dial function so redials fail while sw
+// is severed and produce severable transports once it heals.
+func SeverableDialer(dial func() (delivery.Transport, error), sw *Switch) func() (delivery.Transport, error) {
+	return func() (delivery.Transport, error) {
+		if sw.Severed() {
+			return nil, ErrSevered
+		}
+		tr, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return Severable(tr, sw), nil
+	}
+}
+
+// Corrupter injects bit-flips into the gossip wire: roughly every Nth
+// frame sent through one of its transports is corrupted. The cadence
+// drifts after each flip (the period cycles through N..N+2) so it cannot
+// phase-lock onto a redelivery loop — with a fixed period, a rewind
+// round whose frame count is a multiple of N corrupts the same block
+// every round, turning a transient fault into a permanent one that
+// exhausts the commit loop's redelivery budget. The frame counter lives
+// on the Corrupter, not the transport, so the cadence (and the stats)
+// survive the redials its own corruption provokes. The corrupted frame is
+// a copy — the delivery item's cached marshaled bytes are shared across
+// all peers and must never be mutated. The receiver's decode rejection
+// closes the connection, so the sender observes a send error and redials;
+// recovery is the delivery service's gap/rewind machinery, which this
+// fault exists to exercise.
+type Corrupter struct {
+	every int
+
+	mu     sync.Mutex
+	frames int64 // guarded by mu
+	flips  int64 // guarded by mu
+	nextAt int64 // guarded by mu; frame number of the next flip
+}
+
+// NewCorrupter corrupts roughly every Nth frame (every <= 1 corrupts all
+// frames — pass a sensible cadence).
+func NewCorrupter(every int) *Corrupter {
+	if every < 1 {
+		every = 1
+	}
+	return &Corrupter{every: every, nextAt: int64(every)}
+}
+
+// corrupt counts one sent frame and reports whether it should be
+// bit-flipped, advancing the drifting cadence.
+func (c *Corrupter) corrupt() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames++
+	if c.frames < c.nextAt {
+		return false
+	}
+	c.flips++
+	c.nextAt = c.frames + int64(c.every)
+	if c.every > 1 {
+		c.nextAt += c.flips % 3
+	}
+	return true
+}
+
+// Dialer returns a PeerOptions dial function producing corrupting gossip
+// transports to addr.
+func (c *Corrupter) Dialer(addr string) func() (delivery.Transport, error) {
+	return func() (delivery.Transport, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("chaos dial %q: %w", addr, err)
+		}
+		return &corruptingTransport{c: c, conn: conn, writeTimeout: 10 * time.Second}, nil
+	}
+}
+
+// Stats reports frames sent through the corrupter's transports and how
+// many of them were corrupted.
+func (c *Corrupter) Stats() (frames, flips int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames, c.flips
+}
+
+type corruptingTransport struct {
+	c            *Corrupter
+	conn         net.Conn
+	writeTimeout time.Duration
+}
+
+// Send implements delivery.Transport.
+func (t *corruptingTransport) Send(it *delivery.Item) (int, error) {
+	raw := it.Marshaled()
+	if t.c.corrupt() {
+		bad := make([]byte, len(raw))
+		copy(bad, raw)
+		bad[len(bad)/2] ^= 0x40
+		raw = bad
+	}
+	if t.writeTimeout > 0 {
+		if err := t.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout)); err != nil {
+			return 0, err
+		}
+	}
+	return gossip.WriteRaw(t.conn, raw)
+}
+
+// Close implements delivery.Transport.
+func (t *corruptingTransport) Close() error { return t.conn.Close() }
+
+// DiskFault injects storage trouble under the ledger and checkpoint
+// writers: a fixed latency per write plus a transient error on every Nth
+// write. The writers retry transient faults internally, so the fault
+// manifests as a slow disk, never as data loss. Safe for concurrent use.
+type DiskFault struct {
+	// Latency is added to every faulted write (the slow half of slow-disk).
+	Latency time.Duration
+	// FailEvery makes every Nth write return a transient error before any
+	// bytes are written (0 disables error injection).
+	FailEvery int
+
+	writes atomic.Int64
+	faults atomic.Int64
+}
+
+// errDiskFault marks injected transient write errors.
+var errDiskFault = errors.New("chaos: injected transient disk fault")
+
+// Hook returns the pre-write fault function consumed by
+// ledger.Options.CommitFault and peer checkpoint plumbing.
+func (d *DiskFault) Hook() func() error {
+	return func() error {
+		if d.Latency > 0 {
+			time.Sleep(d.Latency)
+		}
+		n := d.writes.Add(1)
+		if d.FailEvery > 0 && n%int64(d.FailEvery) == 0 {
+			d.faults.Add(1)
+			return errDiskFault
+		}
+		return nil
+	}
+}
+
+// Stats reports total writes seen and transient faults injected.
+func (d *DiskFault) Stats() (writes, faults int64) {
+	return d.writes.Load(), d.faults.Load()
+}
+
+// WaitForNewLeader waits for a leader among the cluster's nodes other
+// than the excluded (killed) index. It exists because a stopped node's
+// Status may still read Leader — Cluster.WaitForLeader would return the
+// corpse.
+func WaitForNewLeader(c *raft.Cluster, exclude int, timeout time.Duration) (*raft.Node, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for i, n := range c.Nodes {
+			if i == exclude {
+				continue
+			}
+			if _, state, _ := n.Status(); state == raft.Leader {
+				return n, nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("chaos: no new leader within %v (excluding node %d)", timeout, exclude)
+}

@@ -31,6 +31,7 @@ import (
 	"bmac/internal/block"
 	"bmac/internal/bmacproto"
 	"bmac/internal/chaincode"
+	"bmac/internal/chaos"
 	"bmac/internal/client"
 	"bmac/internal/config"
 	"bmac/internal/delivery"
@@ -112,6 +113,19 @@ type Options struct {
 	// CheckpointEvery overrides the peers' state checkpoint cadence in
 	// blocks (default: the config's durability.checkpoint_every).
 	CheckpointEvery int
+	// Adversary injects hostile transactions (invalid signatures, garbage
+	// payloads, forged endorsements, replayed double-spends) at this
+	// fraction of total submitted traffic (0 disables; see internal/chaos).
+	Adversary float64
+	// Fault selects a chaos fault scenario layered on the run: one of
+	// chaos.Faults() ("" = none). Mutually exclusive with Churn. Leader
+	// kill needs RaftNodes >= 3; the peer-level faults (partition,
+	// corruption, slow disk) strike the last fast peer, so they need at
+	// least two fast peers.
+	Fault string
+	// FaultAfter is how many blocks the observer commits before the fault
+	// strikes (default 2; slow disk is active from the start).
+	FaultAfter int
 	// Recorder, when set, receives the per-block lifecycle trace (an
 	// injected recorder lets bmacnet serve /trace live while the run is in
 	// flight). When nil and the config's telemetry plane is enabled, the
@@ -151,6 +165,9 @@ func (o Options) withDefaults() Options {
 	if o.Churn && o.ChurnAfter == 0 {
 		o.ChurnAfter = 2
 	}
+	if o.Fault != "" && o.FaultAfter == 0 {
+		o.FaultAfter = 2
+	}
 	return o
 }
 
@@ -184,6 +201,44 @@ type ChurnReport struct {
 	Restarts    int
 }
 
+// AdversaryReport summarizes the hostile traffic of one run.
+type AdversaryReport struct {
+	// Rate is the configured hostile fraction of total traffic.
+	Rate float64
+	// Injected breaks the hostile envelopes down by kind.
+	Injected chaos.AdversaryStats
+	// RejectedInvalid is how many committed envelopes the observer peer
+	// flag-invalidated — hostile transactions neutralized without
+	// forking any peer.
+	RejectedInvalid int
+}
+
+// ChaosReport summarizes the chaos fault scenario of one run.
+type ChaosReport struct {
+	// Fault is the scenario name (chaos.Fault*).
+	Fault string
+	// Victim is the struck peer (peer faults) or raft node (leader kill).
+	Victim string
+	// StruckAt is the delivery height when the fault hit.
+	StruckAt uint64
+	// HealedAt is the delivery height when the partition healed or the
+	// orderer was rebound to the new leader (0 for slow disk).
+	HealedAt uint64
+	// Heals counts partition heal events.
+	Heals int64
+	// CorruptedFrames counts gossip frames the corruption fault bit-flipped.
+	CorruptedFrames int64
+	// DiskWrites and DiskFaults count the slow-disk shim's writes and
+	// injected transient faults; LedgerRetries is how many of those the
+	// victim's ledger absorbed by retry.
+	DiskWrites    int64
+	DiskFaults    int64
+	LedgerRetries int64
+	// KilledNode and NewLeader are the raft node ids around a leader kill.
+	KilledNode int
+	NewLeader  int
+}
+
 // Result is the cluster run report.
 type Result struct {
 	Mode      string
@@ -194,7 +249,13 @@ type Result struct {
 	Txs       int // envelopes committed by the observer peer
 	ValidTxs  int
 	Elapsed   time.Duration
-	TPS       float64 // committed envelopes/s at the observer peer
+	// HonestElapsed is the time from run start until the observer had
+	// committed every honest (client-submitted) transaction. With an
+	// adversary, Elapsed additionally covers trailing hostile-only batches
+	// cut on the batch timer after the honest load completed, so honest
+	// goodput comparisons should use HonestElapsed.
+	HonestElapsed time.Duration
+	TPS           float64 // committed envelopes/s at the observer peer
 	// SWLatency is the per-tx end-to-end latency (scheduled arrival ->
 	// committed on the observer software peer).
 	SWLatency metrics.LatencySummary
@@ -218,6 +279,11 @@ type Result struct {
 	Converged bool
 	// Churn is the churn scenario summary (nil when Options.Churn is off).
 	Churn *ChurnReport
+	// Adversary is the hostile-traffic summary (nil when Options.Adversary
+	// is 0).
+	Adversary *AdversaryReport
+	// Chaos is the fault scenario summary (nil when Options.Fault is "").
+	Chaos *ChaosReport
 	// Budget is the per-stage latency budget aggregated from the block
 	// lifecycle trace: where the end-to-end microseconds went, per stage,
 	// with its coverage of summed e2e latency. Nil without telemetry.
@@ -367,6 +433,22 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		return nil, fmt.Errorf("cluster: churn needs at least 2 fast peers (have %d peers, %d slow)",
 			opts.Peers, opts.SlowPeers)
 	}
+	fault, err := chaos.ParseFault(opts.Fault)
+	if err != nil {
+		return nil, err
+	}
+	if fault != "" && opts.Churn {
+		return nil, errors.New("cluster: Churn and Fault are mutually exclusive scenarios")
+	}
+	if fault == chaos.FaultLeaderKill && opts.RaftNodes < 3 {
+		return nil, fmt.Errorf("cluster: the %s fault needs RaftNodes >= 3 to re-elect (have %d)",
+			fault, opts.RaftNodes)
+	}
+	peerFault := fault == chaos.FaultPartition || fault == chaos.FaultCorruption || fault == chaos.FaultSlowDisk
+	if peerFault && opts.Peers-opts.SlowPeers < 2 {
+		return nil, fmt.Errorf("cluster: the %s fault needs at least 2 fast peers (have %d peers, %d slow)",
+			fault, opts.Peers, opts.SlowPeers)
+	}
 	slowPolicy, err := delivery.ParsePolicy(opts.SlowPolicy)
 	if err != nil {
 		return nil, err
@@ -440,6 +522,26 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	}
 	defer ordLed.Close()
 
+	// Chaos fault plane. The victim of a peer-level fault is the last fast
+	// peer (the observer never is); the slow-disk shim is installed at peer
+	// construction, the partition switch and wire corrupter at delivery
+	// registration, and the leader kill strikes the raft node the orderer
+	// is bound to.
+	faultIdx := -1
+	if peerFault {
+		faultIdx = opts.Peers - opts.SlowPeers - 1
+	}
+	var disk *chaos.DiskFault
+	if fault == chaos.FaultSlowDisk {
+		disk = &chaos.DiskFault{Latency: time.Millisecond, FailEvery: 3}
+	}
+	leaderIdx := -1
+	for i, n := range rc.Nodes {
+		if n == leader {
+			leaderIdx = i
+		}
+	}
+
 	// Software peers behind real gossip TCP listeners.
 	peers := make([]*swPeer, 0, opts.Peers)
 	defer func() {
@@ -465,7 +567,11 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			func() int64 { _, w := st.AccessCounts(); return int64(w) })
 	}
 	for i := 0; i < opts.Peers; i++ {
-		p, err := newSWPeer(cfg, opts, i, filepath.Join(dir, fmt.Sprintf("peer%d", i)))
+		var df *chaos.DiskFault
+		if i == faultIdx {
+			df = disk // nil unless the slow-disk fault is selected
+		}
+		p, err := newSWPeer(cfg, opts, i, filepath.Join(dir, fmt.Sprintf("peer%d", i)), df)
 		if err != nil {
 			return nil, err
 		}
@@ -535,9 +641,29 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: first org needs a client: %w", err)
 	}
+	// The adversary taps the honest path to the orderer (capturing
+	// envelopes for its replay corpus) and wraps every load client, so
+	// hostile traffic rides the same open-loop schedule as honest traffic
+	// at the configured fraction.
+	var adv *chaos.Adversary
+	var ordSubmit client.Submitter = ord
+	if opts.Adversary > 0 {
+		adv, err = chaos.NewAdversary(chaos.AdversaryOptions{
+			Rate:    opts.Adversary,
+			Seed:    opts.Seed,
+			Channel: cfg.Channel,
+		}, ord)
+		if err != nil {
+			return nil, err
+		}
+		ordSubmit = adv.Tap(ord)
+	}
 	drivers := make([]load.Submitter, opts.Clients)
 	for i := range drivers {
-		drivers[i] = client.NewDriver(clientID, endorsers, ord, w, cfg.Channel, opts.Seed+int64(100+i))
+		drivers[i] = client.NewDriver(clientID, endorsers, ordSubmit, w, cfg.Channel, opts.Seed+int64(100+i))
+		if adv != nil {
+			drivers[i] = adv.Wrap(drivers[i])
+		}
 	}
 	// The flight recorder anchors the submit/endorse spans on per-tx submit
 	// call windows; wrap every driver with a recording shim.
@@ -568,6 +694,10 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	})
 	defer svc.Close()
 	addrs := make([]*peerAddr, opts.Peers)
+	var (
+		partSwitch *chaos.Switch
+		corrupter  *chaos.Corrupter
+	)
 	for i, p := range peers {
 		addrs[i] = &peerAddr{addr: p.ln.Addr()}
 		slowDelay := time.Duration(0)
@@ -586,6 +716,27 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			po.RedialWait = 5 * time.Millisecond
 		}
 		po.Dial = gossipDialer(addrs[i], slowDelay)
+		if i == faultIdx {
+			switch fault {
+			case chaos.FaultPartition:
+				// The victim's link runs through a severable switch. While
+				// severed, sends and redials fail; the exponential backoff
+				// cap keeps the pipe from spinning hot against the dead
+				// link, and the long budget keeps it alive until the heal.
+				partSwitch = &chaos.Switch{}
+				po.MaxRedials = 4000
+				po.RedialWait = 5 * time.Millisecond
+				po.Dial = chaos.SeverableDialer(po.Dial, partSwitch)
+			case chaos.FaultCorruption:
+				// Every Nth frame to the victim is bit-flipped; the
+				// receiver's decode rejection closes the connection, and
+				// the peer self-heals through the gap -> Rewind path.
+				corrupter = chaos.NewCorrupter(7)
+				po.MaxRedials = 4000
+				po.RedialWait = 2 * time.Millisecond
+				po.Dial = corrupter.Dialer(addrs[i].get())
+			}
+		}
 		t, err := po.Dial()
 		if err != nil {
 			return nil, err
@@ -597,6 +748,28 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if sender != nil {
 		if err := svc.Register("bmac", delivery.NewBMacTransport(sender), delivery.PeerOptions{}); err != nil {
 			return nil, err
+		}
+	}
+	// Chaos-plane counters on the scrape endpoint: hostile traffic volume,
+	// how much of it the observer flag-invalidated, and per-fault activity.
+	if reg != nil {
+		if adv != nil {
+			reg.GaugeFunc("chaos_injected_hostile_total", func() int64 { return adv.Stats().Total() })
+			obs := peers[0] // the observer never churns; the pointer is stable
+			reg.GaugeFunc("chaos_rejected_invalid_total", func() int64 {
+				obs.mu.Lock()
+				defer obs.mu.Unlock()
+				return int64(obs.txs - obs.validTxs)
+			})
+		}
+		if partSwitch != nil {
+			reg.GaugeFunc("chaos_partition_heals_total", partSwitch.Heals)
+		}
+		if corrupter != nil {
+			reg.GaugeFunc("chaos_corrupted_frames_total", func() int64 { _, f := corrupter.Stats(); return f })
+		}
+		if disk != nil {
+			reg.GaugeFunc("chaos_disk_fault_retries_total", func() int64 { _, f := disk.Stats(); return f })
 		}
 	}
 
@@ -676,10 +849,21 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	})
 
 	// Peer commit loops. Peer 0 is the observer: it records end-to-end
-	// latency and plays the committer for the endorser world state.
+	// latency and plays the committer for the endorser world state. Fast
+	// peers get a rewind hook: a delivery gap (frames lost when wire
+	// corruption tore the connection down after the sender's cursor
+	// advanced) moves the pipe cursor back for redelivery instead of
+	// silently skipping blocks.
+	rewindFor := func(p *swPeer) func(uint64) error {
+		if p.slow {
+			return nil // a slow DropBlocks peer skips by design
+		}
+		name := p.name
+		return func(seq uint64) error { return svc.Rewind(name, seq) }
+	}
 	for i, p := range peers {
 		p.started = true
-		go p.commitLoop(i == 0, gen, endorsers, rec)
+		go p.commitLoop(i == 0, gen, endorsers, rec, rewindFor(p))
 	}
 	type hwObs struct {
 		txid string
@@ -755,7 +939,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		if !runOver && svc.Height() < killHeight+uint64(window)+2 {
 			return nil
 		}
-		np, err := newSWPeer(cfg, opts, churnIdx, cp.dir)
+		np, err := newSWPeer(cfg, opts, churnIdx, cp.dir, nil)
 		if err != nil {
 			return fmt.Errorf("cluster: churn restart %s: %w", cp.name, err)
 		}
@@ -782,8 +966,79 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		}
 		addrs[churnIdx].set(np.ln.Addr())
 		np.started = true
-		go np.commitLoop(false, gen, endorsers, rec)
+		go np.commitLoop(false, gen, endorsers, rec, rewindFor(np))
 		churnPhase = 2
+		return nil
+	}
+
+	// The chaos fault scenario, driven from the same wait loop. Partition:
+	// sever the victim's link once delivery clears FaultAfter blocks, hold
+	// it severed until the victim has fallen more than the retained window
+	// behind (so the heal exercises redial + ledger catch-up, not just a
+	// reconnect), then heal. Leader kill: stop the raft node the orderer is
+	// bound to, poll the re-election, rebind the orderer to the new leader
+	// (re-proposing cut-but-unapplied batches exactly once). Corruption and
+	// slow disk run from the start and need no phase machinery.
+	var (
+		faultPhase   = 2 // 0 armed, 1 struck, 2 played out (or no phased fault)
+		struckAt     uint64
+		healedAt     uint64
+		newLeaderIdx = -1
+	)
+	if fault == chaos.FaultPartition || fault == chaos.FaultLeaderKill {
+		faultPhase = 0
+	}
+	faultStep := func(runOver bool) error {
+		switch {
+		case faultPhase == 2:
+			return nil
+		case fault == chaos.FaultPartition:
+			if faultPhase == 0 {
+				if svc.Height() < uint64(opts.FaultAfter) && !runOver {
+					return nil
+				}
+				struckAt = svc.Height()
+				partSwitch.Sever()
+				faultPhase = 1
+				return nil
+			}
+			if !runOver && svc.Height() < struckAt+uint64(window)+2 {
+				return nil
+			}
+			partSwitch.Heal()
+			healedAt = svc.Height()
+			faultPhase = 2
+			return nil
+		case fault == chaos.FaultLeaderKill:
+			if faultPhase == 0 {
+				if svc.Height() < uint64(opts.FaultAfter) && !runOver {
+					return nil
+				}
+				struckAt = svc.Height()
+				rc.Nodes[leaderIdx].Stop()
+				faultPhase = 1
+				return nil
+			}
+			// Poll the election with a short per-step timeout so the wait
+			// loop keeps servicing its other checks; until the rebind lands
+			// the orderer's cut path parks batches as pending (ErrNotLeader
+			// is swallowed as a transient) and the timer keeps retrying.
+			nl, err := chaos.WaitForNewLeader(rc, leaderIdx, 10*time.Millisecond)
+			if err != nil {
+				return nil // election still in progress; retry next tick
+			}
+			if err := ord.Rebind(nl); err != nil {
+				return nil // the new leader is still settling; retry next tick
+			}
+			for i, n := range rc.Nodes {
+				if n == nl {
+					newLeaderIdx = i
+				}
+			}
+			healedAt = svc.Height()
+			faultPhase = 2
+			return nil
+		}
 		return nil
 	}
 
@@ -795,10 +1050,11 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	loadErr := make(chan error, 1)
 	go func() { loadErr <- gen.Run(drivers) }()
 	var (
-		runErr    error
-		loadDone  bool
-		submitted int
-		late      int
+		runErr     error
+		loadDone   bool
+		submitted  int
+		late       int
+		honestDone time.Time
 	)
 	deadline := time.Now().Add(opts.Timeout)
 	for {
@@ -813,6 +1069,9 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		if err := churnStep(false); err != nil {
 			return nil, err
 		}
+		if err := faultStep(false); err != nil {
+			return nil, err
+		}
 		peers[0].mu.Lock()
 		committed := peers[0].txs
 		err := peers[0].err
@@ -820,7 +1079,14 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: observer peer: %w", err)
 		}
+		// With an adversary the observer's envelope count includes hostile
+		// traffic, so completion is judged by honest transactions matched
+		// back to their submissions.
+		if adv != nil {
+			_, committed, _ = gen.Stats()
+		}
 		if loadDone && committed >= submitted {
+			honestDone = time.Now()
 			break
 		}
 		if oerr := ord.Err(); oerr != nil {
@@ -849,6 +1115,18 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			return nil, errors.New("cluster: churn scenario did not complete in time")
 		}
 	}
+	// Same for a phased chaos fault (partition heal, leader re-election):
+	// even a run that finished before the fault window still plays the
+	// strike + recovery through so the convergence gate means something.
+	for faultPhase != 2 {
+		if err := faultStep(true); err != nil {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("cluster: chaos fault scenario did not complete in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	// Snapshot delivery stats now, while the contrast is visible: the
 	// observer has everything, so a fast peer's lag is ~0 while the slow
 	// peer still shows its backlog and drops.
@@ -860,22 +1138,60 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	// slow peer's drop counter, not the drain, absorbs its overload.
 	drainErr := svc.Drain(opts.Timeout)
 	// Zero delivery lag only means the frames reached the sockets; wait
-	// for the fast peers' commit loops to drain their intake before
-	// reading their counters.
+	// for every fast peer's ledger to reach the published height. The
+	// target is re-read each pass — with an adversary, trailing
+	// hostile-only batches can still cut on the batch timer after the
+	// honest load completes, so the loop additionally requires the height
+	// to hold still briefly before calling the run settled. A peer stalled
+	// short of the target (a corrupted tail frame with no follow-on block
+	// to expose the gap to its commit loop) gets its delivery cursor
+	// rewound to its own height to force redelivery.
 	settleDeadline := time.Now().Add(opts.Timeout)
+	stableSince := time.Now()
+	lastTarget := svc.Height()
+	lastH := make(map[string]uint64, len(peers))
+	lastHAt := make(map[string]time.Time, len(peers))
 	for _, p := range peers {
-		if p.slow {
-			continue
+		if !p.slow {
+			lastH[p.name], lastHAt[p.name] = p.led.Height(), time.Now()
 		}
-		for {
-			p.mu.Lock()
-			settled := p.txs >= submitted || p.err != nil
-			p.mu.Unlock()
-			if settled || time.Now().After(settleDeadline) {
-				break
+	}
+	for {
+		target := svc.Height()
+		if target != lastTarget {
+			lastTarget = target
+			stableSince = time.Now()
+		}
+		allAt := true
+		for _, p := range peers {
+			if p.slow {
+				continue
 			}
-			time.Sleep(time.Millisecond)
+			p.mu.Lock()
+			perr := p.err
+			p.mu.Unlock()
+			if perr != nil {
+				continue // dead peers are reported by the convergence gate
+			}
+			h := p.led.Height()
+			if h >= target {
+				continue
+			}
+			allAt = false
+			if lastH[p.name] != h {
+				lastH[p.name], lastHAt[p.name] = h, time.Now()
+			} else if time.Since(lastHAt[p.name]) > 200*time.Millisecond {
+				svc.Rewind(p.name, h) // bmaclint:allow errdiscard (best-effort nudge; the settle deadline bounds a stuck peer)
+				lastHAt[p.name] = time.Now()
+			}
 		}
+		if allAt && (adv == nil || time.Since(stableSince) > 150*time.Millisecond) {
+			break
+		}
+		if time.Now().After(settleDeadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	if bmacPeer != nil {
 		// The protocol sender returned as soon as packets entered the
@@ -909,6 +1225,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	res.Txs = peers[0].txs
 	res.ValidTxs = peers[0].validTxs
 	res.Elapsed = peers[0].lastCommit.Sub(start)
+	res.HonestElapsed = honestDone.Sub(start)
 	peers[0].mu.Unlock()
 	if res.Elapsed > 0 {
 		res.TPS = metrics.Throughput(res.Txs, res.Elapsed)
@@ -963,6 +1280,35 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			CaughtUp:    finalStats[peers[churnIdx].name].CaughtUp,
 			Restarts:    peers[churnIdx].restarts,
 		}
+	}
+	if adv != nil {
+		res.Adversary = &AdversaryReport{
+			Rate:            opts.Adversary,
+			Injected:        adv.Stats(),
+			RejectedInvalid: res.Txs - res.ValidTxs,
+		}
+	}
+	if fault != "" {
+		cr := &ChaosReport{Fault: fault, StruckAt: struckAt, HealedAt: healedAt}
+		if fault == chaos.FaultLeaderKill {
+			cr.Victim = fmt.Sprintf("raft%d", leaderIdx)
+			cr.KilledNode = leaderIdx
+			cr.NewLeader = newLeaderIdx
+		} else {
+			victim := peers[faultIdx]
+			cr.Victim = victim.name
+			cr.LedgerRetries = victim.led.FaultRetries()
+			if partSwitch != nil {
+				cr.Heals = partSwitch.Heals()
+			}
+			if corrupter != nil {
+				_, cr.CorruptedFrames = corrupter.Stats()
+			}
+			if disk != nil {
+				cr.DiskWrites, cr.DiskFaults = disk.Stats()
+			}
+		}
+		res.Chaos = cr
 	}
 	if bmacPeer != nil {
 		res.BMacDelivery = stats["bmac"]
@@ -1060,8 +1406,10 @@ func isSlowName(peers []*swPeer, name string) bool {
 
 // newSWPeer builds one durable software peer for the selected validation
 // path. Opening an existing dir recovers: checkpoint + ledger replay seed
-// the state, and p.next reports the height the peer resumes from.
-func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, error) {
+// the state, and p.next reports the height the peer resumes from. A
+// non-nil df installs the slow-disk fault shim under the peer's ledger
+// and checkpoint writers.
+func newSWPeer(cfg *config.Config, opts Options, i int, dir string, df *chaos.DiskFault) (*swPeer, error) {
 	ln, err := gossip.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -1079,6 +1427,10 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 	}
 	if dopts.CheckpointEvery == 0 {
 		dopts.CheckpointEvery = cfg.Durability.CheckpointEvery
+	}
+	if df != nil {
+		dopts.CommitFault = df.Hook()
+		dopts.CheckpointFault = df.Hook()
 	}
 	switch opts.Mode {
 	case Sequential:
@@ -1143,10 +1495,12 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string) (*swPeer, er
 // applies committed writes to the endorser stores (committer role), and —
 // when the flight recorder is on — stamps the block's peer-side lifecycle
 // spans (deliver through commit, plus the enclosing e2e span).
-func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser, rec *telemetry.Recorder) {
+func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*endorser.Endorser, rec *telemetry.Recorder, rewind func(uint64) error) {
 	defer close(p.done)
 	next := p.next // 0 on a fresh peer, the recovered height after a restart
 	skipped := false
+	var badSeq uint64 // height of the last block dropped as corrupt
+	badRuns := 0      // consecutive drops at badSeq
 	for b := range p.ln.Blocks() {
 		// Delivery is at-least-once: a redial resends from the
 		// unadvanced cursor, so a block already committed may arrive
@@ -1157,6 +1511,18 @@ func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*end
 			continue
 		}
 		if b.Header.Number > next {
+			if rewind != nil {
+				// Frames were lost in flight (wire corruption tore the
+				// connection down after the sender's cursor advanced).
+				// Ask the delivery service to rewind this peer's cursor
+				// and redeliver; the out-of-order block in hand is
+				// dropped, its redelivered copy commits.
+				if err := rewind(next); err != nil {
+					p.fail(fmt.Errorf("rewind to %d: %w", next, err))
+					return
+				}
+				continue
+			}
 			// A gap: a DropBlocks peer cannot MVCC-validate against a
 			// state missing the skipped writes, so it keeps counting
 			// delivery but stops committing.
@@ -1174,6 +1540,27 @@ func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*end
 		recvAt := time.Now()
 		res, err := p.commit(b)
 		if err != nil {
+			if rewind != nil && errors.Is(err, validator.ErrBlockInvalid) {
+				// The delivered block decoded but failed block-level
+				// verification (DataHash or orderer signature): wire
+				// corruption damaged envelope bytes without breaking the
+				// framing. Nothing was committed; drop the block and
+				// rewind for an intact redelivery. A block that keeps
+				// failing at the same height is not wire damage — fall
+				// through to peer failure after a few attempts.
+				if b.Header.Number != badSeq {
+					badSeq, badRuns = b.Header.Number, 0
+				}
+				badRuns++
+				if badRuns <= 8 {
+					next = b.Header.Number
+					if rerr := rewind(next); rerr != nil {
+						p.fail(fmt.Errorf("rewind to %d: %w", next, rerr))
+						return
+					}
+					continue
+				}
+			}
 			p.fail(fmt.Errorf("commit block %d: %w", b.Header.Number, err))
 			return
 		}

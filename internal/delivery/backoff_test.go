@@ -1,0 +1,121 @@
+package delivery
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRedialBackoffPacesAgainstDeadLink is the regression for the redial
+// hot-spin: a pipe configured to survive a long partition (large redial
+// budget) must pace its reconnect attempts out exponentially up to the
+// RedialMaxWait cap instead of hammering the dead link at RedialWait
+// intervals. With RedialWait=1ms, RedialMaxWait=8ms and 8 attempts the
+// waits are 1+2+4+8+8+8+8+8 = 47ms; the hot-spin paced linearly at 8ms.
+func TestRedialBackoffPacesAgainstDeadLink(t *testing.T) {
+	s := NewService(Options{Window: 4})
+	defer s.Close()
+	var dials atomic.Int64
+	opts := PeerOptions{
+		MaxRedials:    8,
+		RedialWait:    time.Millisecond,
+		RedialMaxWait: 8 * time.Millisecond,
+		Dial: func() (Transport, error) {
+			dials.Add(1)
+			return nil, errors.New("link down")
+		},
+	}
+	if err := s.Register("victim", &mockTransport{failNext: 1 << 30}, opts); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	publishN(t, s, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	var st PeerStats
+	for {
+		for _, cand := range s.Stats() {
+			if cand.Name == "victim" {
+				st = cand
+			}
+		}
+		if st.Err != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	if st.Err == nil {
+		t.Fatal("pipe never exhausted its redial budget")
+	}
+	if got := dials.Load(); got != 8 {
+		t.Fatalf("dialer called %d times, want exactly MaxRedials=8", got)
+	}
+	// Generous lower bound (scheduler jitter only ever adds time): the
+	// exponential schedule sums to 47ms, the linear hot-spin to 8ms.
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("redial budget exhausted in %v: attempts are not backing off", elapsed)
+	}
+}
+
+// TestRedialBackoffCapDefaults pins the option defaulting: an unset cap
+// becomes 200ms, and a cap below RedialWait is floored at RedialWait so
+// the doubling logic never shrinks the wait.
+func TestRedialBackoffCapDefaults(t *testing.T) {
+	s := NewService(Options{Window: 4})
+	defer s.Close()
+	if err := s.Register("a", &mockTransport{}, PeerOptions{RedialWait: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	opts := s.peers["a"].opts
+	s.mu.Unlock()
+	if opts.RedialMaxWait != 500*time.Millisecond {
+		t.Errorf("cap %v, want floored at RedialWait 500ms", opts.RedialMaxWait)
+	}
+	if err := s.Register("b", &mockTransport{}, PeerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	opts = s.peers["b"].opts
+	s.mu.Unlock()
+	if opts.RedialMaxWait != 200*time.Millisecond {
+		t.Errorf("default cap %v, want 200ms", opts.RedialMaxWait)
+	}
+}
+
+// TestRewindDuringInFlightSend is the cursor-race regression: a Rewind
+// landing while the writer goroutine has a send in flight must not be
+// clobbered when that send completes and advances the cursor. The pipe
+// redelivers from the rewound position.
+func TestRewindDuringInFlightSend(t *testing.T) {
+	s := NewService(Options{Window: 16})
+	defer s.Close()
+	tr := &mockTransport{delay: 20 * time.Millisecond}
+	if err := s.Register("p", tr, PeerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, 4)
+	// Let the first send get in flight, then rewind under it.
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Rewind("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	seqs := tr.delivered()
+	if len(seqs) < 4 {
+		t.Fatalf("delivered %d blocks, want >= 4 (redelivery after rewind)", len(seqs))
+	}
+	// Whatever was re-sent, the tail must walk 0..3 without a gap.
+	last := seqs[len(seqs)-1]
+	if last != 3 {
+		t.Fatalf("final seq %d, want 3", last)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] > seqs[i-1]+1 {
+			t.Fatalf("gap in delivery after rewind: %v", seqs)
+		}
+	}
+}

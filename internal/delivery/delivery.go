@@ -171,9 +171,14 @@ type PeerOptions struct {
 	// MaxRedials bounds consecutive reconnect attempts per send error
 	// (default 3; ignored without Dial).
 	MaxRedials int
-	// RedialWait is the pause before each reconnect attempt (default
-	// 10ms).
+	// RedialWait is the pause before the first reconnect attempt (default
+	// 10ms). Successive attempts back off exponentially from it.
 	RedialWait time.Duration
+	// RedialMaxWait caps the exponential backoff between reconnect
+	// attempts (default 200ms, or RedialWait when that is larger). Large
+	// redial budgets — the partition-survival configuration — would
+	// otherwise spin the dialer hot against a dead link.
+	RedialMaxWait time.Duration
 }
 
 // PeerStats is a point-in-time snapshot of one peer's pipeline.
@@ -242,6 +247,12 @@ func (s *Service) Register(name string, tr Transport, opts PeerOptions) error {
 	}
 	if opts.RedialWait == 0 {
 		opts.RedialWait = 10 * time.Millisecond
+	}
+	if opts.RedialMaxWait == 0 {
+		opts.RedialMaxWait = 200 * time.Millisecond
+	}
+	if opts.RedialMaxWait < opts.RedialWait {
+		opts.RedialMaxWait = opts.RedialWait
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -373,6 +384,7 @@ func (s *Service) Rewind(name string, seq uint64) error {
 	}
 	if seq < p.next {
 		p.next = seq
+		p.rewinds++ // invalidate any in-flight send's cursor advance
 	}
 	p.mu.Unlock()
 	p.wake()
@@ -471,6 +483,7 @@ type pipe struct {
 	mu       sync.Mutex
 	tr       Transport // guarded by mu
 	next     uint64    // guarded by mu; next sequence to deliver
+	rewinds  uint64    // guarded by mu; generation counter bumped by Rewind
 	alive    bool      // guarded by mu
 	blocks   int64     // guarded by mu
 	bytes    int64     // guarded by mu
@@ -543,7 +556,7 @@ func (p *pipe) run(s *Service) {
 	}
 	for {
 		p.mu.Lock()
-		next := p.next
+		next, gen := p.next, p.rewinds
 		p.mu.Unlock()
 		it, gap, have := s.fetch(next)
 		fromHistory := false
@@ -595,7 +608,10 @@ func (p *pipe) run(s *Service) {
 		if fromHistory {
 			p.caughtUp++
 		}
-		if it.Seq+1 > p.next {
+		// A Rewind that landed while this send was in flight moved the
+		// cursor back on purpose; advancing past it here would silently
+		// skip the rewound range.
+		if gen == p.rewinds && it.Seq+1 > p.next {
 			p.next = it.Seq + 1
 		}
 		p.mu.Unlock()
@@ -618,7 +634,10 @@ func (p *pipe) send(it *Item) (int, error) {
 }
 
 // redial closes the failed transport and tries to reconnect; it reports
-// whether the pipe should keep running.
+// whether the pipe should keep running. Attempts pace out exponentially
+// from RedialWait up to the RedialMaxWait cap, so a pipe configured to
+// survive a long partition (large MaxRedials) idles against the dead link
+// instead of hammering it.
 func (p *pipe) redial(sendErr error) bool {
 	p.mu.Lock()
 	p.sendErrs++
@@ -629,12 +648,18 @@ func (p *pipe) redial(sendErr error) bool {
 		p.fail(sendErr)
 		return false
 	}
+	wait := p.opts.RedialWait
 	for attempt := 0; attempt < p.opts.MaxRedials; attempt++ {
 		select {
-		case <-time.After(p.opts.RedialWait):
+		case <-time.After(wait):
 		case <-p.stop:
 			p.fail(sendErr)
 			return false
+		}
+		if wait < p.opts.RedialMaxWait {
+			if wait *= 2; wait > p.opts.RedialMaxWait {
+				wait = p.opts.RedialMaxWait
+			}
 		}
 		tr, err := p.opts.Dial()
 		if err != nil {

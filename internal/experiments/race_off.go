@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors race_on.go for builds without the race detector.
+const raceEnabled = false

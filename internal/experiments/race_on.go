@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// adversarial flood gate is a performance assertion, and the detector's
+// instrumentation inflates per-signature validation cost enough to skew
+// the hostile/baseline goodput ratio; the gate floor is relaxed when it
+// is on (see FigAdversarial).
+const raceEnabled = true

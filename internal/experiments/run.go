@@ -44,29 +44,30 @@ func Names() []string {
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
 		"headline", "ablations", "pipeline", "hybrid", "cluster", "churn",
-		"hotpath",
+		"hotpath", "adversarial",
 	}
 }
 
 // Titles maps experiment ids to display titles.
 var Titles = map[string]string{
-	"fig3":      "Figure 3: validator peer bottlenecks (software profile)",
-	"fig9a":     "Figure 9a: protocol bandwidth savings",
-	"fig9b":     "Figure 9b: block transmission time CDF (1 Gbps link model)",
-	"fig10":     "Figure 10: block validation breakdown, sw_validator vs BMac",
-	"fig11":     "Figure 11: smallbank throughput sweep",
-	"fig12a":    "Figure 12a: endorsement policies",
-	"fig12b":    "Figure 12b: 8x2 vs 5x3 architectures",
-	"fig12c":    "Figure 12c: database requests (split payment)",
-	"fig13":     "Figure 13: drm benchmark",
-	"table1":    "Table 1: FPGA resource utilization (model)",
-	"headline":  "Headline: peak throughput and speedup",
-	"ablations": "Ablations: design-choice benches",
-	"pipeline":  "Pipeline: parallel commit engine speedup vs block size and conflict rate",
-	"hybrid":    "Hybrid: §5 hardware/host database — hit rate and prefetch latency hiding vs capacity and Zipf skew",
-	"cluster":   "Cluster: open-loop load through the non-blocking delivery service — throughput, tail latency and slow-peer isolation per validation path",
-	"churn":     "Churn: kill a peer mid-run, restart from checkpoint + ledger replay, catch up through the orderer ledger — convergence per validation path",
-	"hotpath":   "Hotpath: commit hot-path micro/macro benchmarks — verify cache, batch ECDSA, parse-once, pooled marshal — each vs its off baseline (ns/op, allocs/op, hit rates)",
+	"fig3":        "Figure 3: validator peer bottlenecks (software profile)",
+	"fig9a":       "Figure 9a: protocol bandwidth savings",
+	"fig9b":       "Figure 9b: block transmission time CDF (1 Gbps link model)",
+	"fig10":       "Figure 10: block validation breakdown, sw_validator vs BMac",
+	"fig11":       "Figure 11: smallbank throughput sweep",
+	"fig12a":      "Figure 12a: endorsement policies",
+	"fig12b":      "Figure 12b: 8x2 vs 5x3 architectures",
+	"fig12c":      "Figure 12c: database requests (split payment)",
+	"fig13":       "Figure 13: drm benchmark",
+	"table1":      "Table 1: FPGA resource utilization (model)",
+	"headline":    "Headline: peak throughput and speedup",
+	"ablations":   "Ablations: design-choice benches",
+	"pipeline":    "Pipeline: parallel commit engine speedup vs block size and conflict rate",
+	"hybrid":      "Hybrid: §5 hardware/host database — hit rate and prefetch latency hiding vs capacity and Zipf skew",
+	"cluster":     "Cluster: open-loop load through the non-blocking delivery service — throughput, tail latency and slow-peer isolation per validation path",
+	"churn":       "Churn: kill a peer mid-run, restart from checkpoint + ledger replay, catch up through the orderer ledger — convergence per validation path",
+	"hotpath":     "Hotpath: commit hot-path micro/macro benchmarks — verify cache, batch ECDSA, parse-once, pooled marshal — each vs its off baseline (ns/op, allocs/op, hit rates)",
+	"adversarial": "Adversarial: hostile-load and chaos gates — 50% invalid-tx flood must keep valid-tx TPS >= 70% of baseline, and every fault (partition, corruption, slowdisk, leaderkill) must end bit-identical",
 }
 
 // Run executes one experiment by id.
@@ -106,6 +107,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return FigChurn(r.opts)
 	case "hotpath":
 		return FigHotpath(r.env, r.opts)
+	case "adversarial":
+		return FigAdversarial(r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

@@ -49,7 +49,9 @@ type Ledger struct {
 
 	bytesWritten int64 // guarded by mu
 	syncEach     bool
-	warnings     []string // guarded by mu
+	commitFault  func() error // immutable after Open; fault-injection hook
+	faultRetries int64        // guarded by mu; transient commit faults absorbed
+	warnings     []string     // guarded by mu
 }
 
 type indexEntry struct {
@@ -62,6 +64,14 @@ type Options struct {
 	// SyncEachBlock fsyncs after every block, modeling a durability-first
 	// deployment. Off by default (Fabric also relies on buffered writes).
 	SyncEachBlock bool
+	// CommitFault, when set, runs before each block append — the
+	// fault-injection point of the chaos slow-disk scenario. A returned
+	// error models a transient device fault: Commit retries the hook a
+	// bounded number of times (counted in FaultRetries) before surfacing
+	// the error. The hook fires after the duplicate/order/chain checks and
+	// before any bytes are written, so a faulted commit leaves no torn
+	// state.
+	CommitFault func() error
 }
 
 // Open creates or opens a ledger in dir. An existing block file is replayed
@@ -91,9 +101,10 @@ func Open(dir string, opts Options) (*Ledger, error) {
 		}
 	}
 	l := &Ledger{
-		file:     f,
-		index:    make(map[uint64]indexEntry),
-		syncEach: opts.SyncEachBlock,
+		file:        f,
+		index:       make(map[uint64]indexEntry),
+		syncEach:    opts.SyncEachBlock,
+		commitFault: opts.CommitFault,
 	}
 	l.mu.Lock()
 	err = l.replay()
@@ -257,6 +268,24 @@ func (l *Ledger) Commit(b *block.Block) ([]byte, error) {
 		return nil, fmt.Errorf("%w at block %d", ErrBrokenChain, num)
 	}
 
+	if l.commitFault != nil {
+		// Transient device faults are retried here, inside the commit
+		// lock and before any write: retrying the whole block commit at a
+		// higher layer is unsafe (state may already be applied), retrying
+		// the pre-write hook is trivially idempotent.
+		const maxFaultRetries = 8
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = l.commitFault(); err == nil {
+				break
+			}
+			l.faultRetries++
+			if attempt >= maxFaultRetries {
+				return nil, fmt.Errorf("ledger: commit fault persisted after %d retries: %w", maxFaultRetries, err)
+			}
+		}
+	}
+
 	b.Metadata.CommitHash = block.CommitHash(l.commitHash, b.Header.DataHash, b.Metadata.ValidationFlags)
 
 	// The marshal buffer's lifetime is exactly this append (bufio.Write
@@ -303,6 +332,14 @@ func (l *Ledger) Get(num uint64) (*block.Block, error) {
 		return nil, fmt.Errorf("read block %d: %w", num, err)
 	}
 	return block.Unmarshal(buf[8:])
+}
+
+// FaultRetries reports how many transient commit faults (injected via
+// Options.CommitFault) were absorbed by retry.
+func (l *Ledger) FaultRetries() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faultRetries
 }
 
 // BytesWritten reports the cumulative bytes appended this session.

@@ -9,6 +9,7 @@ package orderer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -53,11 +54,11 @@ var ErrStopped = errors.New("orderer: stopped")
 
 // Orderer is one ordering-service node.
 type Orderer struct {
-	cfg      Config
-	id       *identity.Identity
-	raftNode *raft.Node
+	cfg Config
+	id  *identity.Identity
 
 	mu       sync.Mutex
+	raftNode *raft.Node // guarded by mu; swapped by Rebind after a leader kill
 	pending  []block.Envelope
 	delivery []DeliverFunc
 	height   uint64
@@ -66,10 +67,20 @@ type Orderer struct {
 	txs      int
 	fatalErr error
 
-	kick chan struct{} // a size-based cut happened: restart the batch timer
-	stop chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	// Exactly-once accounting across leader failover: every cut batch is
+	// stamped with a sequence number; inflight holds cut-but-unapplied
+	// batches (re-proposed by Rebind), applied records batch sequences
+	// already turned into blocks (a new leader's apply channel replays the
+	// whole log, and a re-proposed batch may commit twice).
+	batchSeq uint64              // guarded by mu; last assigned batch sequence
+	inflight map[uint64][]byte   // guarded by mu; batch seq -> marshaled batch
+	applied  map[uint64]struct{} // guarded by mu; batch seqs already applied
+
+	kick   chan struct{} // a size-based cut happened: restart the batch timer
+	rebind chan struct{} // the raft node was swapped: re-read it
+	stop   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // New creates an orderer bound to a raft node and starts its batching and
@@ -80,7 +91,10 @@ func New(cfg Config, id *identity.Identity, raftNode *raft.Node) *Orderer {
 		cfg:      cfg.withDefaults(),
 		id:       id,
 		raftNode: raftNode,
+		inflight: make(map[uint64][]byte),
+		applied:  make(map[uint64]struct{}),
 		kick:     make(chan struct{}, 1),
+		rebind:   make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -114,7 +128,11 @@ func (o *Orderer) Submit(env *block.Envelope) error {
 	full := len(o.pending) >= o.cfg.BatchSize
 	o.mu.Unlock()
 	if full {
-		if err := o.cut(true); err != nil {
+		// A leaderless interval (election in progress after a leader kill)
+		// is a transient, not a submission failure: the batch stays queued
+		// and the timer cut retries it, exactly like the timeout path.
+		if err := o.cut(true); err != nil &&
+			!errors.Is(err, raft.ErrNotLeader) && !errors.Is(err, raft.ErrStopped) {
 			return err
 		}
 		// Restart the batch timer: a full-batch cut must not leave a
@@ -130,7 +148,11 @@ func (o *Orderer) Submit(env *block.Envelope) error {
 }
 
 // cut proposes the current batch to raft. sizeCut records whether the
-// batch closed because it filled (vs the batch timer expiring).
+// batch closed because it filled (vs the batch timer expiring). The batch
+// is stamped with a fresh sequence number and tracked as inflight until
+// its block is created — Propose returns at leader-log acceptance, not
+// commit, so a leader killed in between would otherwise lose the batch
+// silently.
 func (o *Orderer) cut(sizeCut bool) error {
 	o.mu.Lock()
 	if len(o.pending) == 0 {
@@ -139,14 +161,45 @@ func (o *Orderer) cut(sizeCut bool) error {
 	}
 	batch := o.pending
 	o.pending = nil
+	o.batchSeq++
+	seq := o.batchSeq
+	node := o.raftNode
 	o.mu.Unlock()
 
-	data := marshalBatch(batch)
-	if err := o.raftNode.Propose(data); err != nil {
-		// Not the leader (or stopped): requeue so a retry can succeed.
+	data := marshalBatch(batch, seq)
+	o.mu.Lock()
+	o.inflight[seq] = data
+	o.mu.Unlock()
+	if err := node.Propose(data); err != nil {
+		if errors.Is(err, raft.ErrNotLeader) {
+			// A follower rejects the proposal before touching its log,
+			// so the batch definitely did not land: requeue the
+			// envelopes and let a later cut re-batch them.
+			o.mu.Lock()
+			delete(o.inflight, seq)
+			o.pending = append(batch, o.pending...)
+			o.mu.Unlock()
+			return fmt.Errorf("order batch: %w", err)
+		}
+		// ErrStopped is ambiguous: the node may have appended and
+		// replicated the entry before the stop was observed (Propose's
+		// response select races the stop channel). Re-batching these
+		// envelopes under a fresh sequence could then commit them
+		// twice — the applied-seq dedup only catches same-seq
+		// re-proposals. Keep the batch parked in inflight under its
+		// original seq: Rebind re-proposes the identical bytes, and if
+		// the orderer was rebound while this propose was failing, retry
+		// on the new node here (a duplicate re-propose is harmless —
+		// same seq, so createBlock applies it once).
 		o.mu.Lock()
-		o.pending = append(batch, o.pending...)
+		cur := o.raftNode
 		o.mu.Unlock()
+		if cur != node {
+			if rerr := cur.Propose(data); rerr == nil {
+				o.cfg.Metrics.ObserveCut(sizeCut)
+				return nil
+			}
+		}
 		return fmt.Errorf("order batch: %w", err)
 	}
 	o.cfg.Metrics.ObserveCut(sizeCut)
@@ -190,10 +243,17 @@ func (o *Orderer) cutLoop() {
 func (o *Orderer) applyLoop() {
 	defer o.wg.Done()
 	for {
+		o.mu.Lock()
+		node := o.raftNode
+		o.mu.Unlock()
 		select {
 		case <-o.stop:
 			return
-		case entry := <-o.raftNode.Apply():
+		case <-o.rebind:
+			// Rebind swapped the raft node: re-read it and drain the new
+			// node's apply channel from here on.
+			continue
+		case entry := <-node.Apply():
 			if err := o.createBlock(entry.Data); err != nil {
 				// A delivery-hook or decode failure is fatal for this
 				// node: record it so Err/Stop surface it instead of the
@@ -203,6 +263,40 @@ func (o *Orderer) applyLoop() {
 			}
 		}
 	}
+}
+
+// Rebind switches the orderer to a new raft node — the failover step after
+// its original node was killed — and re-proposes every cut-but-unapplied
+// batch through it, in sequence order. Re-proposing a batch that the old
+// leader did manage to replicate is safe: batch-sequence deduplication in
+// createBlock commits each batch exactly once. Callers pass the cluster's
+// newly elected leader; ErrNotLeader (election still settling) is returned
+// so the caller can retry.
+func (o *Orderer) Rebind(n *raft.Node) error {
+	o.mu.Lock()
+	o.raftNode = n
+	seqs := make([]uint64, 0, len(o.inflight))
+	for seq := range o.inflight {
+		seqs = append(seqs, seq)
+	}
+	o.mu.Unlock()
+	select {
+	case o.rebind <- struct{}{}:
+	default:
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		o.mu.Lock()
+		data, ok := o.inflight[seq]
+		o.mu.Unlock()
+		if !ok {
+			continue // applied while we were re-proposing
+		}
+		if err := n.Propose(data); err != nil {
+			return fmt.Errorf("orderer: re-propose batch %d: %w", seq, err)
+		}
+	}
+	return nil
 }
 
 // fail records the first fatal loop error.
@@ -222,13 +316,23 @@ func (o *Orderer) Err() error {
 	return o.fatalErr
 }
 
-// createBlock turns one committed raft entry (a batch) into the next block.
+// createBlock turns one committed raft entry (a batch) into the next
+// block. A batch sequence seen before is skipped: after a failover the new
+// leader's apply channel replays the whole log, and a re-proposed batch
+// may legitimately commit twice — deduplication here is what makes the
+// pipeline exactly-once.
 func (o *Orderer) createBlock(batchData []byte) error {
-	envs, err := unmarshalBatch(batchData)
+	envs, seq, err := unmarshalBatch(batchData)
 	if err != nil {
 		return err
 	}
 	o.mu.Lock()
+	if _, dup := o.applied[seq]; dup {
+		o.mu.Unlock()
+		return nil
+	}
+	o.applied[seq] = struct{}{}
+	delete(o.inflight, seq)
 	num := o.height
 	prev := o.prevHash
 	o.mu.Unlock()
@@ -283,35 +387,41 @@ func (o *Orderer) Stop() error {
 	return o.Err()
 }
 
-// marshalBatch encodes envelopes as repeated length-delimited fields.
-func marshalBatch(envs []block.Envelope) []byte {
-	var out []byte
+// marshalBatch encodes envelopes as repeated length-delimited fields
+// (field 1) plus the batch sequence number (field 2, varint) used for
+// exactly-once deduplication across leader failover.
+func marshalBatch(envs []block.Envelope, seq uint64) []byte {
+	out := wire.AppendUint(nil, 2, seq)
 	for i := range envs {
 		out = wire.AppendBytesAlways(out, 1, block.MarshalEnvelope(&envs[i]))
 	}
 	return out
 }
 
-func unmarshalBatch(data []byte) ([]block.Envelope, error) {
+func unmarshalBatch(data []byte) ([]block.Envelope, uint64, error) {
 	var envs []block.Envelope
+	var seq uint64
 	r := wire.NewReader(data)
 	for {
 		num, wt, ok := r.Next()
 		if !ok {
 			break
 		}
-		if num != 1 {
+		switch num {
+		case 1:
+			env, err := block.UnmarshalEnvelope(r.Bytes())
+			if err != nil {
+				return nil, 0, err
+			}
+			envs = append(envs, *env)
+		case 2:
+			seq = r.Uint()
+		default:
 			r.Skip(wt)
-			continue
 		}
-		env, err := block.UnmarshalEnvelope(r.Bytes())
-		if err != nil {
-			return nil, err
-		}
-		envs = append(envs, *env)
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("orderer: batch decode: %w", err)
+		return nil, 0, fmt.Errorf("orderer: batch decode: %w", err)
 	}
-	return envs, nil
+	return envs, seq, nil
 }

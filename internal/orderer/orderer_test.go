@@ -188,12 +188,15 @@ func TestSubmitAfterStop(t *testing.T) {
 func TestBatchRoundTrip(t *testing.T) {
 	f := newFixture(t)
 	envs := []block.Envelope{*f.envelope(t), *f.envelope(t)}
-	got, err := unmarshalBatch(marshalBatch(envs))
+	got, seq, err := unmarshalBatch(marshalBatch(envs, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 {
 		t.Fatalf("batch round trip = %d envelopes", len(got))
+	}
+	if seq != 7 {
+		t.Fatalf("batch round trip seq = %d, want 7", seq)
 	}
 	for i := range envs {
 		if string(got[i].PayloadBytes) != string(envs[i].PayloadBytes) {

@@ -37,6 +37,12 @@ type DurableOptions struct {
 	CheckpointEvery int
 	// SyncEachBlock fsyncs the ledger after every block commit.
 	SyncEachBlock bool
+	// CommitFault, when set, is the ledger's pre-append fault hook (see
+	// ledger.Options.CommitFault) — the chaos slow-disk scenario.
+	CommitFault func() error
+	// CheckpointFault, when set, is the checkpoint writer's pre-write
+	// fault hook (see statedb.SaveCheckpointFault).
+	CheckpointFault func() error
 }
 
 // NewDurableSWPeer opens (or reopens) a sequential software peer in dir
@@ -44,7 +50,7 @@ type DurableOptions struct {
 // top of the newest checkpoint, so a restarted peer resumes from its last
 // committed block; Height reports where that is.
 func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*SWPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock})
+	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock, CommitFault: opts.CommitFault})
 	if err != nil {
 		return nil, fmt.Errorf("sw peer ledger: %w", err)
 	}
@@ -57,6 +63,7 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 		Ledger:    led,
 		dir:       dir,
 		ckptEvery: opts.CheckpointEvery,
+		ckptFault: opts.CheckpointFault,
 	}, nil
 }
 
@@ -64,7 +71,7 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 // dir over the given state-database backend, with the same recovery
 // semantics as NewDurableSWPeer.
 func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*ParallelPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock})
+	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock, CommitFault: opts.CommitFault})
 	if err != nil {
 		return nil, fmt.Errorf("parallel peer ledger: %w", err)
 	}
@@ -77,6 +84,7 @@ func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, op
 		Ledger:    led,
 		dir:       dir,
 		ckptEvery: opts.CheckpointEvery,
+		ckptFault: opts.CheckpointFault,
 	}, nil
 }
 
@@ -157,7 +165,7 @@ func (p *ParallelPeer) Height() uint64 { return p.Ledger.Height() }
 // Call it after bootstrap to capture genesis state that no ledger block
 // carries.
 func (p *SWPeer) Checkpoint() error {
-	return statedb.SaveCheckpoint(filepath.Join(p.dir, CheckpointFile), p.Validator.Store(), p.Ledger.Height())
+	return statedb.SaveCheckpointFault(filepath.Join(p.dir, CheckpointFile), p.Validator.Store(), p.Ledger.Height(), p.ckptFault)
 }
 
 // Checkpoint writes a state checkpoint at the current ledger height
@@ -165,7 +173,7 @@ func (p *SWPeer) Checkpoint() error {
 // Call it after bootstrap to capture genesis state that no ledger block
 // carries.
 func (p *ParallelPeer) Checkpoint() error {
-	return statedb.SaveCheckpoint(filepath.Join(p.dir, CheckpointFile), p.Engine.Store(), p.Ledger.Height())
+	return statedb.SaveCheckpointFault(filepath.Join(p.dir, CheckpointFile), p.Engine.Store(), p.Ledger.Height(), p.ckptFault)
 }
 
 // maybeCheckpoint runs the periodic checkpoint policy after a successful

@@ -57,6 +57,7 @@ type SWPeer struct {
 
 	dir       string
 	ckptEvery int
+	ckptFault func() error // fault-injection hook for checkpoint writes
 }
 
 // NewSWPeer creates a software peer with an in-memory state database and a
@@ -101,6 +102,7 @@ type ParallelPeer struct {
 
 	dir       string
 	ckptEvery int
+	ckptFault func() error // fault-injection hook for checkpoint writes
 }
 
 // NewParallelPeer creates a parallel peer with an in-memory state database

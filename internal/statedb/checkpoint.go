@@ -41,6 +41,28 @@ func SaveCheckpoint(path string, kvs KVS, height uint64) error {
 	return SaveSnapshot(path, kvs.Snapshot(), height)
 }
 
+// SaveCheckpointFault is SaveCheckpoint with a pre-write fault hook — the
+// chaos slow-disk injection point. The hook runs before the temp file is
+// created; a returned error models a transient device fault and is
+// retried a bounded number of times before surfacing. Because the write
+// is temp+rename-atomic anyway, a surfaced fault leaves the previous
+// checkpoint intact.
+func SaveCheckpointFault(path string, kvs KVS, height uint64, fault func() error) error {
+	if fault != nil {
+		const maxFaultRetries = 8
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = fault(); err == nil {
+				break
+			}
+			if attempt >= maxFaultRetries {
+				return fmt.Errorf("statedb: checkpoint fault persisted after %d retries: %w", maxFaultRetries, err)
+			}
+		}
+	}
+	return SaveCheckpoint(path, kvs, height)
+}
+
 // SaveSnapshot is SaveCheckpoint over an already-taken snapshot (so callers
 // can capture state at a precise block boundary and write it out later).
 func SaveSnapshot(path string, snap map[string]VersionedValue, height uint64) error {

@@ -18,6 +18,7 @@
 package validator
 
 import (
+	"bytes"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"errors"
@@ -151,8 +152,9 @@ func (v *Validator) verifyOpts() VerifyOpts {
 	}
 }
 
-// ErrBlockInvalid reports a block whose orderer signature failed; the block
-// is discarded without committing.
+// ErrBlockInvalid reports a block that failed block-level verification —
+// a bad orderer signature or a DataHash that does not bind the delivered
+// envelopes; the block is discarded without committing.
 var ErrBlockInvalid = errors.New("validator: block verification failed")
 
 // Validator is a software-only validator peer core. It runs against any
@@ -309,15 +311,27 @@ func (v *Validator) validateParsed(b *block.Block, txs []ParsedTx, start time.Ti
 	return res, nil
 }
 
-// VerifyOrderer verifies the block metadata signature, attributing hash and
-// ECDSA time to the operation counters. Exported so internal/pipeline's
-// block-verify stage is the same code as the sequential validator's.
+// VerifyOrderer verifies the block metadata signature and that the header's
+// DataHash binds the delivered envelopes, attributing hash and ECDSA time to
+// the operation counters. Exported so internal/pipeline's block-verify stage
+// is the same code as the sequential validator's.
 func VerifyOrderer(b *block.Block, bd *Breakdown) error {
 	return VerifyOrdererOpts(b, VerifyOpts{}, bd)
 }
 
 // VerifyOrdererOpts is VerifyOrderer with the optional verification cache.
 func VerifyOrdererOpts(b *block.Block, opts VerifyOpts, bd *Breakdown) error {
+	// The orderer signature covers the header only; the header's DataHash
+	// is what binds the envelope bytes. Recompute it so a block whose
+	// envelopes were corrupted in flight (but still decoded) is rejected
+	// here instead of committing divergent content.
+	t := time.Now()
+	dh := block.DataHash(b.Envelopes)
+	bd.SHA256Time += time.Since(t)
+	bd.SHA256Count++
+	if !bytes.Equal(dh, b.Header.DataHash) {
+		return errors.New("header DataHash does not match envelopes")
+	}
 	ms := &b.Metadata.Signature
 	pub, err := opts.CertCache.PublicKeyFromCert(ms.Creator)
 	if err != nil {

@@ -194,6 +194,25 @@ func TestBadOrdererSignatureRejectsBlock(t *testing.T) {
 	}
 }
 
+// TestTamperedEnvelopeRejectsBlock flips one byte inside an envelope after
+// the block was built and signed: the orderer signature still verifies (it
+// covers only the header), so only the DataHash recomputation can catch
+// content corrupted in flight. The whole block must be rejected without
+// touching state.
+func TestTamperedEnvelopeRejectsBlock(t *testing.T) {
+	f := newFixture(t, 2)
+	v := f.validator(t, "2of2", 2)
+	b := f.simpleBlock(t, 0, nil, 2, f.defaultSpec(f.peers[0], f.peers[1]))
+	b.Envelopes[1].Signature[4] ^= 0x40
+	_, err := v.ValidateAndCommit(block.Marshal(b))
+	if !errors.Is(err, ErrBlockInvalid) {
+		t.Errorf("err = %v, want ErrBlockInvalid", err)
+	}
+	if v.Store().Len() != 0 {
+		t.Error("tampered block mutated state")
+	}
+}
+
 func TestMVCCConflictWithinBlock(t *testing.T) {
 	f := newFixture(t, 2)
 	v := f.validator(t, "2of2", 2)
