@@ -14,7 +14,11 @@
 // With -cluster -churn it additionally kills the last fast peer mid-run
 // and restarts it from its checkpoint + ledger replay, catching it up
 // through the orderer's ledger-backed delivery source; the run fails
-// unless every fast peer converges to an identical state hash.
+// unless every fast peer converges to an identical state hash. Adding
+// -churn-corrupt bit-rots one of the downed peer's sealed ledger segments
+// so the restart must quarantine it and re-fetch the lost range through
+// delivery; -segment-bytes, -prune and -fastsync tune the segmented
+// ledger's rotation budget, checkpoint-covered pruning and recovery mode.
 //
 // With -cluster -adversary-rate it mixes hostile traffic (invalid
 // signatures, garbage envelopes, forged endorsements, replayed
@@ -30,6 +34,8 @@
 //	bmacnet -workload drm -txs 500   # drm benchmark
 //	bmacnet -cluster -peers 4 -slow-peers 1 -rate 500 -path pipelined
 //	bmacnet -cluster -churn -rate 900 -txs 200 -no-bmac
+//	bmacnet -cluster -churn -churn-corrupt -segment-bytes 4096 -txs 200 -no-bmac
+//	bmacnet -cluster -churn -segment-bytes 4096 -prune -rate 900 -txs 200 -no-bmac
 //	bmacnet -cluster -adversary-rate 0.5 -txs 200 -no-bmac
 //	bmacnet -cluster -fault partition -rate 900 -txs 200 -no-bmac
 //	bmacnet -cluster -fault leaderkill -raft-nodes 3 -peers 2 -rate 900 -txs 200 -no-bmac
@@ -79,7 +85,11 @@ func run() error {
 		noBMac     = flag.Bool("no-bmac", false, "cluster: skip the BMac protocol peer")
 		churn      = flag.Bool("churn", false, "cluster: kill the last fast peer mid-run and restart it from checkpoint + ledger replay")
 		churnAfter = flag.Int("churn-after", 0, "cluster: blocks the churned peer commits before the kill (0 = default 2)")
+		churnRot   = flag.Bool("churn-corrupt", false, "cluster: bit-rot the churned peer's oldest sealed segment while it is down; the restart must quarantine it and re-fetch the range through delivery")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "peer state checkpoint cadence in blocks (0 = config durability.checkpoint_every)")
+		segBytes   = flag.Int64("segment-bytes", 0, "ledger segment rotation budget in bytes (0 = config durability.segment_bytes or ledger default)")
+		prune      = flag.Bool("prune", false, "prune ledger segments covered by every retained checkpoint generation (requires a checkpoint cadence)")
+		fastsync   = flag.Bool("fastsync", true, "recover restarted peers from the newest checkpoint generation + tail replay (false: full replay from the oldest, a measurement baseline)")
 		advRate    = flag.Float64("adversary-rate", 0, "cluster: fraction of all traffic injected as hostile envelopes — invalid signatures, garbage, forged endorsements, replays (0..0.9)")
 		fault      = flag.String("fault", "", "cluster: chaos fault to inject: "+strings.Join(bmac.ChaosFaults(), ", "))
 		faultAfter = flag.Int("fault-after", 0, "cluster: blocks committed before the fault strikes (0 = default 2)")
@@ -183,7 +193,11 @@ func run() error {
 			Seed:            time.Now().UnixNano(),
 			Churn:           *churn,
 			ChurnAfter:      *churnAfter,
+			ChurnCorrupt:    *churnRot,
 			CheckpointEvery: *ckptEvery,
+			SegmentBytes:    *segBytes,
+			Prune:           *prune,
+			NoFastSync:      !*fastsync,
 			Adversary:       *advRate,
 			Fault:           *fault,
 			FaultAfter:      *faultAfter,
@@ -321,6 +335,10 @@ func runCluster(cfg *bmac.Config, opts bmac.ClusterOptions, dir string) error {
 		fmt.Printf("\nchurn: %s killed at height %d, recovered from %d (checkpoint + ledger replay), "+
 			"%d blocks caught up through the orderer ledger, %d restart(s)\n",
 			res.Churn.Peer, res.Churn.KillHeight, res.Churn.RecoveredAt, res.Churn.CaughtUp, res.Churn.Restarts)
+		if res.Churn.CorruptedFile != "" {
+			fmt.Printf("churn: bit-rot injected into %s — %d segment(s) quarantined, %d block(s) restored through delivery\n",
+				res.Churn.CorruptedFile, res.Churn.Quarantined, res.Churn.RestoredBlocks)
+		}
 	}
 	if res.Adversary != nil {
 		a := res.Adversary

@@ -8,8 +8,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"os"
+
 	"bmac/internal/delivery"
 	"bmac/internal/gossip"
+	"bmac/internal/ledger"
 	"bmac/internal/raft"
 )
 
@@ -233,4 +236,46 @@ func WaitForNewLeader(c *raft.Cluster, exclude int, timeout time.Duration) (*raf
 		time.Sleep(2 * time.Millisecond)
 	}
 	return nil, fmt.Errorf("chaos: no new leader within %v (excluding node %d)", timeout, exclude)
+}
+
+// CorruptSealedSegment flips one byte in the record region of the oldest
+// sealed segment file in a ledger directory — the bit-rot fault the
+// quarantine path exists for. It must run while the ledger is closed (a
+// churned-down peer); the corruption is discovered either by the open-time
+// checksum sweep or by the first Get that touches the segment. Returns the
+// path of the corrupted file, or an error when the directory holds no
+// sealed segment.
+func CorruptSealedSegment(dir string) (string, error) {
+	paths, err := ledger.SealedSegmentPaths(dir)
+	if err != nil {
+		return "", fmt.Errorf("chaos: list sealed segments: %w", err)
+	}
+	if len(paths) == 0 {
+		return "", errors.New("chaos: no sealed segment to corrupt")
+	}
+	path := paths[0]
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return "", fmt.Errorf("chaos: open segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return "", fmt.Errorf("chaos: stat segment: %w", err)
+	}
+	// Flip a byte in the middle of the record region, clear of the 64-byte
+	// footer, so the footer parses but its checksum no longer matches.
+	off := (fi.Size() - 64) / 2
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return "", fmt.Errorf("chaos: read segment: %w", err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return "", fmt.Errorf("chaos: write segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return "", fmt.Errorf("chaos: sync segment: %w", err)
+	}
+	return path, nil
 }

@@ -110,6 +110,24 @@ type Options struct {
 	// ChurnAfter is how many blocks the churned peer commits before the
 	// kill (default 2).
 	ChurnAfter int
+	// ChurnCorrupt flips a byte in the victim's oldest sealed ledger
+	// segment while it is down (requires Churn and a SegmentBytes small
+	// enough that segments have sealed). On restart the open-time checksum
+	// sweep quarantines the damaged segment; the victim then re-fetches
+	// the lost range through delivery (its pipe is rewound to the hole)
+	// and must still converge bit-identical.
+	ChurnCorrupt bool
+	// SegmentBytes overrides the peers' ledger segment rotation budget
+	// (default: the config's durability.segment_bytes, then the ledger
+	// default). Tiny values force rotation every few blocks.
+	SegmentBytes int64
+	// Prune lets each peer drop ledger segments wholly covered by every
+	// retained checkpoint generation (default: durability.prune).
+	Prune bool
+	// NoFastSync makes restarted peers replay from the oldest retained
+	// checkpoint instead of the newest — the fastsync experiment's
+	// full-replay baseline (default: the inverse of durability.fastsync).
+	NoFastSync bool
 	// CheckpointEvery overrides the peers' state checkpoint cadence in
 	// blocks (default: the config's durability.checkpoint_every).
 	CheckpointEvery int
@@ -181,6 +199,10 @@ type PeerReport struct {
 	Delivery delivery.PeerStats
 	// Height is the peer's final ledger height.
 	Height uint64
+	// Ledger is the peer's segment-store summary: live/sealed segment
+	// counts, prune floor, and the session's seal/quarantine/restore/prune
+	// counters.
+	Ledger ledger.Stats
 	// StateHash is the hex digest of the peer's final state database
 	// (statedb.SnapshotHash) — equal across peers iff their states are
 	// bit-identical.
@@ -199,6 +221,12 @@ type ChurnReport struct {
 	RecoveredAt uint64 // height the restarted peer resumed from (checkpoint + replay)
 	CaughtUp    uint64 // blocks the delivery pipe streamed from the orderer's ledger
 	Restarts    int
+	// CorruptedFile is the sealed segment ChurnCorrupt bit-flipped while
+	// the peer was down ("" without ChurnCorrupt); Quarantined and
+	// RestoredBlocks count the victim's recovery from it.
+	CorruptedFile  string
+	Quarantined    int64
+	RestoredBlocks int64
 }
 
 // AdversaryReport summarizes the hostile traffic of one run.
@@ -432,6 +460,9 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	if opts.Churn && opts.Peers-opts.SlowPeers < 2 {
 		return nil, fmt.Errorf("cluster: churn needs at least 2 fast peers (have %d peers, %d slow)",
 			opts.Peers, opts.SlowPeers)
+	}
+	if opts.ChurnCorrupt && !opts.Churn {
+		return nil, errors.New("cluster: ChurnCorrupt requires Churn (corruption strikes while the victim is down)")
 	}
 	fault, err := chaos.ParseFault(opts.Fault)
 	if err != nil {
@@ -904,9 +935,10 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 	// checkpoint + ledger replay rebuild its state, the delivery pipe is
 	// rewound to the recovered height, and the peer rejoins.
 	var (
-		churnPhase  = 0 // 0 armed, 1 down, 2 rejoined (or no churn)
-		killHeight  uint64
-		recoveredAt uint64
+		churnPhase    = 0 // 0 armed, 1 down, 2 rejoined (or no churn)
+		killHeight    uint64
+		recoveredAt   uint64
+		corruptedFile string
 	)
 	if churnIdx < 0 {
 		churnPhase = 2
@@ -930,6 +962,17 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			killHeight = cp.led.Height()
 			if err := cp.close(); err != nil {
 				return fmt.Errorf("cluster: churn kill %s: %w", cp.name, err)
+			}
+			// Bit-rot strikes while the peer is down: flip a byte in its
+			// oldest sealed segment. The restart's open-time checksum sweep
+			// quarantines the file and the rewind below streams the lost
+			// range back through delivery.
+			if opts.ChurnCorrupt {
+				f, err := chaos.CorruptSealedSegment(cp.dir)
+				if err != nil {
+					return fmt.Errorf("cluster: churn corrupt %s: %w", cp.name, err)
+				}
+				corruptedFile = filepath.Base(f)
 			}
 			churnPhase = 1
 			return nil
@@ -956,12 +999,18 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		// scrape-time gauges.
 		registerStateDB(np)
 		// The deliver protocol's catch-up request: resume this peer's pipe
-		// from the height it recovered to. Rewind MUST land before the new
+		// from the height it recovered to — or from the first quarantined
+		// hole below it, so the redelivered range doubles as the archive
+		// refetch that Restore backfills. Rewind MUST land before the new
 		// address is published — a pipe that reconnected first would
 		// deliver from its stale pre-kill cursor, the recovered peer would
 		// see a gap and stop committing, and a racing send could clobber
 		// the moved cursor.
-		if err := svc.Rewind(np.name, np.next); err != nil {
+		rewindTo := np.next
+		if mr := np.led.MissingRanges(); len(mr) > 0 && mr[0].First < rewindTo {
+			rewindTo = mr[0].First
+		}
+		if err := svc.Rewind(np.name, rewindTo); err != nil {
 			return fmt.Errorf("cluster: churn restart %s: %w", np.name, err)
 		}
 		addrs[churnIdx].set(np.ln.Addr())
@@ -1173,15 +1222,26 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 			if perr != nil {
 				continue // dead peers are reported by the convergence gate
 			}
-			h := p.led.Height()
-			if h >= target {
+			st := p.led.Stats()
+			h := st.Height
+			// A quarantined hole below the height also blocks settling:
+			// the archive refetch must complete before the convergence
+			// gate can call the run bit-identical.
+			if h >= target && st.MissingBlocks == 0 {
 				continue
 			}
 			allAt = false
-			if lastH[p.name] != h {
-				lastH[p.name], lastHAt[p.name] = h, time.Now()
+			// Progress is commit height plus restored archive blocks, so a
+			// peer mid-backfill does not read as stalled.
+			prog := h + uint64(st.RestoredBlocks)
+			if lastH[p.name] != prog {
+				lastH[p.name], lastHAt[p.name] = prog, time.Now()
 			} else if time.Since(lastHAt[p.name]) > 200*time.Millisecond {
-				svc.Rewind(p.name, h) // bmaclint:allow errdiscard (best-effort nudge; the settle deadline bounds a stuck peer)
+				to := h
+				if mr := p.led.MissingRanges(); len(mr) > 0 {
+					to = mr[0].First
+				}
+				svc.Rewind(p.name, to) // bmaclint:allow errdiscard (best-effort nudge; the settle deadline bounds a stuck peer)
 				lastHAt[p.name] = time.Now()
 			}
 		}
@@ -1250,6 +1310,7 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		p.mu.Unlock()
 		pr.Delivery.CaughtUp = finalStats[p.name].CaughtUp
 		pr.Height = p.led.Height()
+		pr.Ledger = p.led.Stats()
 		pr.StateHash = hex.EncodeToString(statedb.SnapshotHash(p.store.Snapshot()))
 		pr.CommitHash = hex.EncodeToString(p.led.LastCommitHash())
 		res.Peers = append(res.Peers, pr)
@@ -1273,12 +1334,16 @@ func Run(cfg *config.Config, opts Options, dir string) (*Result, error) {
 		}
 	}
 	if churnIdx >= 0 {
+		vs := peers[churnIdx].led.Stats()
 		res.Churn = &ChurnReport{
-			Peer:        peers[churnIdx].name,
-			KillHeight:  killHeight,
-			RecoveredAt: recoveredAt,
-			CaughtUp:    finalStats[peers[churnIdx].name].CaughtUp,
-			Restarts:    peers[churnIdx].restarts,
+			Peer:           peers[churnIdx].name,
+			KillHeight:     killHeight,
+			RecoveredAt:    recoveredAt,
+			CaughtUp:       finalStats[peers[churnIdx].name].CaughtUp,
+			Restarts:       peers[churnIdx].restarts,
+			CorruptedFile:  corruptedFile,
+			Quarantined:    vs.Quarantined,
+			RestoredBlocks: vs.RestoredBlocks,
 		}
 	}
 	if adv != nil {
@@ -1423,10 +1488,18 @@ func newSWPeer(cfg *config.Config, opts Options, i int, dir string, df *chaos.Di
 	}
 	dopts := peer.DurableOptions{
 		CheckpointEvery: opts.CheckpointEvery,
+		KeepCheckpoints: cfg.Durability.KeepCheckpoints,
+		SegmentBytes:    opts.SegmentBytes,
+		Prune:           opts.Prune || cfg.Durability.Prune,
+		NoFastSync:      opts.NoFastSync || cfg.Durability.NoFastSync,
 		SyncEachBlock:   cfg.Durability.SyncEachBlock,
+		Metrics:         telemetry.NewLedgerMetrics(cfg.TelemetryRegistry(), p.name),
 	}
 	if dopts.CheckpointEvery == 0 {
 		dopts.CheckpointEvery = cfg.Durability.CheckpointEvery
+	}
+	if dopts.SegmentBytes == 0 {
+		dopts.SegmentBytes = cfg.Durability.SegmentBytes
 	}
 	if df != nil {
 		dopts.CommitFault = df.Hook()
@@ -1501,13 +1574,31 @@ func (p *swPeer) commitLoop(observer bool, gen *load.Generator, endorsers []*end
 	skipped := false
 	var badSeq uint64 // height of the last block dropped as corrupt
 	badRuns := 0      // consecutive drops at badSeq
+	restoreFails := 0 // consecutive Restore rejections (archive refetch)
 	for b := range p.ln.Blocks() {
 		// Delivery is at-least-once: a redial resends from the
 		// unadvanced cursor, so a block already committed may arrive
 		// again (e.g. the first copy was flushed as the timed-out
-		// connection closed). Skip duplicates; gaps are possible for a
-		// DropBlocks slow peer but reordering is not.
+		// connection closed). Skip duplicates — unless the block falls in
+		// a quarantined hole below the peer's height, in which case this
+		// redelivery IS the archive refetch: Restore backfills the
+		// missing range into a fresh sealed segment. The blocks were
+		// state-committed before the segment went bad, so only the ledger
+		// copy is rebuilt (and verified against the surviving chain).
+		// Gaps are possible for a DropBlocks slow peer but reordering is
+		// not.
 		if b.Header.Number < next {
+			if p.led.NeedsRestore(b.Header.Number) {
+				if err := p.led.Restore(b); err != nil {
+					restoreFails++
+					if restoreFails > 32 {
+						p.fail(fmt.Errorf("restore block %d: %w", b.Header.Number, err))
+						return
+					}
+				} else {
+					restoreFails = 0
+				}
+			}
 			continue
 		}
 		if b.Header.Number > next {

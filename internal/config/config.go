@@ -164,6 +164,23 @@ type DurabilitySpec struct {
 	// SyncEachBlock fsyncs the peer ledger after every block commit,
 	// trading commit latency for zero-block-loss crash durability.
 	SyncEachBlock bool
+	// SegmentBytes is the ledger segment rotation budget in bytes; a
+	// segment that reaches it is sealed (footer checksum) and a new one
+	// started. 0 means the ledger default (64 MiB).
+	SegmentBytes int64
+	// KeepCheckpoints is how many checkpoint generations each peer
+	// retains; <= 0 means statedb.DefaultKeepCheckpoints (2: the newest
+	// for fast-sync plus one corruption fallback).
+	KeepCheckpoints int
+	// Prune removes ledger segments wholly covered by every retained
+	// checkpoint generation after each checkpoint, bounding disk growth.
+	// A pruned peer can no longer serve those blocks to others.
+	Prune bool
+	// NoFastSync makes recovery replay from the oldest retained
+	// checkpoint instead of the newest — the fastsync experiment's
+	// full-replay baseline. The YAML key is "fastsync" (default true);
+	// the field is inverted so the zero value means fast-sync on.
+	NoFastSync bool
 }
 
 // TelemetrySpec gates the observability plane (internal/telemetry). With
@@ -416,6 +433,18 @@ func Parse(raw []byte) (*Config, error) {
 		if v, ok := yamllite.GetBool(dur, "sync_each_block"); ok {
 			cfg.Durability.SyncEachBlock = v
 		}
+		if v, ok := yamllite.GetInt(dur, "segment_bytes"); ok {
+			cfg.Durability.SegmentBytes = v
+		}
+		if v, ok := yamllite.GetInt(dur, "keep_checkpoints"); ok {
+			cfg.Durability.KeepCheckpoints = int(v)
+		}
+		if v, ok := yamllite.GetBool(dur, "prune"); ok {
+			cfg.Durability.Prune = v
+		}
+		if v, ok := yamllite.GetBool(dur, "fastsync"); ok {
+			cfg.Durability.NoFastSync = !v
+		}
 	}
 
 	if cr, ok := yamllite.GetMap(root, "crypto"); ok {
@@ -523,6 +552,14 @@ func (c *Config) Validate() error {
 	if c.Durability.CheckpointEvery < 0 {
 		return fmt.Errorf("%w: durability checkpoint_every=%d must be >= 0",
 			ErrInvalid, c.Durability.CheckpointEvery)
+	}
+	if c.Durability.SegmentBytes < 0 || c.Durability.KeepCheckpoints < 0 {
+		return fmt.Errorf("%w: durability segment_bytes=%d keep_checkpoints=%d must be >= 0",
+			ErrInvalid, c.Durability.SegmentBytes, c.Durability.KeepCheckpoints)
+	}
+	if c.Durability.Prune && c.Durability.CheckpointEvery == 0 {
+		return fmt.Errorf("%w: durability prune needs checkpoint_every > 0 (nothing ever covers a segment)",
+			ErrInvalid)
 	}
 	if c.Crypto.SigCacheSize < 0 || c.Crypto.BatchVerifyWorkers < 0 || c.Crypto.CertCacheSize < 0 {
 		return fmt.Errorf("%w: crypto sig_cache_size=%d batch_verify_workers=%d cert_cache_size=%d must be >= 0",

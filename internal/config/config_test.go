@@ -47,6 +47,10 @@ delivery:
 durability:
   checkpoint_every: 16
   sync_each_block: true
+  segment_bytes: 1048576
+  keep_checkpoints: 3
+  prune: true
+  fastsync: false
 `
 
 func TestParseSample(t *testing.T) {
@@ -80,6 +84,10 @@ func TestParseSample(t *testing.T) {
 	if cfg.Durability.CheckpointEvery != 16 || !cfg.Durability.SyncEachBlock {
 		t.Errorf("durability = %+v", cfg.Durability)
 	}
+	if cfg.Durability.SegmentBytes != 1048576 || cfg.Durability.KeepCheckpoints != 3 ||
+		!cfg.Durability.Prune || !cfg.Durability.NoFastSync {
+		t.Errorf("durability segment/prune keys = %+v", cfg.Durability)
+	}
 }
 
 func TestDurabilitySpecValidation(t *testing.T) {
@@ -87,6 +95,26 @@ func TestDurabilitySpecValidation(t *testing.T) {
 	bad.Durability.CheckpointEvery = -3
 	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
 		t.Errorf("negative checkpoint cadence: err = %v, want ErrInvalid", err)
+	}
+	bad = Default()
+	bad.Durability.SegmentBytes = -1
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative segment_bytes: err = %v, want ErrInvalid", err)
+	}
+	bad = Default()
+	bad.Durability.Prune = true // no checkpoint cadence: nothing ever covers a segment
+	if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("prune without checkpoints: err = %v, want ErrInvalid", err)
+	}
+	ok := Default()
+	ok.Durability.Prune = true
+	ok.Durability.CheckpointEvery = 4
+	if err := ok.Validate(); err != nil {
+		t.Errorf("prune with cadence rejected: %v", err)
+	}
+	// YAML fastsync defaults to on: the zero value must mean fast-sync.
+	if Default().Durability.NoFastSync {
+		t.Error("NoFastSync zero value must be false (fast-sync on)")
 	}
 }
 

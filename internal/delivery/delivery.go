@@ -231,6 +231,26 @@ func NewService(opts Options) *Service {
 // Window reports the retained-window size.
 func (s *Service) Window() int { return s.window }
 
+// Floor reports the lowest sequence number any live pipe still needs —
+// the window base when every pipe has caught up past it. An archive
+// backing this service (delivery.LedgerSource over a peer ledger) must not
+// prune at or above Floor, or an in-flight catch-up loses its source
+// mid-stream (the prune-vs-rewind race: the pipe fails with a
+// ledger.ErrPruned-wrapped error instead of streaming).
+func (s *Service) Floor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	floor := s.base
+	for _, p := range s.peers {
+		p.mu.Lock()
+		if p.alive && p.next < floor {
+			floor = p.next
+		}
+		p.mu.Unlock()
+	}
+	return floor
+}
+
 // Height reports the number of blocks published.
 func (s *Service) Height() uint64 {
 	s.mu.Lock()
@@ -566,10 +586,14 @@ func (p *pipe) run(s *Service) {
 			switch {
 			case s.history != nil && p.opts.Policy != DropBlocks:
 				// Stream the lost range from history until the cursor is
-				// back inside the window.
+				// back inside the window. The source error stays wrapped so
+				// callers can distinguish a pruned archive (the requested
+				// range is gone for good — rewinding lower cannot help) from
+				// a quarantined one (the range will come back once the
+				// source restores it).
 				b, err := s.history.BlockAt(next)
 				if err != nil {
-					p.fail(fmt.Errorf("%w: %d blocks behind, catch-up failed: %v", ErrOverrun, gap, err))
+					p.fail(fmt.Errorf("%w: %d blocks behind, catch-up failed: %w", ErrOverrun, gap, err))
 					p.closeTransport() // bmaclint:allow errdiscard (redial path: stale transport, error is expected)
 					return
 				}

@@ -643,3 +643,135 @@ func TestRewindDeadPipeReportsError(t *testing.T) {
 		t.Fatal("rewind of a dead pipe reported success")
 	}
 }
+
+// TestCatchUpFromPrunedArchiveSurfacesErrPruned pins the prune-vs-rewind
+// race diagnosis: when a peer rewinds below the archive's prune floor, the
+// pipe must die with an error that wraps ledger.ErrPruned — the cluster
+// uses errors.Is on PeerStats.Err to tell "range gone for good, restart
+// from a checkpoint" apart from a transient source failure.
+func TestCatchUpFromPrunedArchiveSurfacesErrPruned(t *testing.T) {
+	net := identity.NewNetwork()
+	if _, err := net.AddOrg("Org1"); err != nil {
+		t.Fatal(err)
+	}
+	orderer, err := net.NewIdentity("Org1", identity.RoleOrderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny segments so blocks 0..7 spread over several sealed segments.
+	led, err := ledger.Open(t.TempDir(), ledger.Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	s := NewService(Options{Window: 2, History: LedgerSource(led)})
+	defer s.Close()
+	var prev []byte
+	for i := 0; i < 8; i++ {
+		b, err := block.NewBlock(uint64(i), prev, nil, orderer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = block.HeaderHash(&b.Header)
+		if _, err := led.Commit(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prune everything a height-6 checkpoint covers.
+	if _, err := led.Prune(6); err != nil {
+		t.Fatal(err)
+	}
+	if led.Base() == 0 {
+		t.Fatal("prune removed nothing; segments never sealed")
+	}
+
+	tr := &mockTransport{}
+	if err := s.Register("p", tr, PeerOptions{Policy: Disconnect}); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, tr, 2)
+	if err := s.Rewind("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()[0]
+		if st.Err != nil {
+			if !errors.Is(st.Err, ErrOverrun) {
+				t.Fatalf("err = %v, want ErrOverrun wrap", st.Err)
+			}
+			if !errors.Is(st.Err, ledger.ErrPruned) {
+				t.Fatalf("err = %v does not surface ledger.ErrPruned", st.Err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rewind below the prune floor never failed the pipe")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A rewind at or above the floor still streams fine.
+	tr2 := &mockTransport{}
+	if err := s.Register("p2", tr2, PeerOptions{Policy: Disconnect}); err != nil {
+		t.Fatal(err)
+	}
+	waitDelivered(t, tr2, 2)
+	if err := s.Rewind("p2", led.Base()); err != nil {
+		t.Fatal(err)
+	}
+	seqs := waitDelivered(t, tr2, 2+int(8-led.Base()))
+	if st := s.Stats(); len(st) > 1 {
+		for _, p := range st {
+			if p.Name == "p2" && p.Err != nil {
+				t.Fatalf("rewind at the floor failed: %v (delivered %v)", p.Err, seqs)
+			}
+		}
+	}
+}
+
+// TestFloorTracksSlowestLivePipe pins Service.Floor, the prune guard: with
+// no peers it is the window base; a live pipe mid-catch-up drags it down to
+// its cursor; a dead pipe stops counting.
+func TestFloorTracksSlowestLivePipe(t *testing.T) {
+	led, blocks := makeChain(t, 10)
+	s := NewService(Options{Window: 4, History: LedgerSource(led)})
+	defer s.Close()
+	for _, b := range blocks {
+		if err := s.Publish(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Floor(); got != 6 {
+		t.Fatalf("Floor with no peers = %d, want window base 6", got)
+	}
+	// A transport that blocks after the first send holds the cursor low.
+	tr := &mockTransport{delay: 50 * time.Millisecond}
+	if err := s.Register("p", tr, PeerOptions{Policy: Disconnect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rewind("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	sawLow := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f := s.Floor(); f < 6 {
+			sawLow = true
+		}
+		if len(tr.delivered()) >= 10 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawLow {
+		t.Error("Floor never dropped below the window base during catch-up")
+	}
+	waitDelivered(t, tr, 10)
+	if got := s.Floor(); got < 6 {
+		t.Errorf("Floor = %d after catch-up, want window base", got)
+	}
+}

@@ -44,7 +44,7 @@ func Names() []string {
 		"fig3", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12a", "fig12b", "fig12c", "fig13", "table1",
 		"headline", "ablations", "pipeline", "hybrid", "cluster", "churn",
-		"hotpath", "adversarial",
+		"hotpath", "adversarial", "fastsync",
 	}
 }
 
@@ -68,6 +68,7 @@ var Titles = map[string]string{
 	"churn":       "Churn: kill a peer mid-run, restart from checkpoint + ledger replay, catch up through the orderer ledger — convergence per validation path",
 	"hotpath":     "Hotpath: commit hot-path micro/macro benchmarks — verify cache, batch ECDSA, parse-once, pooled marshal — each vs its off baseline (ns/op, allocs/op, hit rates)",
 	"adversarial": "Adversarial: hostile-load and chaos gates — 50% invalid-tx flood must keep valid-tx TPS >= 70% of baseline, and every fault (partition, corruption, slowdisk, leaderkill) must end bit-identical",
+	"fastsync":    "Fastsync: snapshot fast-sync vs full replay across ledger lengths — recovery must replay the fixed tail (not the chain), reopen from the persisted index, and land bit-identical",
 }
 
 // Run executes one experiment by id.
@@ -109,6 +110,8 @@ func (r *Runner) Run(name string) (*metrics.Table, error) {
 		return FigHotpath(r.env, r.opts)
 	case "adversarial":
 		return FigAdversarial(r.opts)
+	case "fastsync":
+		return FigFastSync(r.opts)
 	default:
 		valid := Names()
 		sort.Strings(valid)

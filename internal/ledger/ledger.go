@@ -1,24 +1,41 @@
-// Package ledger implements the disk-based block ledger: an append-only
-// block file plus an in-memory block index used for duplicate checking,
-// mirroring Fabric's file ledger + index database.
+// Package ledger implements the disk-based block ledger as a segmented
+// store: blocks append to rotating fixed-budget segment files, each sealed
+// with a checksummed footer once full, with a persistent height→(segment,
+// offset) index enabling O(1) random reads through a bounded reader pool.
 //
 // The paper identifies ledger commit as I/O-bound (bottleneck 4) and keeps
 // it on the CPU, overlapped with hardware validation of the next block;
-// internal/peer implements that overlap on top of this package.
+// internal/peer implements that overlap on top of this package. The
+// segmented layout is the recovery/robustness layer on top of that:
+//
+//   - Torn-tail truncation is confined to the active (unsealed) segment —
+//     a crash mid-append can only damage the file currently being written.
+//   - A sealed segment whose footer checksum no longer matches its bytes
+//     is quarantined (renamed aside, its block range recorded as missing)
+//     instead of failing the peer; the missing range is re-fetched through
+//     delivery catch-up and restored via Restore.
+//   - Sealed segments fully covered by a durable state checkpoint become
+//     prunable (Prune), bounding disk growth.
+//   - Historical reads (Get) run through per-segment read-only handles and
+//     a bounded reader semaphore, so a slow archive reader never stalls
+//     Commit behind the writer mutex.
 package ledger
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+	"hash"
 	"log"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"bmac/internal/block"
+	"bmac/internal/telemetry"
 	"bmac/internal/wire"
 )
 
@@ -31,207 +48,230 @@ var (
 	ErrNotFound = errors.New("ledger: block not found")
 	// ErrBrokenChain reports a previous-hash mismatch.
 	ErrBrokenChain = errors.New("ledger: previous hash mismatch")
+	// ErrPruned reports a read of a block whose segment was pruned after a
+	// covering checkpoint. Distinct from ErrNotFound so catch-up sources can
+	// surface "the archive no longer reaches that far back" precisely.
+	ErrPruned = errors.New("ledger: block pruned")
+	// ErrMissing reports a read of a block inside a quarantined segment's
+	// range that has not been restored yet.
+	ErrMissing = errors.New("ledger: block in quarantined segment")
+	// ErrRestore reports a Restore call that does not extend the pending
+	// missing range correctly (wrong number, broken hash linkage).
+	ErrRestore = errors.New("ledger: restore rejected")
 )
 
-// Ledger is an append-only block store. Safe for concurrent use; commits
-// are strictly sequential by block number, as in Fabric.
+const (
+	segPrefix = "blockfile_"
+	indexFile = "index"
+
+	// defaultSegmentBytes rotates segments at 64 MiB, Fabric's block file
+	// ballpark; tests and experiments dial it down to force rotation.
+	defaultSegmentBytes = 64 << 20
+	// defaultReaders bounds concurrent historical reads and per-segment
+	// pooled read handles.
+	defaultReaders = 8
+	// defaultMaxWarnings bounds the recovery-notice ring.
+	defaultMaxWarnings = 64
+	// maxFaultRetries bounds transient commit-fault retries (the chaos
+	// slow-disk scenario) per write.
+	maxFaultRetries = 8
+)
+
+// Options configure a Ledger.
+type Options struct {
+	// SegmentBytes is the byte budget of one segment file: the active
+	// segment is sealed (footer + checksum) and rotated once its record
+	// region reaches this size. 0 means 64 MiB.
+	SegmentBytes int64
+	// Readers bounds concurrent historical reads (Get) and the number of
+	// pooled read-only handles per segment. 0 means 8.
+	Readers int
+	// MaxWarnings bounds the recovery-notice ring kept by Warnings();
+	// further notices are counted in WarningsDropped. 0 means 64.
+	MaxWarnings int
+	// SyncEachBlock fsyncs after every block, modeling a durability-first
+	// deployment. Off by default (Fabric also relies on buffered writes);
+	// segment seals and index writes are always fsynced regardless.
+	SyncEachBlock bool
+	// CommitFault, when set, runs before each block append and before each
+	// seal's index persistence — the fault-injection point of the chaos
+	// slow-disk scenario. A returned error models a transient device fault:
+	// the writer retries the hook a bounded number of times (counted in
+	// FaultRetries) before surfacing the error. The hook fires before any
+	// bytes are written, so a faulted write leaves no torn state.
+	CommitFault func() error
+	// Metrics, when registered, mirrors the segment lifecycle counters
+	// (seal/quarantine/restore/prune/index-rebuild) into the telemetry
+	// registry. The zero value (telemetry off) is nil handles — one
+	// predicted branch per event.
+	Metrics telemetry.LedgerMetrics
+}
+
+// Range is a contiguous run of block numbers missing from the ledger
+// because their segment was quarantined. Restore backfills it in order.
+type Range struct {
+	First uint64 // first missing block number
+	Count uint64 // number of missing blocks
+
+	segID uint64 // segment id the restored file will be written under
+}
+
+// Ledger is an append-only segmented block store. Safe for concurrent use;
+// commits are strictly sequential by block number, as in Fabric, while
+// historical reads fan out through per-segment read-only handles.
 type Ledger struct {
 	mu sync.Mutex
 
-	file   *os.File
-	w      *bufio.Writer // guarded by mu
-	offset int64         // guarded by mu
+	dir         string
+	segBudget   int64
+	readerCap   int
+	syncEach    bool
+	commitFault func() error // immutable after Open; fault-injection hook
+	m           telemetry.LedgerMetrics
 
-	index      map[uint64]indexEntry // guarded by mu; block number -> file location
-	height     uint64                // guarded by mu; next expected block number
-	lastHash   []byte                // guarded by mu; header hash of the last block
-	commitHash []byte                // guarded by mu; running commit hash chain
+	segs    []*segment    // guarded by mu; ascending block order, active last
+	active  *segment      // guarded by mu; the unsealed tail segment
+	file    *os.File      // guarded by mu; writer handle on the active segment
+	w       *bufio.Writer // guarded by mu
+	segHash hash.Hash     // guarded by mu; running sha256 of the active record region
+
+	base       uint64  // guarded by mu; first block number still indexed (post-prune)
+	entries    []entry // guarded by mu; entries[n-base] locates block n
+	height     uint64  // guarded by mu; next expected block number
+	lastHash   []byte  // guarded by mu; header hash of the last block
+	commitHash []byte  // guarded by mu; running commit hash chain
+	// baseHash/baseCommitHash anchor the chain at the prune floor: the
+	// header hash and commit hash of block base-1 (nil when base == 0).
+	// Persisted in the index so a fully-pruned ledger can still chain.
+	baseHash       []byte // guarded by mu
+	baseCommitHash []byte // guarded by mu
+
+	missing []Range       // guarded by mu; quarantined ranges awaiting Restore
+	rst     *restoreState // guarded by mu; in-progress backfill
+
+	readSem chan struct{} // bounds concurrent historical reads
 
 	bytesWritten int64 // guarded by mu
-	syncEach     bool
-	commitFault  func() error // immutable after Open; fault-injection hook
-	faultRetries int64        // guarded by mu; transient commit faults absorbed
-	warnings     []string     // guarded by mu
+	faultRetries int64 // guarded by mu; transient commit faults absorbed
+
+	sealed      int64 // guarded by mu; segments sealed this session
+	quarantined int64 // guarded by mu; segments quarantined this session
+	restoredSeg int64 // guarded by mu; segments fully restored this session
+	restoredBlk int64 // guarded by mu; blocks restored this session
+	pruned      int64 // guarded by mu; segments pruned this session
+	rebuilds    int64 // guarded by mu; index rebuilds (missing/corrupt index)
+
+	warnings    []string // guarded by mu; bounded ring, oldest first
+	warnDropped int64    // guarded by mu; notices dropped once the ring filled
+	maxWarnings int
 }
 
-type indexEntry struct {
+// entry locates one block: its segment plus the record's offset and length
+// (length includes the 8-byte prefix). A nil seg marks a quarantined hole.
+type entry struct {
+	seg    *segment
 	offset int64
 	length int64
 }
 
-// Options configure a Ledger.
-type Options struct {
-	// SyncEachBlock fsyncs after every block, modeling a durability-first
-	// deployment. Off by default (Fabric also relies on buffered writes).
-	SyncEachBlock bool
-	// CommitFault, when set, runs before each block append — the
-	// fault-injection point of the chaos slow-disk scenario. A returned
-	// error models a transient device fault: Commit retries the hook a
-	// bounded number of times (counted in FaultRetries) before surfacing
-	// the error. The hook fires after the duplicate/order/chain checks and
-	// before any bytes are written, so a faulted commit leaves no torn
-	// state.
-	CommitFault func() error
+// lookup status codes for lookupLocked.
+const (
+	lookupOK = iota
+	lookupNotFound
+	lookupPruned
+	lookupMissing
+)
+
+// lookupLocked resolves a block number to its index entry. It is the
+// hot-path index probe of every historical read; it must stay
+// allocation-free so a catch-up storm of Get calls costs no GC pressure.
+// It must be called with l.mu held.
+//
+// bmaclint:noalloc
+func (l *Ledger) lookupLocked(num uint64) (entry, int) {
+	if num >= l.height {
+		return entry{}, lookupNotFound
+	}
+	if num < l.base {
+		return entry{}, lookupPruned
+	}
+	e := l.entries[num-l.base]
+	if e.seg == nil {
+		return entry{}, lookupMissing
+	}
+	return e, lookupOK
 }
 
-// Open creates or opens a ledger in dir. An existing block file is replayed
-// to rebuild the index; a torn or undecodable final record (a crash mid-
-// append) is truncated away with a warning instead of failing the open,
-// and a freshly created block file is made durable by fsyncing dir.
+// Open creates or opens a ledger in dir. Existing segments are adopted
+// from the persistent index (full-checksum-verified) or rescanned when the
+// index is missing or stale; a torn or undecodable final record in the
+// active segment (a crash mid-append) is truncated away with a warning,
+// and a checksum-failing sealed segment is quarantined — renamed aside and
+// recorded as a missing range — instead of failing the open.
 func Open(dir string, opts Options) (*Ledger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger dir: %w", err)
 	}
-	path := filepath.Join(dir, "blockfile_000000")
-	created := false
-	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
-		created = true
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("open block file: %w", err)
-	}
-	if created {
-		// The file's directory entry must survive a crash too, or a
-		// post-crash replay could find an empty directory where a ledger
-		// (and its fsynced blocks) used to be.
-		if err := syncDir(dir); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
 	l := &Ledger{
-		file:        f,
-		index:       make(map[uint64]indexEntry),
+		dir:         dir,
+		segBudget:   opts.SegmentBytes,
+		readerCap:   opts.Readers,
 		syncEach:    opts.SyncEachBlock,
 		commitFault: opts.CommitFault,
+		m:           opts.Metrics,
+		maxWarnings: opts.MaxWarnings,
 	}
+	if l.segBudget <= 0 {
+		l.segBudget = defaultSegmentBytes
+	}
+	if l.readerCap <= 0 {
+		l.readerCap = defaultReaders
+	}
+	if l.maxWarnings <= 0 {
+		l.maxWarnings = defaultMaxWarnings
+	}
+	l.readSem = make(chan struct{}, l.readerCap)
 	l.mu.Lock()
-	err = l.replay()
+	err := l.openLocked()
 	l.mu.Unlock()
 	if err != nil {
-		f.Close()
+		l.closeFilesLocked()
 		return nil, err
 	}
-	// Discard any torn tail write left by a crash; otherwise stale bytes
-	// beyond the logical end could corrupt a later replay.
-	if info, err := f.Stat(); err == nil && info.Size() > l.offset {
-		if err := f.Truncate(l.offset); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("truncate torn tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(l.offset, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("seek to tail: %w", err)
-	}
-	l.w = bufio.NewWriterSize(f, 1<<20)
 	return l, nil
 }
 
-// replay scans the block file to rebuild the index, height and hash
-// chain. It must be called with l.mu held (Open takes the lock before
-// the ledger is shared).
-// A partial or undecodable final record — the footprint of a crash mid-
-// append — is logically truncated with a warning; corruption that is NOT
-// confined to the tail (a broken record with valid data after it) still
-// fails the open, because silently skipping committed blocks would fork
-// the chain.
-func (l *Ledger) replay() error {
-	info, err := l.file.Stat()
-	if err != nil {
-		return fmt.Errorf("stat block file: %w", err)
-	}
-	size := info.Size()
-	r := bufio.NewReader(l.file)
-	var off int64
-	var lenBuf [8]byte
-	for {
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				l.warnf("torn length prefix at offset %d (%d trailing bytes); truncating", off, size-off)
-				break
-			}
-			return fmt.Errorf("replay length: %w", err)
-		}
-		n := int64(binary.BigEndian.Uint64(lenBuf[:]))
-		if n <= 0 {
-			// A zero or nonsense length with nothing after it is a torn
-			// prefix; with data following it is mid-file corruption, and
-			// truncating would destroy committed blocks.
-			if off+8 == size {
-				l.warnf("torn zero-length record at offset %d; truncating", off)
-				break
-			}
-			return fmt.Errorf("replay block at offset %d: invalid record length %d with %d bytes following",
-				off, n, size-off-8)
-		}
-		if n > size-off-8 {
-			// The prefix promises more bytes than the file holds: only a
-			// torn final write can look like this.
-			l.warnf("torn record at offset %d: length %d with %d bytes left; truncating", off, n, size-off-8)
-			break
-		}
-		data := make([]byte, n)
-		if _, err := io.ReadFull(r, data); err != nil {
-			l.warnf("torn record body at offset %d; truncating", off)
-			break
-		}
-		b, err := block.Unmarshal(data)
-		if err != nil {
-			if off+8+n == size {
-				l.warnf("undecodable final record at offset %d (%v); truncating", off, err)
-				break
-			}
-			return fmt.Errorf("replay block at offset %d: %w", off, err)
-		}
-		if len(l.index) > 0 && b.Header.Number != l.height {
-			if off+8+n == size {
-				l.warnf("final record has block %d where %d was expected; truncating", b.Header.Number, l.height)
-				break
-			}
-			return fmt.Errorf("replay block at offset %d: got block %d, expected %d", off, b.Header.Number, l.height)
-		}
-		l.index[b.Header.Number] = indexEntry{offset: off, length: 8 + n}
-		l.height = b.Header.Number + 1
-		l.lastHash = block.HeaderHash(&b.Header)
-		l.commitHash = b.Metadata.CommitHash
-		off += 8 + n
-	}
-	l.offset = off
-	return nil
-}
-
 // warnf records a recovery notice (readable via Warnings) and logs it.
-// It must be called with l.mu held.
+// The ring is bounded: once full, the oldest notice is evicted and the
+// eviction counted, so a pathologically torn ledger cannot grow memory
+// without bound during replay. It must be called with l.mu held.
 func (l *Ledger) warnf(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	l.warnings = append(l.warnings, msg)
+	if len(l.warnings) >= l.maxWarnings {
+		copy(l.warnings, l.warnings[1:])
+		l.warnings[len(l.warnings)-1] = msg
+		l.warnDropped++
+	} else {
+		l.warnings = append(l.warnings, msg)
+	}
 	log.Printf("ledger: %s", msg)
 }
 
-// Warnings returns the recovery notices emitted while opening the ledger
-// (e.g. a truncated torn tail write). Empty on a clean open.
+// Warnings returns the most recent recovery notices (e.g. a truncated torn
+// tail write, a quarantined segment), oldest first. The ring is bounded by
+// Options.MaxWarnings; WarningsDropped counts evicted notices.
 func (l *Ledger) Warnings() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]string(nil), l.warnings...)
 }
 
-// syncDir fsyncs a directory so a just-created entry in it survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("open ledger dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("sync ledger dir: %w", err)
-	}
-	return nil
+// WarningsDropped reports how many recovery notices were evicted from the
+// bounded Warnings ring.
+func (l *Ledger) WarningsDropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.warnDropped
 }
 
 // Height returns the next expected block number (== committed block count
@@ -242,6 +282,14 @@ func (l *Ledger) Height() uint64 {
 	return l.height
 }
 
+// Base returns the first block number still held by the ledger; blocks
+// below it were pruned after a covering checkpoint.
+func (l *Ledger) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
 // LastCommitHash returns the commit hash of the most recent block.
 func (l *Ledger) LastCommitHash() []byte {
 	l.mu.Lock()
@@ -249,41 +297,51 @@ func (l *Ledger) LastCommitHash() []byte {
 	return append([]byte(nil), l.commitHash...)
 }
 
+// runFault retries the commit-fault hook (transient device faults) a
+// bounded number of times. It must be called with l.mu held.
+func (l *Ledger) runFault(what string) error {
+	if l.commitFault == nil {
+		return nil
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = l.commitFault(); err == nil {
+			return nil
+		}
+		l.faultRetries++
+		if attempt >= maxFaultRetries {
+			return fmt.Errorf("ledger: %s fault persisted after %d retries: %w", what, maxFaultRetries, err)
+		}
+	}
+}
+
 // Commit appends a validated block. The block's metadata must already carry
 // its validation flags; Commit computes and stores the commit hash chain
 // value and enforces sequential numbering, duplicate detection (via the
-// block index) and previous-hash chaining.
+// block index) and previous-hash chaining. Crossing the segment byte
+// budget seals the active segment (footer checksum, fsync, persistent
+// index update) and rotates to a fresh one.
 func (l *Ledger) Commit(b *block.Block) ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
 	num := b.Header.Number
-	if _, dup := l.index[num]; dup {
+	if num < l.height {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateBlock, num)
 	}
 	if num != l.height {
 		return nil, fmt.Errorf("%w: got %d, expected %d", ErrOutOfOrder, num, l.height)
 	}
-	if l.height > 0 && !bytesEqual(b.Header.PreviousHash, l.lastHash) {
+	if l.height > 0 && !bytes.Equal(b.Header.PreviousHash, l.lastHash) {
 		return nil, fmt.Errorf("%w at block %d", ErrBrokenChain, num)
 	}
 
-	if l.commitFault != nil {
-		// Transient device faults are retried here, inside the commit
-		// lock and before any write: retrying the whole block commit at a
-		// higher layer is unsafe (state may already be applied), retrying
-		// the pre-write hook is trivially idempotent.
-		const maxFaultRetries = 8
-		var err error
-		for attempt := 0; ; attempt++ {
-			if err = l.commitFault(); err == nil {
-				break
-			}
-			l.faultRetries++
-			if attempt >= maxFaultRetries {
-				return nil, fmt.Errorf("ledger: commit fault persisted after %d retries: %w", maxFaultRetries, err)
-			}
-		}
+	// Transient device faults are retried here, inside the commit lock and
+	// before any write: retrying the whole block commit at a higher layer
+	// is unsafe (state may already be applied), retrying the pre-write
+	// hook is trivially idempotent.
+	if err := l.runFault("commit"); err != nil {
+		return nil, err
 	}
 
 	b.Metadata.CommitHash = block.CommitHash(l.commitHash, b.Header.DataHash, b.Metadata.ValidationFlags)
@@ -309,29 +367,85 @@ func (l *Ledger) Commit(b *block.Block) ([]byte, error) {
 			return nil, fmt.Errorf("sync block file: %w", err)
 		}
 	}
+	l.segHash.Write(lenBuf[:])
+	l.segHash.Write(data)
 
-	l.index[num] = indexEntry{offset: l.offset, length: int64(8 + len(data))}
-	l.offset += int64(8 + len(data))
-	l.bytesWritten += int64(8 + len(data))
+	recLen := int64(8 + len(data))
+	l.entries = append(l.entries, entry{seg: l.active, offset: l.active.dataLen, length: recLen})
+	l.active.dataLen += recLen
+	l.active.count++
+	l.bytesWritten += recLen
 	l.height = num + 1
 	l.lastHash = block.HeaderHash(&b.Header)
 	l.commitHash = b.Metadata.CommitHash
+
+	if l.active.dataLen >= l.segBudget {
+		if err := l.rotateLocked(); err != nil {
+			// The block itself is committed and readable; rotation failure
+			// surfaces so the caller knows durability work is pending.
+			return nil, err
+		}
+	}
 	return l.commitHash, nil
 }
 
-// Get reads a committed block by number.
+// Get reads a committed block by number in O(1) via the block index. The
+// read runs outside the writer mutex through a per-segment read-only
+// handle, bounded by the reader semaphore, so concurrent catch-up streams
+// cannot stall Commit. A read that fails inside a sealed segment triggers
+// a checksum verification; on mismatch the segment is quarantined and the
+// read reports ErrMissing.
 func (l *Ledger) Get(num uint64) (*block.Block, error) {
 	l.mu.Lock()
-	entry, ok := l.index[num]
+	e, st := l.lookupLocked(num)
 	l.mu.Unlock()
-	if !ok {
+	switch st {
+	case lookupNotFound:
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+	case lookupPruned:
+		return nil, fmt.Errorf("%w: %d", ErrPruned, num)
+	case lookupMissing:
+		return nil, fmt.Errorf("%w: %d", ErrMissing, num)
 	}
-	buf := make([]byte, entry.length)
-	if _, err := l.file.ReadAt(buf, entry.offset); err != nil {
-		return nil, fmt.Errorf("read block %d: %w", num, err)
+
+	l.readSem <- struct{}{}
+	b, err := e.seg.readBlock(e)
+	<-l.readSem
+	if err == nil {
+		return b, nil
 	}
-	return block.Unmarshal(buf[8:])
+	// A sealed segment that fails a read is either bit-rot or a stale
+	// handle race with quarantine/prune; verify the checksum and
+	// quarantine on mismatch, then re-report the block's new status.
+	if e.seg.isSealed() {
+		l.mu.Lock()
+		l.verifyAndQuarantineLocked(e.seg, err)
+		_, st := l.lookupLocked(num)
+		l.mu.Unlock()
+		switch st {
+		case lookupMissing:
+			return nil, fmt.Errorf("%w: %d", ErrMissing, num)
+		case lookupPruned:
+			return nil, fmt.Errorf("%w: %d", ErrPruned, num)
+		}
+	}
+	return nil, fmt.Errorf("read block %d: %w", num, err)
+}
+
+// readBlockLocked reads and decodes one block through the segment handle
+// pool while l.mu is held — for rare maintenance paths (open, restore
+// linkage checks) that need a block mid-mutation.
+func (l *Ledger) readBlockLocked(num uint64) (*block.Block, error) {
+	e, st := l.lookupLocked(num)
+	switch st {
+	case lookupNotFound:
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, num)
+	case lookupPruned:
+		return nil, fmt.Errorf("%w: %d", ErrPruned, num)
+	case lookupMissing:
+		return nil, fmt.Errorf("%w: %d", ErrMissing, num)
+	}
+	return e.seg.readBlock(e)
 }
 
 // FaultRetries reports how many transient commit faults (injected via
@@ -349,26 +463,140 @@ func (l *Ledger) BytesWritten() int64 {
 	return l.bytesWritten
 }
 
-// Close flushes and closes the block file.
+// Stats is a point-in-time summary of the segmented store.
+type Stats struct {
+	Segments       int    // live segment files (incl. the active one)
+	SealedSegments int    // live sealed segments
+	Base           uint64 // first retained block number
+	Height         uint64 // next expected block number
+	MissingBlocks  uint64 // blocks inside quarantined, not-yet-restored ranges
+
+	// Session counters.
+	Sealed          int64 // segments sealed
+	Quarantined     int64 // segments quarantined (checksum failure)
+	RestoredSegs    int64 // quarantined segments fully restored
+	RestoredBlocks  int64 // blocks backfilled via Restore
+	Pruned          int64 // segments pruned after a covering checkpoint
+	IndexRebuilds   int64 // opens that had to rescan segments for the index
+	FaultRetries    int64 // transient write faults absorbed
+	BytesWritten    int64
+	WarningsDropped int64
+}
+
+// Stats snapshots the ledger's segment/robustness counters.
+func (l *Ledger) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{
+		Segments:        len(l.segs),
+		Base:            l.base,
+		Height:          l.height,
+		Sealed:          l.sealed,
+		Quarantined:     l.quarantined,
+		RestoredSegs:    l.restoredSeg,
+		RestoredBlocks:  l.restoredBlk,
+		Pruned:          l.pruned,
+		IndexRebuilds:   l.rebuilds,
+		FaultRetries:    l.faultRetries,
+		BytesWritten:    l.bytesWritten,
+		WarningsDropped: l.warnDropped,
+	}
+	for _, s2 := range l.segs {
+		if s2.sealed {
+			s.SealedSegments++
+		}
+	}
+	for _, r := range l.missing {
+		s.MissingBlocks += r.Count
+	}
+	return s
+}
+
+// MissingRanges returns the quarantined block ranges awaiting Restore,
+// sorted by block number. Empty on a healthy ledger.
+func (l *Ledger) MissingRanges() []Range {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Range(nil), l.missing...)
+}
+
+// closeFilesLocked releases every file handle (writer + reader pools).
+func (l *Ledger) closeFilesLocked() {
+	if l.file != nil {
+		l.file.Close() // bmaclint:allow errdiscard (teardown: writer flushed or open failed; close error is unactionable)
+		l.file = nil
+	}
+	for _, s := range l.segs {
+		s.drainReaders()
+	}
+	if l.rst != nil {
+		l.rst.abort()
+		l.rst = nil
+	}
+}
+
+// Close flushes and closes the block files and reader pools.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var err error
 	if l.w != nil {
-		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("flush on close: %w", err)
+		if ferr := l.w.Flush(); ferr != nil {
+			err = fmt.Errorf("flush on close: %w", ferr)
 		}
 	}
-	return l.file.Close()
+	if l.file != nil {
+		if cerr := l.file.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.file = nil
+	}
+	for _, s := range l.segs {
+		s.drainReaders()
+	}
+	if l.rst != nil {
+		l.rst.abort()
+		l.rst = nil
+	}
+	return err
 }
 
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
+// syncDir fsyncs a directory so a just-created entry in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open ledger dir for sync: %w", err)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync ledger dir: %w", err)
+	}
+	return nil
+}
+
+// segPath returns the data file path for a segment id.
+func segPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%06d", segPrefix, id))
+}
+
+// SealedSegmentPaths lists the sealed segment files of a ledger directory
+// (identified by a valid footer), ascending by id, without opening the
+// ledger. Chaos tooling uses it to target on-disk corruption at sealed
+// segments specifically.
+func SealedSegmentPaths(dir string) ([]string, error) {
+	ids, err := listSegmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, id := range ids {
+		path := segPath(dir, id)
+		if _, err := readFooter(path); err == nil {
+			out = append(out, path)
 		}
 	}
-	return true
+	return out, nil
 }
+
+// sha256Size aliases the checksum width used by footers and the index.
+const sha256Size = sha256.Size

@@ -1,19 +1,23 @@
 // Durability: the ledger-backed crash-recovery path of the software peers.
 //
 // A peer's state database is in-memory; what survives a crash is the
-// append-only ledger (internal/ledger) and, optionally, a periodic state
-// checkpoint (internal/statedb checkpoint files). Recovery composes the
-// two: load the newest checkpoint if one exists, then replay only the
-// ledger suffix past it, re-deriving state through the validator's own
-// transaction parser and the validation flags recorded at commit time.
-// A peer restarted this way resumes at its ledger height with a state
-// database bit-identical to one that never crashed.
+// segmented ledger (internal/ledger) and the retained state checkpoint
+// generations (internal/statedb manifest). Recovery composes the two as
+// snapshot fast-sync: restore the newest usable checkpoint, then replay
+// only the ledger tail past it — a peer that was days behind pays for the
+// tail, not the whole chain. A corrupt or ledger-ahead generation falls
+// back to an older one (costing extra replay, never the peer); a
+// quarantined ledger range above the chosen checkpoint rolls the ledger
+// back to the gap's edge so delivery recommits across it. A peer restarted
+// this way resumes at its ledger height with a state database
+// bit-identical to one that never crashed.
 
 package peer
 
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -21,11 +25,14 @@ import (
 	"bmac/internal/ledger"
 	"bmac/internal/pipeline"
 	"bmac/internal/statedb"
+	"bmac/internal/telemetry"
 	"bmac/internal/validator"
 )
 
-// CheckpointFile is the name of the state checkpoint inside a peer's
-// directory (next to the ledger's block file).
+// CheckpointFile is the legacy single-generation checkpoint name. Peers
+// now write manifest-managed generations ("checkpoint-<height>"); this
+// file is still honored on recovery (tried last) so pre-manifest peer
+// directories keep fast-syncing.
 const CheckpointFile = "checkpoint"
 
 // DurableOptions configure ledger-backed durability for a software peer.
@@ -35,6 +42,23 @@ type DurableOptions struct {
 	// recovery replays the whole ledger (plus whatever checkpoint was
 	// written explicitly, e.g. the genesis checkpoint).
 	CheckpointEvery int
+	// KeepCheckpoints is how many checkpoint generations to retain
+	// (<= 0 means statedb.DefaultKeepCheckpoints). More generations mean
+	// more corruption fallback at more disk.
+	KeepCheckpoints int
+	// SegmentBytes is the ledger's segment rotation budget (see
+	// ledger.Options.SegmentBytes); 0 means the ledger default.
+	SegmentBytes int64
+	// Prune, when set, prunes ledger segments wholly covered by every
+	// retained checkpoint generation after each successful checkpoint,
+	// bounding disk growth. Pruned blocks are gone from this peer's
+	// archive (delivery catch-up below the prune floor reports
+	// ledger.ErrPruned).
+	Prune bool
+	// NoFastSync recovers from the *oldest* retained checkpoint instead of
+	// the newest, maximizing replay. It exists for measurement (the
+	// fastsync experiment's full-replay baseline), not production.
+	NoFastSync bool
 	// SyncEachBlock fsyncs the ledger after every block commit.
 	SyncEachBlock bool
 	// CommitFault, when set, is the ledger's pre-append fault hook (see
@@ -43,18 +67,32 @@ type DurableOptions struct {
 	// CheckpointFault, when set, is the checkpoint writer's pre-write
 	// fault hook (see statedb.SaveCheckpointFault).
 	CheckpointFault func() error
+	// Metrics mirrors the ledger's segment lifecycle counters into a
+	// telemetry registry (zero value: telemetry off).
+	Metrics telemetry.LedgerMetrics
+}
+
+// ledgerOptions maps the durable options onto the ledger's.
+func (o DurableOptions) ledgerOptions() ledger.Options {
+	return ledger.Options{
+		SegmentBytes:  o.SegmentBytes,
+		SyncEachBlock: o.SyncEachBlock,
+		CommitFault:   o.CommitFault,
+		Metrics:       o.Metrics,
+	}
 }
 
 // NewDurableSWPeer opens (or reopens) a sequential software peer in dir
 // over the given state-database backend. An existing ledger is replayed on
-// top of the newest checkpoint, so a restarted peer resumes from its last
-// committed block; Height reports where that is.
+// top of the newest usable checkpoint generation (snapshot fast-sync), so
+// a restarted peer resumes from its last committed block; Height reports
+// where that is.
 func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*SWPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock, CommitFault: opts.CommitFault})
+	led, err := ledger.Open(dir, opts.ledgerOptions())
 	if err != nil {
 		return nil, fmt.Errorf("sw peer ledger: %w", err)
 	}
-	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
+	if _, err := recoverState(kvs, led, dir, cfg.ParseCache, opts); err != nil {
 		led.Close() // bmaclint:allow errdiscard (error path: ledger close error would mask the open failure)
 		return nil, err
 	}
@@ -63,6 +101,8 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 		Ledger:    led,
 		dir:       dir,
 		ckptEvery: opts.CheckpointEvery,
+		ckptKeep:  opts.KeepCheckpoints,
+		prune:     opts.Prune,
 		ckptFault: opts.CheckpointFault,
 	}, nil
 }
@@ -71,11 +111,11 @@ func NewDurableSWPeer(cfg validator.Config, kvs statedb.KVS, dir string, opts Du
 // dir over the given state-database backend, with the same recovery
 // semantics as NewDurableSWPeer.
 func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, opts DurableOptions) (*ParallelPeer, error) {
-	led, err := ledger.Open(dir, ledger.Options{SyncEachBlock: opts.SyncEachBlock, CommitFault: opts.CommitFault})
+	led, err := ledger.Open(dir, opts.ledgerOptions())
 	if err != nil {
 		return nil, fmt.Errorf("parallel peer ledger: %w", err)
 	}
-	if _, err := recoverState(kvs, led, dir, cfg.ParseCache); err != nil {
+	if _, err := recoverState(kvs, led, dir, cfg.ParseCache, opts); err != nil {
 		led.Close() // bmaclint:allow errdiscard (error path: ledger close error would mask the recovery failure)
 		return nil, err
 	}
@@ -84,43 +124,93 @@ func NewDurableParallelPeer(cfg pipeline.Config, kvs statedb.KVS, dir string, op
 		Ledger:    led,
 		dir:       dir,
 		ckptEvery: opts.CheckpointEvery,
+		ckptKeep:  opts.KeepCheckpoints,
+		prune:     opts.Prune,
 		ckptFault: opts.CheckpointFault,
 	}, nil
 }
 
-// RecoverState rebuilds a peer's state database from dir: the checkpoint
-// file (if present) seeds kvs with the state as of its recorded height,
-// and the ledger blocks past that height are replayed by applying the
-// write sets their recorded validation flags admitted. Returns the
+// RecoverState rebuilds a peer's state database from dir: the newest
+// usable checkpoint generation seeds kvs with the state as of its recorded
+// height, and the ledger blocks past that height are replayed by applying
+// the write sets their recorded validation flags admitted. Returns the
 // recovered height — the next block number the peer expects. kvs must be
 // empty.
 //
-// A corrupt checkpoint is an error rather than a silent full replay: the
-// ledger alone cannot reproduce state that predates block 0 (bootstrap
-// genesis data lives only in checkpoints).
+// A checkpoint that fails to load falls back to an older generation. When
+// every candidate is unusable *because it is ahead of the ledger*, that is
+// an error rather than a silent full replay: the ledger alone cannot
+// reproduce state that predates block 0 (bootstrap genesis data lives only
+// in checkpoints).
 func RecoverState(kvs statedb.KVS, led *ledger.Ledger, dir string) (uint64, error) {
-	return recoverState(kvs, led, dir, nil)
+	return recoverState(kvs, led, dir, nil, DurableOptions{})
 }
 
-// recoverState is RecoverState with an optional parse-once cache: a replay
+// recoverState is RecoverState with an optional parse-once cache (a replay
 // in a process whose live paths share the cache both reuses their work and
-// pre-warms it for the blocks still to come.
-func recoverState(kvs statedb.KVS, led *ledger.Ledger, dir string, pc *validator.ParseCache) (uint64, error) {
+// pre-warms it for the blocks still to come) and the durable options that
+// steer candidate selection.
+func recoverState(kvs statedb.KVS, led *ledger.Ledger, dir string, pc *validator.ParseCache, opts DurableOptions) (uint64, error) {
+	refs, notes := statedb.Checkpoints(dir, CheckpointFile)
+	for _, n := range notes {
+		log.Printf("peer: %s: %s", dir, n)
+	}
+	if opts.NoFastSync {
+		// Full-replay measurement baseline: walk oldest-first.
+		for i, j := 0, len(refs)-1; i < j; i, j = i+1, j-1 {
+			refs[i], refs[j] = refs[j], refs[i]
+		}
+	}
+
 	start := uint64(0)
-	snap, h, err := statedb.LoadCheckpoint(filepath.Join(dir, CheckpointFile))
-	switch {
-	case err == nil:
+	restored := false
+	var aheadErr error
+	for _, ref := range refs {
+		snap, h, err := statedb.LoadCheckpoint(filepath.Join(dir, ref.File))
+		switch {
+		case err == nil:
+		case errors.Is(err, os.ErrNotExist):
+			continue
+		default:
+			log.Printf("peer: %s: checkpoint %s unusable (%v); falling back", dir, ref.File, err)
+			continue
+		}
 		if h > led.Height() {
-			return 0, fmt.Errorf("peer: checkpoint at height %d is ahead of ledger height %d in %s",
+			// The checkpoint outran the (possibly truncated) ledger; an
+			// older generation can still anchor replay.
+			aheadErr = fmt.Errorf("peer: checkpoint at height %d is ahead of ledger height %d in %s",
 				h, led.Height(), dir)
+			log.Printf("%v; falling back", aheadErr)
+			continue
+		}
+		if h < led.Base() {
+			// Replay from h would need pruned blocks.
+			log.Printf("peer: %s: checkpoint %s at height %d is below the prune floor %d; falling back",
+				dir, ref.File, h, led.Base())
+			continue
 		}
 		statedb.RestoreSnapshot(kvs, snap)
 		start = h
-	case errors.Is(err, os.ErrNotExist):
-		// No checkpoint: replay the whole ledger into the empty store.
-	default:
-		return 0, fmt.Errorf("peer: load checkpoint: %w", err)
+		restored = true
+		break
 	}
+	if !restored && aheadErr != nil {
+		return 0, aheadErr
+	}
+
+	// A quarantined range at or above the chosen checkpoint cannot be
+	// crossed by replay — roll the ledger back to the gap's edge; those
+	// blocks recommit through delivery. Ranges below the checkpoint stay:
+	// they are archive-only and restore via delivery catch-up (Restore).
+	for _, r := range led.MissingRanges() {
+		if r.First >= start {
+			if err := led.TruncateFrom(r.First); err != nil {
+				return 0, fmt.Errorf("peer: truncate at quarantined range [%d,%d): %w", r.First, r.First+r.Count, err)
+			}
+			break
+		}
+	}
+
 	for n := start; n < led.Height(); n++ {
 		b, err := led.Get(n)
 		if err != nil {
@@ -160,20 +250,40 @@ func (p *SWPeer) Height() uint64 { return p.Ledger.Height() }
 // expects to commit (equal to the recovered height right after a restart).
 func (p *ParallelPeer) Height() uint64 { return p.Ledger.Height() }
 
-// Checkpoint writes a state checkpoint at the current ledger height
-// (atomic rename; the previous checkpoint survives a crash mid-write).
-// Call it after bootstrap to capture genesis state that no ledger block
-// carries.
-func (p *SWPeer) Checkpoint() error {
-	return statedb.SaveCheckpointFault(filepath.Join(p.dir, CheckpointFile), p.Validator.Store(), p.Ledger.Height(), p.ckptFault)
+// checkpointAndMaybePrune writes a manifest-managed checkpoint generation
+// at the current ledger height and, when pruning is on, prunes ledger
+// segments covered by *every* retained generation — pruning to the newest
+// would strand the older generations' replay ranges.
+func checkpointAndMaybePrune(dir string, kvs statedb.KVS, led *ledger.Ledger, keep int, prune bool, fault func() error) error {
+	h := led.Height()
+	refs, err := statedb.WriteManagedCheckpoint(dir, kvs, h, keep, fault)
+	if err != nil {
+		return err
+	}
+	if !prune || len(refs) == 0 {
+		return nil
+	}
+	covered := refs[len(refs)-1].Height // oldest retained generation
+	if _, err := led.Prune(covered); err != nil {
+		return fmt.Errorf("peer: prune to %d after checkpoint: %w", covered, err)
+	}
+	return nil
 }
 
-// Checkpoint writes a state checkpoint at the current ledger height
-// (atomic rename; the previous checkpoint survives a crash mid-write).
-// Call it after bootstrap to capture genesis state that no ledger block
-// carries.
+// Checkpoint writes a state checkpoint generation at the current ledger
+// height (atomic rename; previous generations survive a crash mid-write)
+// and applies the prune policy. Call it after bootstrap to capture genesis
+// state that no ledger block carries.
+func (p *SWPeer) Checkpoint() error {
+	return checkpointAndMaybePrune(p.dir, p.Validator.Store(), p.Ledger, p.ckptKeep, p.prune, p.ckptFault)
+}
+
+// Checkpoint writes a state checkpoint generation at the current ledger
+// height (atomic rename; previous generations survive a crash mid-write)
+// and applies the prune policy. Call it after bootstrap to capture genesis
+// state that no ledger block carries.
 func (p *ParallelPeer) Checkpoint() error {
-	return statedb.SaveCheckpointFault(filepath.Join(p.dir, CheckpointFile), p.Engine.Store(), p.Ledger.Height(), p.ckptFault)
+	return checkpointAndMaybePrune(p.dir, p.Engine.Store(), p.Ledger, p.ckptKeep, p.prune, p.ckptFault)
 }
 
 // maybeCheckpoint runs the periodic checkpoint policy after a successful

@@ -229,9 +229,13 @@ func TestDurablePeerCheckpointSuffixReplay(t *testing.T) {
 					t.Fatal(err)
 				}
 
-				// The block-3 checkpoint must exist and restrict replay to
-				// the suffix.
-				_, h, err := statedb.LoadCheckpoint(dir + "/" + CheckpointFile)
+				// The block-3 checkpoint generation must exist and restrict
+				// replay to the suffix.
+				refs, _ := statedb.Checkpoints(dir, "")
+				if len(refs) == 0 {
+					t.Fatal("no periodic checkpoint generation")
+				}
+				_, h, err := statedb.LoadCheckpoint(dir + "/" + refs[0].File)
 				if err != nil {
 					t.Fatalf("no periodic checkpoint: %v", err)
 				}

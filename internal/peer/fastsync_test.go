@@ -1,0 +1,160 @@
+package peer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bmac/internal/statedb"
+	"bmac/internal/validator"
+)
+
+// Fast-sync recovery tests: generation fallback, the full-replay baseline
+// mode, and pruned-ledger restarts.
+
+// TestRecoveryFallsBackOnCorruptNewestCheckpoint: clobbering the newest
+// checkpoint generation costs extra replay (the older generation anchors
+// recovery), never the peer — and the recovered state is bit-identical.
+func TestRecoveryFallsBackOnCorruptNewestCheckpoint(t *testing.T) {
+	f := newChainFixture(t)
+	blocks := f.chain(t, 6)
+	cfg := validator.Config{Workers: 2, Policies: f.pols}
+
+	dir := t.TempDir()
+	p, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir, DurableOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if _, err := p.CommitBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := statedb.SnapshotHash(p.Validator.Store().Snapshot())
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	refs, _ := statedb.Checkpoints(dir, "")
+	if len(refs) < 2 {
+		t.Fatalf("need >= 2 generations to test fallback, have %+v", refs)
+	}
+	newest := filepath.Join(dir, refs[0].File)
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir, DurableOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatalf("recovery with a corrupt newest generation: %v", err)
+	}
+	defer p2.Close()
+	if p2.Height() != 6 {
+		t.Fatalf("recovered height %d, want 6", p2.Height())
+	}
+	if got := statedb.SnapshotHash(p2.Validator.Store().Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery diverges from live state")
+	}
+}
+
+// TestNoFastSyncRecoversIdentically: the full-replay measurement baseline
+// (oldest checkpoint + maximal tail) must land on the same state as
+// fast-sync — it only pays more replay.
+func TestNoFastSyncRecoversIdentically(t *testing.T) {
+	f := newChainFixture(t)
+	blocks := f.chain(t, 6)
+	cfg := validator.Config{Workers: 2, Policies: f.pols}
+
+	dir := t.TempDir()
+	p, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir, DurableOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if _, err := p.CommitBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := statedb.SnapshotHash(p.Validator.Store().Snapshot())
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir,
+		DurableOptions{CheckpointEvery: 2, NoFastSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.Height() != 6 {
+		t.Fatalf("recovered height %d, want 6", p2.Height())
+	}
+	if got := statedb.SnapshotHash(p2.Validator.Store().Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("full-replay recovery diverges from fast-sync state")
+	}
+}
+
+// TestPruneBoundsLedgerAndSurvivesRestart: with pruning on and a tiny
+// segment budget, checkpoint-covered segments are dropped (the prune floor
+// advances), the restart fast-syncs from a retained generation above the
+// floor, and the chain keeps extending.
+func TestPruneBoundsLedgerAndSurvivesRestart(t *testing.T) {
+	f := newChainFixture(t)
+	blocks := f.chain(t, 10)
+	cfg := validator.Config{Workers: 2, Policies: f.pols}
+	opts := DurableOptions{CheckpointEvery: 2, SegmentBytes: 1, Prune: true}
+
+	dir := t.TempDir()
+	p, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks[:8] {
+		if _, err := p.CommitBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Ledger.Base() == 0 {
+		t.Fatal("prune floor never advanced despite covering checkpoints")
+	}
+	if p.Ledger.Stats().Pruned == 0 {
+		t.Fatal("no segments pruned")
+	}
+	want := statedb.SnapshotHash(p.Validator.Store().Snapshot())
+	base := p.Ledger.Base()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Far fewer segment files than blocks committed: disk is bounded.
+	files, err := filepath.Glob(filepath.Join(dir, "blockfile_*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) >= 8 {
+		t.Fatalf("%d segment files survive pruning for 8 one-block segments", len(files))
+	}
+
+	p2, err := NewDurableSWPeer(cfg, statedb.NewStore(), dir, opts)
+	if err != nil {
+		t.Fatalf("restart of a pruned peer: %v", err)
+	}
+	defer p2.Close()
+	if p2.Height() != 8 || p2.Ledger.Base() != base {
+		t.Fatalf("recovered height %d base %d, want 8 and %d", p2.Height(), p2.Ledger.Base(), base)
+	}
+	if got := statedb.SnapshotHash(p2.Validator.Store().Snapshot()); !bytes.Equal(got, want) {
+		t.Fatal("pruned restart diverges from live state")
+	}
+	for _, b := range blocks[8:] {
+		if _, err := p2.CommitBlock(b); err != nil {
+			t.Fatalf("commit after pruned restart: %v", err)
+		}
+	}
+}

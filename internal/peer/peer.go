@@ -57,6 +57,8 @@ type SWPeer struct {
 
 	dir       string
 	ckptEvery int
+	ckptKeep  int          // checkpoint generations retained (0 = statedb default)
+	prune     bool         // prune checkpoint-covered ledger segments
 	ckptFault func() error // fault-injection hook for checkpoint writes
 }
 
@@ -102,6 +104,8 @@ type ParallelPeer struct {
 
 	dir       string
 	ckptEvery int
+	ckptKeep  int          // checkpoint generations retained (0 = statedb default)
+	prune     bool         // prune checkpoint-covered ledger segments
 	ckptFault func() error // fault-injection hook for checkpoint writes
 }
 

@@ -149,6 +149,35 @@ func (m *LoadMetrics) ObserveCommit(d time.Duration) {
 	m.E2E.Observe(d)
 }
 
+// LedgerMetrics carries one peer's segmented-ledger lifecycle counters:
+// segment seals (rotation), quarantines (sealed-segment checksum failures),
+// restores (quarantined ranges re-fetched through delivery), prunes
+// (segments dropped after a covering checkpoint) and index rebuilds.
+// It is held by value in ledger.Options — the zero value (telemetry off)
+// is all nil handles, so each event costs one predicted branch.
+type LedgerMetrics struct {
+	Sealed, Quarantined, Restored *Counter
+	RestoredBlocks, Pruned        *Counter
+	IndexRebuilds                 *Counter
+}
+
+// NewLedgerMetrics builds the bundle for one peer's ledger; a nil registry
+// returns the zero (all-discarding) bundle.
+func NewLedgerMetrics(r *Registry, peer string) LedgerMetrics {
+	if r == nil {
+		return LedgerMetrics{}
+	}
+	c := func(base string) *Counter { return r.Counter(Name(base, "peer", peer)) }
+	return LedgerMetrics{
+		Sealed:         c("ledger_segments_sealed_total"),
+		Quarantined:    c("ledger_segments_quarantined_total"),
+		Restored:       c("ledger_segments_restored_total"),
+		RestoredBlocks: c("ledger_blocks_restored_total"),
+		Pruned:         c("ledger_segments_pruned_total"),
+		IndexRebuilds:  c("ledger_index_rebuilds_total"),
+	}
+}
+
 // PeerDeliveryMetrics carries one delivery pipe's counters. Lag is exported
 // separately as a GaugeFunc by the delivery service (it is computed from
 // ledger height at scrape time, not maintained on the hot path).
